@@ -1,0 +1,115 @@
+// Command sdpsbench runs the benchmark suite's experiments — one per table
+// and figure of "Benchmarking Distributed Stream Data Processing Systems"
+// (Karimov et al., ICDE 2018) — and prints the paper-shaped artefact.
+//
+// Usage:
+//
+//	sdpsbench -list
+//	sdpsbench -exp table1
+//	sdpsbench -exp fig9 -scale full -csv out/
+//	sdpsbench -all -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment in paper order")
+		scale = flag.String("scale", "quick", "fidelity: quick | full")
+		seed  = flag.Uint64("seed", 42, "simulation seed (same seed, same artefact)")
+		csv   = flag.String("csv", "", "directory to write figure series CSVs into")
+		svg   = flag.String("svg", "", "directory to write figure SVGs into")
+		reps  = flag.Int("replicate", 0, "run the experiment N times with different seeds and report cross-seed spread")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	opts := core.Options{Seed: *seed}
+	switch *scale {
+	case "quick":
+		opts.Scale = core.Quick
+	case "full":
+		opts.Scale = core.Full
+	default:
+		fatalf("unknown -scale %q (quick | full)", *scale)
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fatalf("nothing to do: pass -exp <id>, -all, or -list")
+	}
+
+	if *reps > 0 {
+		for _, id := range ids {
+			rep, err := core.Replicate(id, opts, *reps)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println(rep.Text())
+		}
+		return
+	}
+
+	for _, id := range ids {
+		e, err := core.Lookup(id)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("== %s (%s, %v)\n%s\n", e.Title, *scale, time.Since(start).Round(time.Millisecond), out.Text)
+		if *csv != "" && out.CSV != "" {
+			if err := os.MkdirAll(*csv, 0o755); err != nil {
+				fatalf("mkdir %s: %v", *csv, err)
+			}
+			path := filepath.Join(*csv, id+".csv")
+			if err := os.WriteFile(path, []byte(out.CSV), 0o644); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			fmt.Printf("   series written to %s\n\n", path)
+		}
+		if *svg != "" {
+			if doc := out.SVG(); doc != "" {
+				if err := os.MkdirAll(*svg, 0o755); err != nil {
+					fatalf("mkdir %s: %v", *svg, err)
+				}
+				path := filepath.Join(*svg, id+".svg")
+				if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+					fatalf("write %s: %v", path, err)
+				}
+				fmt.Printf("   figure written to %s\n\n", path)
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdpsbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command sustain bisects the maximum sustainable throughput (the paper's
+// Definition 5) of one engine × cluster-size × query deployment and prints
+// the search outcome plus the final run's latency summary.
+//
+// Usage:
+//
+//	sustain -engine flink -workers 4 -query aggregation
+//	sustain -engine spark -workers 8 -query join -selectivity 0.05
+//	sustain -engine storm -workers 2 -query aggregation -window 60s -slide 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/generator"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		engineName  = flag.String("engine", "flink", "engine model: storm | spark | flink")
+		workers     = flag.Int("workers", 2, "worker nodes (the paper used 2, 4, 8)")
+		queryName   = flag.String("query", "aggregation", "query: aggregation | join")
+		window      = flag.Duration("window", 8*time.Second, "window size")
+		slide       = flag.Duration("slide", 4*time.Second, "window slide")
+		selectivity = flag.Float64("selectivity", 0.05, "join selectivity in (0,1]")
+		skew        = flag.Bool("skew", false, "single-key input (Experiment 4)")
+		lo          = flag.Float64("lo", 0.05e6, "search floor, events/second")
+		hi          = flag.Float64("hi", 1.6e6, "search ceiling, events/second")
+		res         = flag.Float64("resolution", 0.02, "relative search resolution")
+		probe       = flag.Duration("probe", 2*time.Minute, "virtual duration per probe run")
+		seed        = flag.Uint64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	eng, err := core.EngineByName(*engineName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var q workload.Query
+	switch *queryName {
+	case "aggregation":
+		q, err = workload.NewAggregation(*window, *slide)
+	case "join":
+		q, err = workload.NewJoin(*window, *slide, *selectivity)
+	default:
+		fatalf("unknown -query %q (aggregation | join)", *queryName)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := driver.Config{Seed: *seed, Workers: *workers, Query: q}
+	if *skew {
+		cfg.Keys = generator.SingleKey{K: 1}
+	}
+
+	fmt.Printf("searching sustainable throughput: %s, %d workers, %s%s\n",
+		eng.Name(), *workers, q, map[bool]string{true: ", single-key skew", false: ""}[*skew])
+	start := time.Now()
+	rate, last, err := driver.FindSustainable(eng, cfg, driver.SearchConfig{
+		Lo: *lo, Hi: *hi, Resolution: *res, ProbeRunFor: *probe,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("search took %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if rate == 0 {
+		fmt.Printf("no sustainable rate found at or above the floor %.3g ev/s\n", *lo)
+		if last != nil && last.Failed {
+			fmt.Printf("floor probe failed: %s\n", last.FailReason)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("maximum sustainable throughput: %.3f M events/s\n\n", rate/1e6)
+	if last != nil {
+		fmt.Print(report.RunSummary(last))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sustain: "+format+"\n", args...)
+	os.Exit(1)
+}

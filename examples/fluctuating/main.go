@@ -1,0 +1,77 @@
+// Fluctuating: Experiment 5 as a runnable scenario — drive the engines
+// with the paper's arrival-rate schedule (0.84M -> 0.28M -> 0.84M ev/s)
+// and plot how each backpressure design rides the spikes.
+//
+//	go run ./examples/fluctuating
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+	"repro/internal/engine/storm"
+	"repro/internal/generator"
+	"repro/internal/workload"
+)
+
+func main() {
+	const runFor = 3 * time.Minute
+	schedule := generator.PaperFluctuation(runFor, 0.84e6, 0.28e6)
+
+	fmt.Println("arrival rate: 0.84M ev/s for 1min, 0.28M for 1min, 0.84M again")
+	fmt.Println("aggregation (8s,4s), 8 workers; per-second mean event-time latency:")
+	fmt.Println()
+
+	for _, eng := range []engine.Engine{
+		storm.New(storm.Options{}),
+		spark.New(spark.Options{}),
+		flink.New(flink.Options{}),
+	} {
+		res, err := driver.Run(eng, driver.Config{
+			Seed:    9,
+			Workers: 8,
+			Rate:    schedule,
+			Query:   workload.Default(workload.Aggregation),
+			RunFor:  runFor,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s |%s| mean=%.2fs max=%.2fs\n",
+			eng.Name(),
+			res.EventLatencySeries.Sparkline(60),
+			res.EventLatencySeries.Mean(),
+			res.EventLatencySeries.Max())
+	}
+
+	fmt.Println()
+	fmt.Println("and the join (Spark vs Flink, as in Figure 6d/6e):")
+	for _, eng := range []engine.Engine{spark.New(spark.Options{}), flink.New(flink.Options{})} {
+		res, err := driver.Run(eng, driver.Config{
+			Seed:    9,
+			Workers: 8,
+			Rate:    schedule,
+			Query:   workload.Default(workload.Join),
+			RunFor:  runFor,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s |%s| mean=%.2fs max=%.2fs\n",
+			eng.Name(),
+			res.EventLatencySeries.Sparkline(60),
+			res.EventLatencySeries.Mean(),
+			res.EventLatencySeries.Max())
+	}
+
+	fmt.Println()
+	fmt.Println("paper's Experiment 5: Spark and Flink ride aggregation spikes")
+	fmt.Println("comparably; on the join Flink recovers faster because its")
+	fmt.Println("backpressure reacts per tuple, not per job stage; Storm is the most")
+	fmt.Println("susceptible to the fluctuation.")
+}

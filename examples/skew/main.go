@@ -1,0 +1,58 @@
+// Skew: Experiment 4 as a runnable scenario — feed all three engines a
+// single-key stream and watch who scales.  Storm and Flink pin at one
+// slot's capacity no matter the cluster size; Spark's tree-aggregate
+// partial combining keeps scaling.
+//
+//	go run ./examples/skew
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/spark"
+	"repro/internal/engine/storm"
+	"repro/internal/generator"
+	"repro/internal/workload"
+)
+
+func main() {
+	engines := []engine.Engine{
+		storm.New(storm.Options{}),
+		spark.New(spark.Options{}),
+		flink.New(flink.Options{}),
+	}
+
+	fmt.Println("sustainable aggregation throughput, every event on ONE gemPackID:")
+	fmt.Printf("%-8s", "")
+	for _, w := range []int{2, 4, 8} {
+		fmt.Printf(" %8d-node", w)
+	}
+	fmt.Println()
+
+	for _, eng := range engines {
+		fmt.Printf("%-8s", eng.Name())
+		for _, w := range []int{2, 4, 8} {
+			rate, _, err := driver.FindSustainable(eng, driver.Config{
+				Seed:    5,
+				Workers: w,
+				Query:   workload.Default(workload.Aggregation),
+				Keys:    generator.SingleKey{K: 1},
+			}, driver.SearchConfig{Lo: 0.05e6, Hi: 1.2e6, Resolution: 0.05, ProbeRunFor: 75 * time.Second})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.2f M/s", rate/1e6)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("paper's Experiment 4: Flink 0.48 M/s and Storm 0.2 M/s regardless of")
+	fmt.Println("scale (one key = one slot); Spark 0.53 M/s on 4 nodes and climbing,")
+	fmt.Println("because tree aggregate pre-combines the hot key on every partition.")
+}

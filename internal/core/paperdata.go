@@ -1,0 +1,66 @@
+package core
+
+// paperdata.go embeds the published numbers of the paper's evaluation
+// (Tables I-IV and the quantitative claims of Experiments 2-4) so the
+// report generator (cmd/sdpsreport) can put "paper" and "measured" side by
+// side and flag deviations.  Every value is transcribed from the paper;
+// latencies are seconds, rates are events/second.
+
+// PaperLatency is one cell of Table II or IV.
+type PaperLatency struct {
+	Avg, Min, Max float64
+	P90, P95, P99 float64
+}
+
+// PaperTable2 is Table II: event-time latency for windowed aggregations.
+// Keys are "engine/workers/loadPct".
+var PaperTable2 = map[string]PaperLatency{
+	"storm/2/100": {Avg: 1.4, Min: 0.07, Max: 5.7, P90: 2.3, P95: 2.7, P99: 3.4},
+	"storm/4/100": {Avg: 2.1, Min: 0.1, Max: 12.2, P90: 3.7, P95: 5.8, P99: 7.7},
+	"storm/8/100": {Avg: 2.2, Min: 0.2, Max: 17.7, P90: 3.8, P95: 6.4, P99: 9.2},
+	"storm/2/90":  {Avg: 1.1, Min: 0.08, Max: 5.7, P90: 1.8, P95: 2.1, P99: 2.8},
+	"storm/4/90":  {Avg: 1.6, Min: 0.04, Max: 9.2, P90: 2.9, P95: 4.1, P99: 6.3},
+	"storm/8/90":  {Avg: 1.9, Min: 0.2, Max: 11, P90: 3.3, P95: 5, P99: 7.6},
+	"spark/2/100": {Avg: 3.6, Min: 2.5, Max: 8.5, P90: 4.6, P95: 4.9, P99: 5.9},
+	"spark/4/100": {Avg: 3.3, Min: 1.9, Max: 6.9, P90: 4.1, P95: 4.3, P99: 4.9},
+	"spark/8/100": {Avg: 3.1, Min: 1.2, Max: 6.9, P90: 3.8, P95: 4.1, P99: 4.7},
+	"spark/2/90":  {Avg: 3.4, Min: 2.3, Max: 8, P90: 3.9, P95: 4.5, P99: 5.4},
+	"spark/4/90":  {Avg: 2.8, Min: 1.6, Max: 6.9, P90: 3.4, P95: 3.7, P99: 4.8},
+	"spark/8/90":  {Avg: 2.7, Min: 1.7, Max: 5.9, P90: 3.6, P95: 3.9, P99: 4.8},
+	"flink/2/100": {Avg: 0.5, Min: 0.004, Max: 12.3, P90: 1.4, P95: 2.2, P99: 5.2},
+	"flink/4/100": {Avg: 0.2, Min: 0.004, Max: 5.1, P90: 0.6, P95: 1.2, P99: 2.4},
+	"flink/8/100": {Avg: 0.2, Min: 0.004, Max: 5.4, P90: 0.6, P95: 1.2, P99: 3.9},
+	"flink/2/90":  {Avg: 0.3, Min: 0.003, Max: 5.8, P90: 0.7, P95: 1.1, P99: 2},
+	"flink/4/90":  {Avg: 0.2, Min: 0.004, Max: 5.1, P90: 0.6, P95: 1.3, P99: 2.4},
+	"flink/8/90":  {Avg: 0.2, Min: 0.002, Max: 5.4, P90: 0.5, P95: 0.8, P99: 3.4},
+}
+
+// PaperTable4 is Table IV: event-time latency for windowed joins.
+var PaperTable4 = map[string]PaperLatency{
+	"spark/2/100": {Avg: 7.7, Min: 1.3, Max: 21.6, P90: 11.2, P95: 12.4, P99: 14.7},
+	"spark/4/100": {Avg: 6.7, Min: 2.1, Max: 23.6, P90: 10.2, P95: 11.7, P99: 15.4},
+	"spark/8/100": {Avg: 6.2, Min: 1.8, Max: 19.9, P90: 9.4, P95: 10.4, P99: 13.2},
+	"spark/2/90":  {Avg: 7.1, Min: 2.1, Max: 17.9, P90: 10.3, P95: 11.1, P99: 12.7},
+	"spark/4/90":  {Avg: 5.8, Min: 1.8, Max: 13.9, P90: 8.7, P95: 9.5, P99: 10.7},
+	"spark/8/90":  {Avg: 5.7, Min: 1.7, Max: 14.1, P90: 8.6, P95: 9.4, P99: 10.6},
+	"flink/2/100": {Avg: 4.3, Min: 0.01, Max: 18.2, P90: 7.6, P95: 8.5, P99: 10.5},
+	"flink/4/100": {Avg: 3.6, Min: 0.02, Max: 13.8, P90: 6.7, P95: 7.5, P99: 8.6},
+	"flink/8/100": {Avg: 3.2, Min: 0.02, Max: 14.9, P90: 6.2, P95: 7, P99: 8.4},
+	"flink/2/90":  {Avg: 3.8, Min: 0.02, Max: 13, P90: 6.7, P95: 7.5, P99: 8.7},
+	"flink/4/90":  {Avg: 3.2, Min: 0.02, Max: 12.7, P90: 6.1, P95: 6.9, P99: 8},
+	"flink/8/90":  {Avg: 3.2, Min: 0.02, Max: 14.9, P90: 6.2, P95: 6.9, P99: 8.3},
+}
+
+// PaperClaims are the quantitative point claims outside the tables.
+var PaperClaims = map[string]float64{
+	// Experiment 2: the naive Storm join.
+	"storm-naive-join/2/rate":    0.14e6,
+	"storm-naive-join/2/avg_lat": 2.3,
+	// Experiment 4: skew.
+	"skew/flink/rate":   0.48e6,
+	"skew/storm/rate":   0.2e6,
+	"skew/spark/4/rate": 0.53e6,
+	// Experiment 3: Spark's large-window degradation at 4s batches.
+	"largewindow/spark/throughput_factor": 2.0,  // throughput decreases by 2x
+	"largewindow/spark/latency_factor":    10.0, // avg latency increases by 10x
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Replication aggregates one experiment's headline metrics over several
+// independent seeds, quantifying the run-to-run spread that Definition 5's
+// fluctuation tolerance (and the transient-episode sampling) introduces.
+// EXPERIMENTS.md's "search noise" caveat is made measurable here.
+type Replication struct {
+	ID    string
+	Seeds []uint64
+	// Stats maps each metric key to its cross-seed statistics.
+	Stats map[string]ReplicaStat
+}
+
+// ReplicaStat is one metric's cross-seed distribution.
+type ReplicaStat struct {
+	Mean, Min, Max, Stddev float64
+	N                      int
+}
+
+// RelSpread returns (max-min)/mean, the headline noise figure.
+func (s ReplicaStat) RelSpread() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Mean
+}
+
+// Replicate runs the experiment once per seed and aggregates every metric.
+// Seeds are derived from opts.Seed when seeds is nil (opts.Seed, +1, ...).
+func Replicate(id string, opts Options, runs int) (*Replication, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	opts = opts.WithDefaults()
+	exp, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replication{ID: id, Stats: map[string]ReplicaStat{}}
+	samples := map[string][]float64{}
+	for i := 0; i < runs; i++ {
+		seed := opts.Seed + uint64(i)*7919
+		rep.Seeds = append(rep.Seeds, seed)
+		o := opts
+		o.Seed = seed
+		out, err := exp.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("core: replicate %s seed %d: %w", id, seed, err)
+		}
+		for k, v := range out.Metrics {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	for k, vs := range samples {
+		rep.Stats[k] = summarize(vs)
+	}
+	return rep, nil
+}
+
+func summarize(vs []float64) ReplicaStat {
+	s := ReplicaStat{N: len(vs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, v := range vs {
+		sum += v
+		sumSq += v * v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vs))
+	if len(vs) > 1 {
+		variance := sumSq/float64(len(vs)) - s.Mean*s.Mean
+		if variance > 0 {
+			s.Stddev = math.Sqrt(variance)
+		}
+	}
+	return s
+}
+
+// Text renders the replication as a table sorted by metric key.
+func (r *Replication) Text() string {
+	var keys []string
+	for k := range r.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %d seeds %v\n", r.ID, len(r.Seeds), r.Seeds)
+	fmt.Fprintf(&b, "%-36s %12s %12s %12s %8s\n", "metric", "mean", "min", "max", "spread")
+	for _, k := range keys {
+		s := r.Stats[k]
+		fmt.Fprintf(&b, "%-36s %12.4g %12.4g %12.4g %7.1f%%\n",
+			k, s.Mean, s.Min, s.Max, 100*s.RelSpread())
+	}
+	return b.String()
+}

@@ -1,0 +1,472 @@
+// Package driver implements the benchmark driver — the paper's central
+// methodological contribution.  The driver is completely separate from the
+// system under test: it owns the data generators, the queues between
+// generators and SUT sources, and every measurement.  Throughput is
+// measured at the queues (ingestion, not output); latency is measured at
+// the SUT's sink against the generator's event-time stamps; nothing is
+// read from SUT-internal statistics.
+//
+// The driver also implements the sustainable-throughput search of
+// Definition 5: run at a rate, judge divergence of event-time latency and
+// driver-queue depth, and bisect.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/metrics"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Config fully describes one benchmark run.
+type Config struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Workers is the SUT cluster size (2, 4 or 8 in the paper).
+	Workers int
+	// GeneratorInstances is the number of parallel generator/queue pairs
+	// (the paper used 16).
+	GeneratorInstances int
+	// EventsPerTuple is the simulation scale: one simulated tuple stands
+	// for this many real events.  Rates and weights are always reported
+	// in real events.
+	EventsPerTuple int64
+	// QueueCapPerInstance bounds each driver queue in real events
+	// (0 = unbounded).  An overflow halts the run as a failure.
+	QueueCapPerInstance int64
+	// Rate is the offered-load schedule in real events/second.
+	Rate generator.RateSchedule
+	// Keys is the gemPackID distribution (normal in the paper's main
+	// experiments, single-key in Experiment 4).
+	Keys generator.KeyDist
+	// Query is the benchmark query.
+	Query workload.Query
+	// RunFor is the total virtual duration, including warm-up.
+	RunFor time.Duration
+	// WarmupFraction of RunFor is excluded from the latency histograms
+	// and the sustainability judgement (the paper uses 25% of the input
+	// as warm-up).
+	WarmupFraction float64
+	// SampleEvery is the series sampling interval.
+	SampleEvery time.Duration
+	// EngineTick overrides the engine scheduling quantum.
+	EngineTick time.Duration
+	// Sustainability overrides the divergence tolerances.
+	Sustainability *metrics.SustainabilityConfig
+	// WatermarkSlack holds the engines' windows open for out-of-order
+	// input (future-work ablation; 0 reproduces the paper).
+	WatermarkSlack time.Duration
+	// DisorderProb/DisorderMax inject bounded out-of-order event times
+	// at the generator (future-work ablation; 0 reproduces the paper).
+	DisorderProb float64
+	DisorderMax  time.Duration
+	// Broker, when non-nil, interposes a Kafka-style message broker
+	// between the generators and the SUT sources instead of the paper's
+	// direct driver queues — the Section III-A design-decision ablation.
+	Broker *broker.Config
+	// EventTap, when non-nil, observes every generated event (used by
+	// correctness tests to build the oracle's ground-truth log).
+	EventTap func(*tuple.Event)
+	// OutputTap, when non-nil, observes every SUT output tuple after the
+	// driver has measured it (correctness tests compare these against
+	// the oracle).
+	OutputTap func(*tuple.Output)
+}
+
+// WithDefaults fills unset fields with the evaluation's defaults.
+func (c Config) WithDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.GeneratorInstances == 0 {
+		c.GeneratorInstances = 16
+	}
+	if c.EventsPerTuple == 0 {
+		// One simulated tuple stands for 20 real events: small enough
+		// that per-key event gaps (which Definition 3 exposes as
+		// latency) stay close to the real system's, large enough that
+		// full-rate runs stay fast.
+		c.EventsPerTuple = 20
+	}
+	if c.Keys == nil {
+		// Key cardinality is scaled with the event scale so that the
+		// per-key event rate — what the windowed outputs' event-time
+		// gaps depend on — matches the paper's 1000-key workload at
+		// full rate.
+		c.Keys = generator.NormalKeys{N: 100}
+	}
+	if c.RunFor == 0 {
+		c.RunFor = 4 * time.Minute
+	}
+	if c.WarmupFraction == 0 {
+		c.WarmupFraction = 0.25
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = time.Second
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rate == nil {
+		return fmt.Errorf("driver: rate schedule is required")
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("driver: workers must be positive, got %d", c.Workers)
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("driver: warmup fraction must be in [0,1), got %v", c.WarmupFraction)
+	}
+	return c.Query.Validate()
+}
+
+// Result is everything one run measured.
+type Result struct {
+	Engine  string
+	Workers int
+	Config  Config
+
+	// EventLatency and ProcLatency are the post-warm-up latency
+	// histograms per Definitions 1 and 2 (Tables II and IV).
+	EventLatency *metrics.Histogram
+	ProcLatency  *metrics.Histogram
+
+	// EventLatencySeries/ProcLatencySeries are mean latency per sample
+	// interval over the whole run (Figures 4, 5, 6, 7, 8).
+	EventLatencySeries *metrics.Series
+	ProcLatencySeries  *metrics.Series
+	// EventLatencyMaxSeries is the per-interval maximum (the spikes in
+	// the figures).
+	EventLatencyMaxSeries *metrics.Series
+
+	// ThroughputSeries is the SUT's ingestion (pull) rate measured at
+	// the queues (Figure 9).
+	ThroughputSeries *metrics.Series
+	// QueueDepthSeries is the total driver-queue depth in real events.
+	QueueDepthSeries *metrics.Series
+
+	// CPU and Net are per-node resource usage series (Figure 10).
+	CPU []*metrics.Series
+	Net []*metrics.Series
+
+	// Extra carries engine-specific series (Spark's scheduler delay for
+	// Figure 11).
+	Extra map[string]*metrics.Series
+
+	// Outputs is the number of sink tuples observed (all run).
+	Outputs int64
+	// OutputWeight is their total real-event weight.
+	OutputWeight int64
+	// Generated is the total real-event weight offered.
+	Generated int64
+	// Ingested is the total real-event weight the SUT pulled.
+	Ingested int64
+
+	// LateDropped is the number of simulated events the SUT dropped for
+	// arriving after their windows had fired (non-zero only with
+	// out-of-order input and insufficient watermark slack).
+	LateDropped int64
+
+	Failed     bool
+	FailReason string
+
+	// Verdict is the Definition 5 judgement at this offered rate.
+	Verdict metrics.SustainabilityVerdict
+}
+
+// OfferedRate returns the average offered rate over the run in events/s.
+func (r *Result) OfferedRate() float64 {
+	if r.Config.RunFor <= 0 {
+		return 0
+	}
+	return float64(r.Generated) / r.Config.RunFor.Seconds()
+}
+
+// Run executes one benchmark run of the query on the engine.
+func Run(eng engine.Engine, cfg Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	k := sim.NewKernel(cfg.Seed)
+	cl, err := cluster.New(cluster.DefaultConfig(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	queues := queue.NewGroup("gen", cfg.GeneratorInstances, cfg.QueueCapPerInstance)
+
+	genCfg := generator.Config{
+		Instances:      cfg.GeneratorInstances,
+		Tick:           10 * time.Millisecond,
+		EventsPerTuple: cfg.EventsPerTuple,
+		Rate:           cfg.Rate,
+		Keys:           cfg.Keys,
+		Users:          100_000,
+		MaxPrice:       100,
+		DisorderProb:   cfg.DisorderProb,
+		DisorderMax:    cfg.DisorderMax,
+		Tap:            cfg.EventTap,
+	}
+	if cfg.Query.Type == workload.Join {
+		genCfg.AdsShare = 0.3
+		genCfg.MatchProb = cfg.Query.Selectivity
+	}
+	gen, err := generator.New(k, genCfg, queues)
+	if err != nil {
+		return nil, err
+	}
+
+	// Optionally interpose a message broker: the generators then publish
+	// into the broker, and the SUT's sources consume the broker's output
+	// queues.  Throughput is still measured where the SUT ingests.
+	sources := queues
+	var brk *broker.Broker
+	if cfg.Broker != nil {
+		sources = queue.NewGroup("broker-out", cfg.GeneratorInstances, cfg.QueueCapPerInstance)
+		brk, err = broker.New(k, *cfg.Broker, queues, sources)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Engine:                eng.Name(),
+		Workers:               cfg.Workers,
+		Config:                cfg,
+		EventLatency:          metrics.NewHistogram(),
+		ProcLatency:           metrics.NewHistogram(),
+		EventLatencySeries:    metrics.NewSeries("event_latency_s"),
+		ProcLatencySeries:     metrics.NewSeries("processing_latency_s"),
+		EventLatencyMaxSeries: metrics.NewSeries("event_latency_max_s"),
+		ThroughputSeries:      metrics.NewSeries("ingest_rate_ev_s"),
+		QueueDepthSeries:      metrics.NewSeries("queue_depth_events"),
+	}
+
+	warmupEnd := time.Duration(float64(cfg.RunFor) * cfg.WarmupFraction)
+
+	// Per-interval latency accumulators for the series.
+	var (
+		sumEv, sumProc float64
+		maxEv          float64
+		nOut           int64
+	)
+	sink := func(out *tuple.Output) {
+		evLat := out.EventTimeLatency()
+		procLat := out.ProcTimeLatency()
+		res.Outputs++
+		res.OutputWeight += out.Weight
+		sumEv += evLat.Seconds()
+		sumProc += procLat.Seconds()
+		if evLat.Seconds() > maxEv {
+			maxEv = evLat.Seconds()
+		}
+		nOut++
+		// Histograms exclude warm-up, keyed on emission time.
+		if out.EmitTime >= warmupEnd {
+			res.EventLatency.Record(evLat)
+			res.ProcLatency.Record(procLat)
+		}
+		if cfg.OutputTap != nil {
+			cfg.OutputTap(out)
+		}
+	}
+
+	job, err := eng.Deploy(k, engine.Config{
+		Cluster:        cl,
+		Query:          cfg.Query,
+		Sources:        sources,
+		Sink:           sink,
+		Tick:           cfg.EngineTick,
+		EventWeight:    cfg.EventsPerTuple,
+		WatermarkSlack: cfg.WatermarkSlack,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Samplers.
+	var lastOut int64
+	k.Every(cfg.SampleEvery, func(now sim.Time) {
+		if nOut > 0 {
+			res.EventLatencySeries.Add(now, sumEv/float64(nOut))
+			res.ProcLatencySeries.Add(now, sumProc/float64(nOut))
+			res.EventLatencyMaxSeries.Add(now, maxEv)
+			sumEv, sumProc, maxEv, nOut = 0, 0, 0, 0
+		}
+		out := sources.TotalOut()
+		res.ThroughputSeries.Add(now, float64(out-lastOut)/cfg.SampleEvery.Seconds())
+		lastOut = out
+		depth := queues.Weight()
+		if brk != nil {
+			depth += brk.Backlog() + sources.Weight()
+		}
+		res.QueueDepthSeries.Add(now, float64(depth))
+		// A queue overflow means a generator could no longer buffer:
+		// halt immediately, as the paper's driver does.
+		if queues.Overflowed() || (brk != nil && sources.Overflowed()) {
+			k.Halt()
+		}
+		if failed, _ := job.Failed(); failed {
+			k.Halt()
+		}
+	})
+	cl.StartRecorder(k, cfg.SampleEvery)
+
+	gen.Start()
+	if brk != nil {
+		brk.Start()
+	}
+	job.Start()
+	k.Run(cfg.RunFor)
+	job.Stop()
+	if brk != nil {
+		brk.Stop()
+	}
+	gen.Stop()
+
+	res.Generated = gen.TotalWeight()
+	res.Ingested = sources.TotalOut()
+	if ld, ok := job.(interface{ LateDropped() int64 }); ok {
+		res.LateDropped = ld.LateDropped()
+	}
+	res.CPU = cl.CPUSeries()
+	res.Net = cl.NetSeries()
+	res.Extra = job.ExtraSeries()
+
+	if failed, reason := job.Failed(); failed {
+		res.Failed, res.FailReason = true, reason
+	}
+	if queues.Overflowed() || (brk != nil && sources.Overflowed()) {
+		res.Failed = true
+		if res.FailReason == "" {
+			res.FailReason = "driver queue overflow: SUT could not keep a connection drained"
+		}
+	}
+	// A SUT that stopped emitting entirely during the measured window is
+	// stalled even if it never reported failure.
+	if res.Outputs == 0 {
+		res.Failed = true
+		if res.FailReason == "" {
+			res.FailReason = "SUT emitted no output tuples"
+		}
+	}
+
+	scfg := metrics.DefaultSustainabilityConfig()
+	if cfg.Sustainability != nil {
+		scfg = *cfg.Sustainability
+	}
+	res.Verdict = metrics.JudgeSustainability(
+		scfg,
+		res.EventLatencySeries.Tail(warmupEnd),
+		res.QueueDepthSeries.Tail(warmupEnd),
+		res.Generated,
+		res.Failed,
+		res.FailReason,
+	)
+	return res, nil
+}
+
+// SearchConfig tunes FindSustainable.
+type SearchConfig struct {
+	// Lo and Hi bracket the search in events/second.  Hi should exceed
+	// any plausible capacity ("we run each of the systems with a very
+	// high generation rate and decrease it").
+	Lo, Hi float64
+	// Resolution stops the bisection when hi/lo converges below it
+	// (e.g. 0.02 = 2%).
+	Resolution float64
+	// ProbeRunFor shortens probe runs relative to Config.RunFor
+	// (0 = use Config.RunFor).
+	ProbeRunFor time.Duration
+	// ProbeEventsPerTuple coarsens the probes' simulation scale (queue
+	// divergence does not need fine-grained latency fidelity); 0 means
+	// 200 real events per simulated tuple.
+	ProbeEventsPerTuple int64
+}
+
+// WithDefaults fills unset fields.
+func (s SearchConfig) WithDefaults() SearchConfig {
+	if s.Lo <= 0 {
+		s.Lo = 0.02e6
+	}
+	if s.Hi <= s.Lo {
+		s.Hi = 2e6
+	}
+	if s.Resolution <= 0 {
+		s.Resolution = 0.02
+	}
+	if s.ProbeRunFor > 0 && s.ProbeRunFor < 75*time.Second {
+		s.ProbeRunFor = 75 * time.Second
+	}
+	if s.ProbeEventsPerTuple == 0 {
+		s.ProbeEventsPerTuple = 200
+	}
+	return s
+}
+
+// FindSustainable bisects for the maximum sustainable throughput
+// (Definition 5) of the deployment described by base.  base.Rate is
+// ignored; each probe runs at a constant candidate rate.  It returns the
+// highest rate judged sustainable and that rate's full Result.
+func FindSustainable(eng engine.Engine, base Config, scfg SearchConfig) (float64, *Result, error) {
+	scfg = scfg.WithDefaults()
+	base = base.WithDefaults()
+	if scfg.ProbeRunFor > 0 {
+		base.RunFor = scfg.ProbeRunFor
+	}
+	base.EventsPerTuple = scfg.ProbeEventsPerTuple
+	// A probe must observe several complete windows after warm-up, or a
+	// large-window query would be judged "no output" at any rate.
+	minRun := time.Duration(float64(base.Query.WindowSize+4*base.Query.WindowSlide) / (1 - base.WarmupFraction))
+	if base.RunFor < minRun {
+		base.RunFor = minRun
+	}
+
+	probeN := uint64(0)
+	probe := func(rate float64) (*Result, error) {
+		cfg := base
+		cfg.Rate = generator.ConstantRate(rate)
+		// Each probe gets its own seed so the transient-episode schedule
+		// is sampled independently; otherwise every probe would dodge
+		// (or hit) the exact same episodes.
+		cfg.Seed = base.Seed + probeN*1_000_003
+		probeN++
+		return Run(eng, cfg)
+	}
+
+	lo, hi := scfg.Lo, scfg.Hi
+	// Establish a sustainable floor; if even Lo is unsustainable, report
+	// failure via the floor probe's result.
+	loRes, err := probe(lo)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !loRes.Verdict.Sustainable {
+		return 0, loRes, nil
+	}
+	best, bestRes := lo, loRes
+
+	for hi-lo > scfg.Resolution*hi {
+		mid := (lo + hi) / 2
+		r, err := probe(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if r.Verdict.Sustainable {
+			lo, best, bestRes = mid, mid, r
+		} else {
+			hi = mid
+		}
+	}
+	return best, bestRes, nil
+}

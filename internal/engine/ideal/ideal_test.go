@@ -1,0 +1,66 @@
+package ideal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/generator"
+	"repro/internal/workload"
+)
+
+func TestIdealSustainsTheNetworkBound(t *testing.T) {
+	// The ideal engine's only limit is the fabric: it must sustain the
+	// 1.2M ev/s bound with near-zero latency.
+	res, err := driver.Run(New(), driver.Config{
+		Seed: 1, Workers: 2,
+		Rate:           generator.ConstantRate(1.19e6),
+		Query:          workload.Default(workload.Aggregation),
+		RunFor:         90 * time.Second,
+		EventsPerTuple: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict.Sustainable {
+		t.Fatalf("ideal engine must sustain the network bound: %+v", res.Verdict)
+	}
+	if avg := res.EventLatency.Mean(); avg > 500*time.Millisecond {
+		t.Fatalf("ideal latency should be near zero, got %v", avg)
+	}
+	if res.LateDropped != 0 {
+		t.Fatalf("in-order input must lose nothing: %d", res.LateDropped)
+	}
+}
+
+func TestIdealFailsBeyondPhysics(t *testing.T) {
+	res, err := driver.Run(New(), driver.Config{
+		Seed: 1, Workers: 8,
+		Rate:           generator.ConstantRate(1.5e6), // beyond the fabric
+		Query:          workload.Default(workload.Aggregation),
+		RunFor:         90 * time.Second,
+		EventsPerTuple: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict.Sustainable {
+		t.Fatal("not even an ideal engine beats the fabric")
+	}
+}
+
+func TestIdealJoinRuns(t *testing.T) {
+	res, err := driver.Run(New(), driver.Config{
+		Seed: 1, Workers: 2,
+		Rate:           generator.ConstantRate(0.6e6),
+		Query:          workload.Default(workload.Join),
+		RunFor:         60 * time.Second,
+		EventsPerTuple: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs == 0 || res.Failed {
+		t.Fatalf("ideal join broken: outputs=%d failed=%v", res.Outputs, res.Failed)
+	}
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// Runtime bundles the moving parts every engine model shares: the tick
+// loop, source pulling with ingestion stamping, watermark tracking, hot-key
+// observation, CPU/network accounting, and sink emission with
+// Definition 3/4 provenance.  Engine models embed a Runtime and supply the
+// per-tick behaviour that makes them themselves.
+type Runtime struct {
+	K   *sim.Kernel
+	Cfg Config
+
+	// Watermark is the maximum event time ingested so far.  The
+	// generator's per-queue streams are in order, so this is the exact
+	// completeness frontier: every window with End <= Watermark has seen
+	// all its input.
+	Watermark time.Duration
+
+	// HotKeys tracks the hottest grouping key's load share (Experiment 4).
+	HotKeys *HotKeyTracker
+
+	// CPUPerMEvent is the engine's CPU cost in core-seconds per million
+	// real events processed, used only for the Figure 10 usage plots
+	// (the capacity laws, not this, decide throughput).
+	CPUPerMEvent float64
+	// NetBytesPerEvent is wire bytes charged per real event moved
+	// through the engine (ingest + shuffle).
+	NetBytesPerEvent float64
+
+	ticker     *sim.Ticker
+	failed     bool
+	failReason string
+	stopped    bool
+
+	// carry holds the fractional tuple budget across ticks.
+	carry float64
+
+	decayEvery int
+	sinceDecay int
+}
+
+// NewRuntime wires a runtime.
+func NewRuntime(k *sim.Kernel, cfg Config) *Runtime {
+	return &Runtime{
+		K:                k,
+		Cfg:              cfg,
+		HotKeys:          NewHotKeyTracker(),
+		CPUPerMEvent:     30,
+		NetBytesPerEvent: float64(tuple.WireSizeBytes),
+		decayEvery:       1000,
+	}
+}
+
+// Start runs fn every cfg.Tick until Stop or failure.
+func (rt *Runtime) Start(fn func(now sim.Time)) {
+	rt.ticker = rt.K.Every(rt.Cfg.Tick, func(now sim.Time) {
+		if rt.stopped || rt.failed {
+			return
+		}
+		fn(now)
+	})
+}
+
+// Stop halts the tick loop.
+func (rt *Runtime) Stop() {
+	rt.stopped = true
+	if rt.ticker != nil {
+		rt.ticker.Stop()
+	}
+}
+
+// Fail marks the job failed; the tick loop stops on the next tick and the
+// driver reads the reason.
+func (rt *Runtime) Fail(reason string) {
+	if !rt.failed {
+		rt.failed = true
+		rt.failReason = reason
+	}
+}
+
+// Failed implements part of the Job interface.
+func (rt *Runtime) Failed() (bool, string) { return rt.failed, rt.failReason }
+
+// TupleBudget converts a capacity in real events/second into a whole number
+// of simulated tuples for one tick, carrying the fraction so long-run rates
+// are exact.
+func (rt *Runtime) TupleBudget(capEvPerSec float64, weight int64) int {
+	if capEvPerSec <= 0 {
+		return 0
+	}
+	b := capEvPerSec*rt.Cfg.Tick.Seconds()/float64(weight) + rt.carry
+	n := int(b)
+	rt.carry = b - float64(n)
+	return n
+}
+
+// Pull pops up to n tuples from the sources, stamps their ingestion time,
+// advances the watermark, feeds the hot-key tracker, and charges network
+// bytes for moving them into the cluster.  Returns the pulled events and
+// their total real-event weight.
+func (rt *Runtime) Pull(n int, now sim.Time) ([]*tuple.Event, int64) {
+	events := rt.Cfg.Sources.PopUpTo(n)
+	var weight int64
+	for _, e := range events {
+		e.IngestTime = now
+		if e.EventTime > rt.Watermark {
+			rt.Watermark = e.EventTime
+		}
+		rt.HotKeys.Observe(e.Key(), e.Weight)
+		weight += e.Weight
+	}
+	if weight > 0 {
+		rt.Cfg.Cluster.SpreadNetwork(int64(rt.NetBytesPerEvent * float64(weight)))
+		rt.Cfg.Cluster.SpreadCPU(rt.CPUPerMEvent * float64(weight) / 1e6)
+	}
+	rt.sinceDecay += len(events)
+	if rt.sinceDecay >= rt.decayEvery {
+		rt.HotKeys.Decay()
+		rt.sinceDecay = 0
+	}
+	return events, weight
+}
+
+// EmitAgg sends one windowed-aggregation result to the sink with
+// Definition 3/4 provenance.
+func (rt *Runtime) EmitAgg(r window.Result, emit time.Duration) {
+	rt.Cfg.Sink(&tuple.Output{
+		Key:       r.Key,
+		Value:     r.Agg.Sum,
+		Count:     r.Agg.Count,
+		Weight:    r.Agg.Weight,
+		EventTime: r.Agg.Prov.MaxEventTime,
+		ProcTime:  r.Agg.Prov.MaxProcTime,
+		EmitTime:  emit,
+		WindowEnd: r.Window.End,
+	})
+}
+
+// EmitJoin sends one windowed-join result to the sink.  Join outputs also
+// cross the network (the effect that lowers the join network cap in
+// Table III), so bytes are charged here.
+func (rt *Runtime) EmitJoin(r window.JoinResult, emit time.Duration) {
+	rt.Cfg.Cluster.SpreadNetwork(int64(tuple.WireSizeBytes) * r.Weight)
+	rt.Cfg.Sink(&tuple.Output{
+		Key:       r.GemPackID,
+		Value:     r.Price,
+		Count:     1,
+		Weight:    r.Weight,
+		EventTime: r.Prov.MaxEventTime,
+		ProcTime:  r.Prov.MaxProcTime,
+		EmitTime:  emit,
+		WindowEnd: r.Window.End,
+	})
+}
+
+// FireWatermark returns the watermark used for firing windows: the
+// maximum ingested event time minus the configured slack, so windows stay
+// open long enough for bounded-disorder input to arrive.
+func (rt *Runtime) FireWatermark() time.Duration {
+	w := rt.Watermark - rt.Cfg.WatermarkSlack
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// QueueBacklog returns the real-event weight currently waiting in the
+// driver queues — what an engine's flow controller can indirectly sense as
+// upstream pressure.
+func (rt *Runtime) QueueBacklog() int64 { return rt.Cfg.Sources.Weight() }

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TransientModel describes the capacity-loss episodes a JVM streaming
+// engine suffers in steady state: stop-the-world GC pauses (capacity 0)
+// and slowdown episodes — stragglers, checkpoint alignment, executor
+// imbalance — during which the pipeline runs at a fraction of capacity.
+//
+// The model is analytically self-consistent: ExpectedLoss returns the mean
+// fraction of capacity the episodes consume, and the engines scale their
+// raw capacity by 1/(1-ExpectedLoss) so that the *net* sustainable rate
+// stays pinned to the capacity laws fitted from the paper's tables, while
+// the episodes themselves produce the latency spikes and fluctuation the
+// paper's figures show.
+type TransientModel struct {
+	// GC pauses: exponentially distributed intervals (mean GCMeanInterval,
+	// clamped at GCMinInterval), uniform pause length in
+	// [GCPauseMin, GCPauseMax], capacity 0 during the pause.
+	GCMeanInterval time.Duration
+	GCMinInterval  time.Duration
+	GCPauseMin     time.Duration
+	GCPauseMax     time.Duration
+
+	// Slowdowns: exponentially distributed intervals (mean
+	// SlowMeanInterval, clamped at SlowMinInterval); uniform duration in
+	// [SlowBase, SlowBase+SlowSpan]; with probability SlowMajorProb the
+	// episode is "major" and its duration multiplies by SlowMajorFactor.
+	// During an episode capacity multiplies by SlowCapFactor.
+	SlowMeanInterval time.Duration
+	SlowMinInterval  time.Duration
+	SlowBase         time.Duration
+	SlowSpan         time.Duration
+	SlowMajorProb    float64
+	SlowMajorFactor  float64
+	SlowCapFactor    float64
+}
+
+// ExpectedLoss returns the long-run mean fraction of capacity the episodes
+// consume.
+func (m TransientModel) ExpectedLoss() float64 {
+	loss := 0.0
+	if m.GCMeanInterval > 0 {
+		meanPause := (m.GCPauseMin + m.GCPauseMax).Seconds() / 2
+		loss += meanPause / m.GCMeanInterval.Seconds()
+	}
+	if m.SlowMeanInterval > 0 {
+		meanDur := (m.SlowBase + m.SlowBase + m.SlowSpan).Seconds() / 2
+		meanDur *= (1 - m.SlowMajorProb) + m.SlowMajorProb*m.SlowMajorFactor
+		loss += (1 - m.SlowCapFactor) * meanDur / m.SlowMeanInterval.Seconds()
+	}
+	return loss
+}
+
+// Margin returns the raw-capacity multiplier that compensates the expected
+// loss: law × Margin × (1 - actual loss) ≈ law.
+func (m TransientModel) Margin() float64 {
+	return 1 / (1 - m.ExpectedLoss())
+}
+
+// Transients is the runtime state of a TransientModel.
+type Transients struct {
+	m   TransientModel
+	rng *sim.RNG
+
+	gcUntil   sim.Time
+	nextGC    sim.Time
+	slowUntil sim.Time
+	nextSlow  sim.Time
+}
+
+// NewTransients arms the episode schedule on the given RNG stream.
+func NewTransients(m TransientModel, rng *sim.RNG, now sim.Time) *Transients {
+	t := &Transients{m: m, rng: rng}
+	t.nextGC = now + t.drawInterval(m.GCMeanInterval, m.GCMinInterval)
+	t.nextSlow = now + t.drawInterval(m.SlowMeanInterval, m.SlowMinInterval)
+	return t
+}
+
+func (t *Transients) drawInterval(mean, minGap time.Duration) time.Duration {
+	if mean <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	gap := time.Duration(t.rng.Exp(float64(mean)))
+	if gap < minGap {
+		gap = minGap
+	}
+	return gap
+}
+
+// Factor returns this instant's capacity multiplier: 0 during a GC pause,
+// SlowCapFactor during a slowdown episode, 1 otherwise.  It also advances
+// the episode schedule.
+func (t *Transients) Factor(now sim.Time) float64 {
+	// GC has priority: stop-the-world.
+	if now < t.gcUntil {
+		return 0
+	}
+	if now >= t.nextGC && t.m.GCMeanInterval > 0 {
+		span := (t.m.GCPauseMax - t.m.GCPauseMin).Seconds()
+		pause := t.m.GCPauseMin + time.Duration(t.rng.Float64()*span*float64(time.Second))
+		t.gcUntil = now + pause
+		t.nextGC = now + t.drawInterval(t.m.GCMeanInterval, t.m.GCMinInterval)
+		return 0
+	}
+	if now >= t.nextSlow && now >= t.slowUntil && t.m.SlowMeanInterval > 0 {
+		dur := t.m.SlowBase + time.Duration(t.rng.Float64()*float64(t.m.SlowSpan))
+		if t.rng.Bool(t.m.SlowMajorProb) {
+			dur = time.Duration(float64(dur) * t.m.SlowMajorFactor)
+		}
+		t.slowUntil = now + dur
+		t.nextSlow = now + t.drawInterval(t.m.SlowMeanInterval, t.m.SlowMinInterval)
+	}
+	if now < t.slowUntil {
+		return t.m.SlowCapFactor
+	}
+	return 1
+}

@@ -1,0 +1,349 @@
+// Package generator implements the paper's distributed data generator
+// (Section III-A): events are created on the fly — never read from a
+// message broker — by parallel instances, each co-located with its driver
+// queue, stamping every event with its event-time at the moment of
+// creation and producing at a configured, constant (or scheduled) rate.
+//
+// "Before each experiment we benchmarked and distributed our data generator
+// such that the data generation rate is faster than the data ingestion rate
+// of the fastest system" — in the simulation this holds by construction:
+// generation is a rate schedule, never CPU-bound.
+package generator
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/tuple"
+)
+
+// RateSchedule yields the aggregate generation rate (real events/second)
+// at a point in virtual time.  Constant for most experiments; stepped for
+// the fluctuating-workload experiment (Experiment 5).
+type RateSchedule interface {
+	RateAt(t time.Duration) float64
+}
+
+// ConstantRate is a fixed events/second schedule.
+type ConstantRate float64
+
+// RateAt implements RateSchedule.
+func (c ConstantRate) RateAt(time.Duration) float64 { return float64(c) }
+
+// Step is one segment of a stepped schedule.
+type Step struct {
+	From time.Duration
+	Rate float64
+}
+
+// StepSchedule changes rate at fixed points: the paper's Experiment 5
+// "start[s] the benchmark with a workload of 0.84M/s then decrease[s] it to
+// 0.28M/s and increase[s] again after a while".
+type StepSchedule []Step
+
+// RateAt returns the rate of the last step at or before t, or 0 before the
+// first step.
+func (s StepSchedule) RateAt(t time.Duration) float64 {
+	rate := 0.0
+	for _, st := range s {
+		if st.From <= t {
+			rate = st.Rate
+		} else {
+			break
+		}
+	}
+	return rate
+}
+
+// PaperFluctuation is the Experiment 5 schedule scaled over a run of the
+// given duration: high for the first third, low for the middle, high again
+// for the rest.
+func PaperFluctuation(runFor time.Duration, high, low float64) StepSchedule {
+	return StepSchedule{
+		{From: 0, Rate: high},
+		{From: runFor / 3, Rate: low},
+		{From: 2 * runFor / 3, Rate: high},
+	}
+}
+
+// KeyDist draws gemPackID values.
+type KeyDist interface {
+	Next(r *sim.RNG) int64
+	// Cardinality returns the number of distinct keys the distribution
+	// can produce.
+	Cardinality() int
+}
+
+// NormalKeys approximates the paper's "events with normal distribution on
+// key field": keys are drawn from N(n/2, n/6) clamped to [0, n).
+type NormalKeys struct{ N int }
+
+// Next implements KeyDist.
+func (d NormalKeys) Next(r *sim.RNG) int64 {
+	v := int64(r.Normal(float64(d.N)/2, float64(d.N)/6))
+	if v < 0 {
+		v = 0
+	}
+	if v >= int64(d.N) {
+		v = int64(d.N) - 1
+	}
+	return v
+}
+
+// Cardinality implements KeyDist.
+func (d NormalKeys) Cardinality() int { return d.N }
+
+// UniformKeys draws keys uniformly from [0, n).
+type UniformKeys struct{ N int }
+
+// Next implements KeyDist.
+func (d UniformKeys) Next(r *sim.RNG) int64 { return int64(r.Intn(d.N)) }
+
+// Cardinality implements KeyDist.
+func (d UniformKeys) Cardinality() int { return d.N }
+
+// ZipfKeys draws keys Zipf-distributed with exponent S over [0, n).
+type ZipfKeys struct {
+	N int
+	S float64
+	z *sim.Zipf
+}
+
+// Next implements KeyDist.
+func (d *ZipfKeys) Next(r *sim.RNG) int64 {
+	if d.z == nil {
+		d.z = sim.NewZipf(r, d.N, d.S)
+	}
+	return int64(d.z.Next())
+}
+
+// Cardinality implements KeyDist.
+func (d *ZipfKeys) Cardinality() int { return d.N }
+
+// SingleKey produces only key K: the "extreme skew, namely ... data of a
+// single key" of Experiment 4.
+type SingleKey struct{ K int64 }
+
+// Next implements KeyDist.
+func (d SingleKey) Next(*sim.RNG) int64 { return d.K }
+
+// Cardinality implements KeyDist.
+func (d SingleKey) Cardinality() int { return 1 }
+
+// Config parameterises a generator fleet.
+type Config struct {
+	// Instances is the number of parallel generator instances (16 in the
+	// paper), one per driver queue.
+	Instances int
+	// Tick is how often each instance flushes newly generated events into
+	// its queue.  Event times are spread uniformly inside the tick, so
+	// the generation process is effectively continuous.
+	Tick time.Duration
+	// EventsPerTuple is the real-event weight of one simulated event.
+	EventsPerTuple int64
+	// Rate is the aggregate generation schedule (real events/second
+	// across all instances).
+	Rate RateSchedule
+	// Keys draws the gemPackID field.
+	Keys KeyDist
+	// Users is the userID cardinality.
+	Users int
+	// AdsShare is the fraction of generated events that belong to the
+	// ADS stream (0 for aggregation-only workloads).
+	AdsShare float64
+	// MatchProb is the probability that a generated ad copies the
+	// (userID, gemPackID) of a recent purchase, which is what makes it
+	// joinable within the window — the join selectivity knob.
+	MatchProb float64
+	// MaxPrice bounds the purchase price field (exclusive).
+	MaxPrice int64
+	// DisorderProb is the probability that an event is emitted with its
+	// event time shifted into the past (out-of-order input, the paper's
+	// future-work "out-of-order and late arriving data management").
+	DisorderProb float64
+	// DisorderMax bounds the backward shift.
+	DisorderMax time.Duration
+	// Tap, when non-nil, observes every generated event just before it
+	// is enqueued.  Tests use it to capture the ground-truth event log
+	// for the oracle.
+	Tap func(*tuple.Event)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Instances <= 0 {
+		return fmt.Errorf("generator: need at least one instance, got %d", c.Instances)
+	}
+	if c.Tick <= 0 {
+		return fmt.Errorf("generator: tick must be positive, got %v", c.Tick)
+	}
+	if c.EventsPerTuple <= 0 {
+		return fmt.Errorf("generator: events-per-tuple must be positive, got %d", c.EventsPerTuple)
+	}
+	if c.Rate == nil {
+		return fmt.Errorf("generator: rate schedule is required")
+	}
+	if c.Keys == nil {
+		return fmt.Errorf("generator: key distribution is required")
+	}
+	if c.Users <= 0 {
+		return fmt.Errorf("generator: users must be positive, got %d", c.Users)
+	}
+	if c.AdsShare < 0 || c.AdsShare >= 1 {
+		return fmt.Errorf("generator: ads share must be in [0,1), got %v", c.AdsShare)
+	}
+	if c.MatchProb < 0 || c.MatchProb > 1 {
+		return fmt.Errorf("generator: match probability must be in [0,1], got %v", c.MatchProb)
+	}
+	if c.DisorderProb < 0 || c.DisorderProb > 1 {
+		return fmt.Errorf("generator: disorder probability must be in [0,1], got %v", c.DisorderProb)
+	}
+	if c.DisorderProb > 0 && c.DisorderMax <= 0 {
+		return fmt.Errorf("generator: disorder needs a positive max shift")
+	}
+	return nil
+}
+
+// Generator drives a fleet of instances on a simulation kernel.
+type Generator struct {
+	cfg    Config
+	k      *sim.Kernel
+	queues *queue.Group
+	rng    *sim.RNG
+
+	// carry accumulates the fractional tuple budget between ticks so the
+	// long-run rate is exact even when rate·tick/weight is not integral.
+	carry float64
+
+	// recentPurchases is a small reservoir of recently generated purchase
+	// identities used to make ads joinable with controllable probability.
+	recentPurchases []purchaseID
+	reservoirNext   int
+
+	totalWeight int64
+	ticker      *sim.Ticker
+	stopped     bool
+}
+
+type purchaseID struct{ user, pack int64 }
+
+const reservoirSize = 4096
+
+// New wires a generator fleet to its driver queues.  One instance feeds one
+// queue; cfg.Instances must equal queues.Size().
+func New(k *sim.Kernel, cfg Config, queues *queue.Group) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if queues.Size() != cfg.Instances {
+		return nil, fmt.Errorf("generator: %d instances need %d queues, got %d",
+			cfg.Instances, cfg.Instances, queues.Size())
+	}
+	return &Generator{
+		cfg:             cfg,
+		k:               k,
+		queues:          queues,
+		rng:             k.RNG("generator"),
+		recentPurchases: make([]purchaseID, 0, reservoirSize),
+	}, nil
+}
+
+// Start begins generation.  Events generated in (t-tick, t] are flushed at
+// t with event times spread across the interval.
+func (g *Generator) Start() {
+	g.ticker = g.k.Every(g.cfg.Tick, g.tick)
+}
+
+// Stop ceases generation.
+func (g *Generator) Stop() {
+	g.stopped = true
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+}
+
+// TotalWeight returns the cumulative real-event weight generated.
+func (g *Generator) TotalWeight() int64 { return g.totalWeight }
+
+// tick generates this interval's events and distributes them round-robin
+// over the instance queues.
+func (g *Generator) tick(now sim.Time) {
+	if g.stopped {
+		return
+	}
+	intervalStart := now - g.cfg.Tick
+	rate := g.cfg.Rate.RateAt(intervalStart)
+	if rate <= 0 {
+		return
+	}
+	budget := rate*g.cfg.Tick.Seconds()/float64(g.cfg.EventsPerTuple) + g.carry
+	n := int(budget)
+	g.carry = budget - float64(n)
+	if n == 0 {
+		return
+	}
+	span := float64(g.cfg.Tick)
+	for i := 0; i < n; i++ {
+		// Event times increase within the tick (per-instance streams
+		// are in order, which keeps watermarks simple, matching the
+		// paper's in-order generation).
+		et := intervalStart + time.Duration((float64(i)+0.5)/float64(n)*span)
+		e := g.makeEvent(et)
+		if g.cfg.Tap != nil {
+			g.cfg.Tap(e)
+		}
+		q := g.queues.Queue(i % g.queues.Size())
+		q.Push(e) // overflow is detected by the driver via q.Overflowed()
+		g.totalWeight += e.Weight
+	}
+}
+
+// makeEvent draws one event.
+func (g *Generator) makeEvent(et time.Duration) *tuple.Event {
+	if g.cfg.DisorderProb > 0 && g.rng.Bool(g.cfg.DisorderProb) {
+		et -= time.Duration(g.rng.Float64() * float64(g.cfg.DisorderMax))
+		if et < 0 {
+			et = 0
+		}
+	}
+	e := &tuple.Event{
+		EventTime: et,
+		Weight:    g.cfg.EventsPerTuple,
+	}
+	if g.cfg.AdsShare > 0 && g.rng.Bool(g.cfg.AdsShare) {
+		e.Stream = tuple.Ads
+		if len(g.recentPurchases) > 0 && g.rng.Bool(g.cfg.MatchProb) {
+			// A matching ad: propose a gem pack the user recently
+			// bought (the paper's use-case joins ads to resulting
+			// purchases; the correlation direction is symmetric for
+			// the benchmark's purposes).
+			p := g.recentPurchases[g.rng.Intn(len(g.recentPurchases))]
+			e.UserID, e.GemPackID = p.user, p.pack
+		} else {
+			e.UserID = int64(g.rng.Intn(g.cfg.Users))
+			e.GemPackID = g.cfg.Keys.Next(g.rng)
+		}
+		return e
+	}
+	e.Stream = tuple.Purchases
+	e.UserID = int64(g.rng.Intn(g.cfg.Users))
+	e.GemPackID = g.cfg.Keys.Next(g.rng)
+	maxPrice := g.cfg.MaxPrice
+	if maxPrice <= 0 {
+		maxPrice = 100
+	}
+	e.Price = int64(g.rng.Intn(int(maxPrice))) + 1
+	g.remember(purchaseID{user: e.UserID, pack: e.GemPackID})
+	return e
+}
+
+func (g *Generator) remember(p purchaseID) {
+	if len(g.recentPurchases) < reservoirSize {
+		g.recentPurchases = append(g.recentPurchases, p)
+		return
+	}
+	g.recentPurchases[g.reservoirNext] = p
+	g.reservoirNext = (g.reservoirNext + 1) % reservoirSize
+}

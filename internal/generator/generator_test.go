@@ -1,0 +1,381 @@
+package generator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/tuple"
+)
+
+func baseConfig() Config {
+	return Config{
+		Instances:      4,
+		Tick:           10 * time.Millisecond,
+		EventsPerTuple: 100,
+		Rate:           ConstantRate(400_000),
+		Keys:           NormalKeys{N: 1000},
+		Users:          100_000,
+		MaxPrice:       100,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Instances = 0 },
+		func(c *Config) { c.Tick = 0 },
+		func(c *Config) { c.EventsPerTuple = 0 },
+		func(c *Config) { c.Rate = nil },
+		func(c *Config) { c.Keys = nil },
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.AdsShare = 1.0 },
+		func(c *Config) { c.MatchProb = 1.5 },
+	}
+	for i, mutate := range cases {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewRequiresMatchingQueues(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := New(k, baseConfig(), queue.NewGroup("g", 2, 0)); err == nil {
+		t.Fatal("instance/queue mismatch accepted")
+	}
+}
+
+func TestGeneratorRateExact(t *testing.T) {
+	// Over a long run the generated weight must match rate × time almost
+	// exactly (the carry accumulator guarantees it).
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, err := New(k, cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	k.Run(10 * time.Second)
+	want := 400_000.0 * 10
+	got := float64(g.TotalWeight())
+	if math.Abs(got-want)/want > 0.001 {
+		t.Fatalf("generated weight %v, want ~%v", got, want)
+	}
+	if qs.TotalIn() != g.TotalWeight() {
+		t.Fatalf("queue accounting mismatch: %d vs %d", qs.TotalIn(), g.TotalWeight())
+	}
+}
+
+func TestGeneratorEventTimesOrderedPerQueue(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(time.Second)
+	for i := 0; i < qs.Size(); i++ {
+		q := qs.Queue(i)
+		last := time.Duration(-1)
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			if e.EventTime < last {
+				t.Fatalf("queue %d out of event-time order: %v after %v", i, e.EventTime, last)
+			}
+			if e.EventTime < 0 || e.EventTime > time.Second {
+				t.Fatalf("event time outside run: %v", e.EventTime)
+			}
+			last = e.EventTime
+		}
+	}
+}
+
+func TestGeneratorEventFields(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(time.Second)
+	n := 0
+	for _, q := range qs.Queues() {
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			n++
+			if e.Stream != tuple.Purchases {
+				t.Fatal("aggregation workload must be all purchases")
+			}
+			if e.Price < 1 || e.Price > 100 {
+				t.Fatalf("price out of range: %d", e.Price)
+			}
+			if e.GemPackID < 0 || e.GemPackID >= 1000 {
+				t.Fatalf("key out of range: %d", e.GemPackID)
+			}
+			if e.UserID < 0 || e.UserID >= 100_000 {
+				t.Fatalf("user out of range: %d", e.UserID)
+			}
+			if e.Weight != 100 {
+				t.Fatalf("weight: %d", e.Weight)
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("nothing generated")
+	}
+}
+
+func TestGeneratorAdsShareAndSelectivity(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	cfg.AdsShare = 0.5
+	cfg.MatchProb = 0.8
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(5 * time.Second)
+
+	purchases := map[int64]bool{}
+	var ads []*tuple.Event
+	nP, nA := 0, 0
+	for _, q := range qs.Queues() {
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			if e.Stream == tuple.Ads {
+				nA++
+				ads = append(ads, e)
+				if e.Price != 0 {
+					t.Fatal("ads must not carry a price")
+				}
+			} else {
+				nP++
+				purchases[e.JoinKey()] = true
+			}
+		}
+	}
+	share := float64(nA) / float64(nA+nP)
+	if math.Abs(share-0.5) > 0.02 {
+		t.Fatalf("ads share: got %v want ~0.5", share)
+	}
+	// With MatchProb=0.8 most ads must reference an existing purchase
+	// identity; with 100k users × 1000 packs random collisions are rare.
+	matched := 0
+	for _, a := range ads {
+		if purchases[a.JoinKey()] {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(len(ads))
+	if frac < 0.7 {
+		t.Fatalf("join selectivity too low: %v", frac)
+	}
+}
+
+func TestGeneratorSingleKeySkew(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	cfg.Keys = SingleKey{K: 42}
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(time.Second)
+	for _, q := range qs.Queues() {
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			if e.GemPackID != 42 {
+				t.Fatalf("single-key workload produced key %d", e.GemPackID)
+			}
+		}
+	}
+}
+
+func TestStepScheduleAndPaperFluctuation(t *testing.T) {
+	s := StepSchedule{{From: 0, Rate: 100}, {From: time.Minute, Rate: 50}}
+	if s.RateAt(0) != 100 || s.RateAt(59*time.Second) != 100 {
+		t.Fatal("first step rate wrong")
+	}
+	if s.RateAt(time.Minute) != 50 || s.RateAt(time.Hour) != 50 {
+		t.Fatal("second step rate wrong")
+	}
+	if (StepSchedule{{From: time.Second, Rate: 5}}).RateAt(0) != 0 {
+		t.Fatal("before first step the rate must be 0")
+	}
+
+	p := PaperFluctuation(9*time.Minute, 840_000, 280_000)
+	if p.RateAt(0) != 840_000 {
+		t.Fatal("fluctuation must start high")
+	}
+	if p.RateAt(4*time.Minute) != 280_000 {
+		t.Fatal("fluctuation middle must be low")
+	}
+	if p.RateAt(7*time.Minute) != 840_000 {
+		t.Fatal("fluctuation must return high")
+	}
+}
+
+func TestStepScheduleDrivesGenerator(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	cfg.Rate = StepSchedule{{From: 0, Rate: 100_000}, {From: time.Second, Rate: 300_000}}
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(2 * time.Second)
+	want := 100_000.0 + 300_000.0
+	got := float64(g.TotalWeight())
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("stepped weight %v, want ~%v", got, want)
+	}
+}
+
+func TestKeyDistributions(t *testing.T) {
+	r := sim.NewRNG(5, "kd")
+	norm := NormalKeys{N: 100}
+	counts := make([]int, 100)
+	for i := 0; i < 100_000; i++ {
+		v := norm.Next(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("normal key out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The middle must be much denser than the edges.
+	if counts[50] < counts[2]*3 {
+		t.Fatalf("normal keys not centered: mid=%d edge=%d", counts[50], counts[2])
+	}
+	if norm.Cardinality() != 100 {
+		t.Fatal("cardinality")
+	}
+
+	uni := UniformKeys{N: 10}
+	for i := 0; i < 1000; i++ {
+		if v := uni.Next(r); v < 0 || v >= 10 {
+			t.Fatalf("uniform key out of range: %d", v)
+		}
+	}
+
+	z := &ZipfKeys{N: 100, S: 1.3}
+	zc := make([]int, 100)
+	for i := 0; i < 100_000; i++ {
+		zc[z.Next(r)]++
+	}
+	if zc[0] < zc[10] {
+		t.Fatal("zipf head must dominate")
+	}
+	if z.Cardinality() != 100 || (SingleKey{}).Cardinality() != 1 {
+		t.Fatal("cardinality")
+	}
+}
+
+func TestGeneratorStop(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(time.Second)
+	w := g.TotalWeight()
+	g.Stop()
+	k.Run(2 * time.Second)
+	if g.TotalWeight() != w {
+		t.Fatal("generator kept producing after Stop")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() int64 {
+		k := sim.NewKernel(77)
+		cfg := baseConfig()
+		cfg.AdsShare = 0.3
+		cfg.MatchProb = 0.5
+		qs := queue.NewGroup("g", cfg.Instances, 0)
+		g, _ := New(k, cfg, qs)
+		g.Start()
+		k.Run(time.Second)
+		var sig int64
+		for _, q := range qs.Queues() {
+			for {
+				e := q.Pop()
+				if e == nil {
+					break
+				}
+				sig = sig*31 + e.UserID + e.GemPackID*7 + e.Price*13 + int64(e.EventTime)
+			}
+		}
+		return sig
+	}
+	if run() != run() {
+		t.Fatal("generator is not deterministic for a fixed seed")
+	}
+}
+
+func TestGeneratorDisorder(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	cfg.DisorderProb = 0.5
+	cfg.DisorderMax = 2 * time.Second
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, _ := New(k, cfg, qs)
+	g.Start()
+	k.Run(5 * time.Second)
+
+	outOfOrder := 0
+	total := 0
+	for _, q := range qs.Queues() {
+		last := time.Duration(-1)
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			total++
+			if e.EventTime < last {
+				outOfOrder++
+			} else {
+				last = e.EventTime
+			}
+			if e.EventTime < 0 {
+				t.Fatalf("negative event time: %v", e.EventTime)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("nothing generated")
+	}
+	frac := float64(outOfOrder) / float64(total)
+	if frac < 0.05 {
+		t.Fatalf("disorder injection too weak: %.3f out-of-order", frac)
+	}
+}
+
+func TestGeneratorDisorderValidation(t *testing.T) {
+	c := baseConfig()
+	c.DisorderProb = 1.5
+	if c.Validate() == nil {
+		t.Fatal("disorder prob > 1 accepted")
+	}
+	c = baseConfig()
+	c.DisorderProb = 0.5 // without DisorderMax
+	if c.Validate() == nil {
+		t.Fatal("disorder without max shift accepted")
+	}
+}

@@ -1,0 +1,269 @@
+// Package metrics implements the measurement layer of the benchmark
+// framework: latency histograms with quantiles, time-series recorders for
+// the paper's figures, throughput meters, and the divergence detector that
+// underlies the sustainable-throughput definition (Definition 5).
+//
+// All of it lives on the driver side, never inside the system under test,
+// which is the paper's second contribution: "we completely separate the
+// systems under test from the driver".
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram.  Values are
+// recorded in nanoseconds (as time.Duration) with ~1.5% relative precision
+// over a range of 1µs to ~5 hours, using fixed memory.  It also tracks the
+// exact min, max, count and sum, so averages are exact and only quantiles
+// are bucket-approximated.
+type Histogram struct {
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     time.Duration
+	max     time.Duration
+}
+
+// subBuckets is the number of linear sub-buckets per power of two; 64 gives
+// a worst-case relative error of 1/64 ≈ 1.6%.
+const subBuckets = 64
+
+// numBuckets covers values up to 2^44 ns ≈ 4.9 hours.
+const numBuckets = (44 - 10 + 1) * subBuckets
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		buckets: make([]uint64, numBuckets),
+		min:     math.MaxInt64,
+	}
+}
+
+// bucketIndex maps a duration to its bucket.  Durations below 1µs share
+// bucket 0; durations above the range are clamped to the last bucket.
+func bucketIndex(d time.Duration) int {
+	v := uint64(d)
+	if v < 1024 {
+		return 0
+	}
+	// Position of the highest set bit.
+	exp := 63 - leadingZeros64(v)
+	// exp >= 10 here because v >= 1024.
+	sub := int((v >> (uint(exp) - 6)) & (subBuckets - 1))
+	idx := (exp-10)*subBuckets + sub
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound duration of bucket idx (inverse of
+// bucketIndex up to bucket granularity).
+func bucketLow(idx int) time.Duration {
+	exp := idx/subBuckets + 10
+	sub := idx % subBuckets
+	base := uint64(1) << uint(exp)
+	return time.Duration(base + uint64(sub)*(base/subBuckets))
+}
+
+func leadingZeros64(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation.  Negative durations are clamped to zero;
+// they can arise only from modelling bugs, and clamping keeps the histogram
+// robust while tests for the models themselves catch the bug.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)]++
+	h.count++
+	h.sum += float64(d)
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// RecordN adds n identical observations (used when one simulated tuple
+// stands for many real events).
+func (h *Histogram) RecordN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)] += n
+	h.count += n
+	h.sum += float64(d) * float64(n)
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min returns the exact minimum observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Quantile returns the value at quantile q in [0, 1].  The result is exact
+// for min (q=0) and max (q=1) and bucket-approximated in between.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			v := bucketLow(i)
+			// Clamp to the exact extremes so quantiles never leave
+			// the observed range.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds all observations of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Summary is the row shape of the paper's Tables II and IV: avg, min, max
+// and the (90, 95, 99) quantiles.
+type Summary struct {
+	Count uint64
+	Avg   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P90   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Summarize extracts a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Avg:   h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the summary in the paper's table style, in seconds.
+func (s Summary) String() string {
+	return fmt.Sprintf("avg=%.2fs min=%.3fs max=%.1fs q(90,95,99)=(%.1f, %.1f, %.1f)s",
+		s.Avg.Seconds(), s.Min.Seconds(), s.Max.Seconds(),
+		s.P90.Seconds(), s.P95.Seconds(), s.P99.Seconds())
+}
+
+// ExactQuantile computes a quantile over a raw sample slice; used by tests
+// to validate the histogram approximation.
+func ExactQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

@@ -1,0 +1,359 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram()
+	vals := []time.Duration{
+		5 * time.Millisecond, 100 * time.Millisecond, time.Second, 3 * time.Second,
+	}
+	var sum time.Duration
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count: %d", h.Count())
+	}
+	if h.Min() != 5*time.Millisecond {
+		t.Fatalf("min: %v", h.Min())
+	}
+	if h.Max() != 3*time.Second {
+		t.Fatalf("max: %v", h.Max())
+	}
+	if got, want := h.Mean(), sum/4; got != want {
+		t.Fatalf("mean: got %v want %v", got, want)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative values must clamp to zero: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracyProperty(t *testing.T) {
+	// For arbitrary sample sets, the histogram quantile must be within
+	// ~2x bucket resolution (1.6%) of the exact quantile.
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		samples := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			samples[i] = d
+			h.Record(d)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+			exact := ExactQuantile(samples, q)
+			approx := h.Quantile(q)
+			if exact == 0 {
+				if approx > time.Microsecond*2 {
+					return false
+				}
+				continue
+			}
+			rel := math.Abs(float64(approx-exact)) / float64(exact)
+			if rel > 0.04 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewHistogram()
+		for _, r := range raw {
+			h.Record(time.Duration(r))
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 10; i++ {
+		a.Record(time.Second)
+	}
+	b.RecordN(time.Second, 10)
+	if a.Count() != b.Count() || a.Mean() != b.Mean() || a.Quantile(0.9) != b.Quantile(0.9) {
+		t.Fatal("RecordN(d, n) must equal n x Record(d)")
+	}
+	b.RecordN(time.Minute, 0)
+	if b.Count() != 10 {
+		t.Fatal("RecordN with n=0 must be a no-op")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Second)
+	b.Record(3 * time.Second)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != 2 || a.Min() != time.Second || a.Max() != 3*time.Second {
+		t.Fatalf("merge wrong: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	if a.Mean() != 2*time.Second {
+		t.Fatalf("merged mean: %v", a.Mean())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Record(2 * time.Second)
+	if h.Min() != 2*time.Second {
+		t.Fatalf("min after reset: %v", h.Min())
+	}
+}
+
+func TestSummaryMatchesPaperShape(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * 10 * time.Millisecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.P90 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantile ordering violated: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("summary must render")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("x")
+	if s.Slope() != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i)*2)
+	}
+	if got := s.Slope(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope of v=2t must be 2, got %v", got)
+	}
+	if s.Min() != 0 || s.Max() != 18 {
+		t.Fatalf("min/max wrong: %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 9 {
+		t.Fatalf("mean: %v", s.Mean())
+	}
+	if s.Last().V != 18 {
+		t.Fatalf("last: %+v", s.Last())
+	}
+}
+
+func TestSeriesSlopeFlatAndNoisy(t *testing.T) {
+	s := NewSeries("flat")
+	for i := 0; i < 100; i++ {
+		v := 5.0
+		if i%2 == 0 {
+			v = 7.0
+		}
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	if got := s.Slope(); math.Abs(got) > 0.01 {
+		t.Fatalf("flat noisy series should have ~zero slope, got %v", got)
+	}
+}
+
+func TestSeriesTail(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	tail := s.Tail(5 * time.Second)
+	if tail.Len() != 5 {
+		t.Fatalf("tail length: %d", tail.Len())
+	}
+	if tail.Points[0].V != 5 {
+		t.Fatalf("tail start: %+v", tail.Points[0])
+	}
+}
+
+func TestSeriesCV(t *testing.T) {
+	smooth, jittery := NewSeries("s"), NewSeries("j")
+	for i := 0; i < 100; i++ {
+		smooth.Add(time.Duration(i)*time.Second, 100)
+		v := 100.0
+		if i%2 == 0 {
+			v = 20
+		}
+		jittery.Add(time.Duration(i)*time.Second, v)
+	}
+	if smooth.CoefficientOfVariation() >= jittery.CoefficientOfVariation() {
+		t.Fatal("CV must rank jittery above smooth (the Figure 9 comparison)")
+	}
+}
+
+func TestSeriesCSVAndSparkline(t *testing.T) {
+	s := NewSeries("rate")
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 2)
+	csv := s.CSV()
+	if csv == "" || csv[:10] != "t_seconds," {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if s.Sparkline(10) == "" {
+		t.Fatal("sparkline empty")
+	}
+	if NewSeries("e").Sparkline(10) != "" {
+		t.Fatal("empty series sparkline should be empty")
+	}
+}
+
+func TestThroughputMeter(t *testing.T) {
+	m := NewThroughputMeter("in", time.Second)
+	// 1000 events in each of 3 seconds.
+	for s := 0; s < 3; s++ {
+		for i := 0; i < 10; i++ {
+			m.Observe(time.Duration(s)*time.Second+time.Duration(i*100)*time.Millisecond, 100)
+		}
+	}
+	m.Flush(3 * time.Second)
+	if m.Total() != 3000 {
+		t.Fatalf("total: %d", m.Total())
+	}
+	ser := m.Series()
+	if ser.Len() < 3 {
+		t.Fatalf("expected >=3 rate samples, got %d", ser.Len())
+	}
+	for _, p := range ser.Points {
+		if math.Abs(p.V-1000) > 1 {
+			t.Fatalf("rate sample should be ~1000 ev/s: %+v", p)
+		}
+	}
+}
+
+func TestThroughputMeterSkipsTinyTail(t *testing.T) {
+	m := NewThroughputMeter("in", time.Second)
+	m.Observe(0, 10)
+	m.Flush(10 * time.Millisecond) // 1% of a bucket: would give a wild rate
+	if m.Series().Len() != 0 {
+		t.Fatal("tiny tail bucket should be suppressed")
+	}
+}
+
+func TestJudgeSustainabilityStable(t *testing.T) {
+	cfg := DefaultSustainabilityConfig()
+	lat, q := NewSeries("lat"), NewSeries("q")
+	for i := 0; i < 60; i++ {
+		lat.Add(time.Duration(i)*time.Second, 0.5)
+		q.Add(time.Duration(i)*time.Second, 1000)
+	}
+	v := JudgeSustainability(cfg, lat, q, 1_000_000, false, "")
+	if !v.Sustainable {
+		t.Fatalf("stable run judged unsustainable: %+v", v)
+	}
+}
+
+func TestJudgeSustainabilityDivergingLatency(t *testing.T) {
+	cfg := DefaultSustainabilityConfig()
+	lat, q := NewSeries("lat"), NewSeries("q")
+	for i := 0; i < 60; i++ {
+		lat.Add(time.Duration(i)*time.Second, float64(i)*0.5) // +0.5 s/s
+		q.Add(time.Duration(i)*time.Second, 100)
+	}
+	v := JudgeSustainability(cfg, lat, q, 1_000_000, false, "")
+	if v.Sustainable {
+		t.Fatalf("diverging latency judged sustainable: %+v", v)
+	}
+}
+
+func TestJudgeSustainabilityQueueGrowth(t *testing.T) {
+	cfg := DefaultSustainabilityConfig()
+	lat, q := NewSeries("lat"), NewSeries("q")
+	for i := 0; i < 60; i++ {
+		lat.Add(time.Duration(i)*time.Second, 0.5)
+		q.Add(time.Duration(i)*time.Second, float64(i)*10000)
+	}
+	v := JudgeSustainability(cfg, lat, q, 1_000_000, false, "")
+	if v.Sustainable {
+		t.Fatalf("queue holding 59%% of offered events judged sustainable: %+v", v)
+	}
+}
+
+func TestJudgeSustainabilityFailure(t *testing.T) {
+	cfg := DefaultSustainabilityConfig()
+	lat, q := NewSeries("lat"), NewSeries("q")
+	lat.Add(0, 0.1)
+	q.Add(0, 0)
+	v := JudgeSustainability(cfg, lat, q, 100, true, "dropped connection")
+	if v.Sustainable {
+		t.Fatal("a failed run is never sustainable (paper: dropping connections is a failure)")
+	}
+	if v.Reason == "" {
+		t.Fatal("verdict must carry the failure reason")
+	}
+}
+
+func TestBucketIndexMonotoneProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x := time.Duration(a % uint64(5*time.Hour))
+		y := time.Duration(b % uint64(5*time.Hour))
+		if x > y {
+			x, y = y, x
+		}
+		return bucketIndex(x) <= bucketIndex(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketLowInvertsIndex(t *testing.T) {
+	for _, d := range []time.Duration{
+		2 * time.Microsecond, 50 * time.Microsecond, time.Millisecond,
+		17 * time.Millisecond, time.Second, 90 * time.Second, time.Hour,
+	} {
+		idx := bucketIndex(d)
+		low := bucketLow(idx)
+		if low > d {
+			t.Fatalf("bucketLow(%d)=%v exceeds original %v", idx, low, d)
+		}
+		// The bucket's low bound must map back to the same bucket.
+		if bucketIndex(low) != idx {
+			t.Fatalf("bucketLow not a fixed point for %v: idx %d vs %d", d, bucketIndex(low), idx)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series: a virtual timestamp and a value.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series used to regenerate the paper's
+// figures (latency-over-time, throughput-over-time, CPU/network usage,
+// scheduler delay).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Max returns the maximum value in the series, or 0 if empty.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value, or 0 if empty.
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Stddev returns the population standard deviation of the values.
+func (s *Series) Stddev() float64 {
+	if len(s.Points) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, p := range s.Points {
+		d := p.V - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.Points)))
+}
+
+// CoefficientOfVariation returns stddev/mean, the jitter measure used to
+// compare the smoothness of the engines' pull rates in Figure 9 (Storm
+// fluctuates strongly, Spark moderately, Flink barely).
+func (s *Series) CoefficientOfVariation() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Stddev() / m
+}
+
+// Tail returns the sub-series from time t onward (used to trim warm-up).
+func (s *Series) Tail(t time.Duration) *Series {
+	out := NewSeries(s.Name)
+	for _, p := range s.Points {
+		if p.T >= t {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// Slope fits v = a + b·t by least squares over the whole series and returns
+// b in value-units per second.  It is the divergence test behind
+// Definition 5: a sustained positive slope of event-time latency (or of
+// driver-queue depth) means the deployment is not sustaining the offered
+// rate.
+func (s *Series) Slope() float64 {
+	n := float64(len(s.Points))
+	if n < 2 {
+		return 0
+	}
+	var st, sv, stt, stv float64
+	for _, p := range s.Points {
+		t := p.T.Seconds()
+		st += t
+		sv += p.V
+		stt += t * t
+		stv += t * p.V
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return 0
+	}
+	return (n*stv - st*sv) / den
+}
+
+// CSV renders the series as "t_seconds,value" lines, one per point, with a
+// header naming the series.  The figure benches dump these so plots can be
+// regenerated externally.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t_seconds,%s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%.3f,%.6f\n", p.T.Seconds(), p.V)
+	}
+	return b.String()
+}
+
+// Sparkline renders a coarse unicode sparkline of the series values, for
+// human-readable figure output in terminals.
+func (s *Series) Sparkline(width int) string {
+	if len(s.Points) == 0 || width <= 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := s.Min(), s.Max()
+	span := hi - lo
+	// Downsample to width columns by averaging.
+	out := make([]rune, 0, width)
+	per := len(s.Points) / width
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < len(s.Points); i += per {
+		end := i + per
+		if end > len(s.Points) {
+			end = len(s.Points)
+		}
+		sum := 0.0
+		for _, p := range s.Points[i:end] {
+			sum += p.V
+		}
+		v := sum / float64(end-i)
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		out = append(out, ramp[idx])
+		if len(out) == width {
+			break
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"time"
+)
+
+// ThroughputMeter counts ingested events and periodically folds the count
+// into a rate series, in real events per second.  The paper measures
+// throughput "at the queues between the data generator and the SUT", i.e.
+// it is an ingestion rate, not an output rate (Section II's critique of
+// output-based throughput: result counts differ from input counts under
+// aggregation).
+type ThroughputMeter struct {
+	series  *Series
+	bucket  time.Duration
+	pending int64
+	last    time.Duration
+	total   int64
+}
+
+// NewThroughputMeter creates a meter that emits one rate sample per bucket
+// of virtual time.
+func NewThroughputMeter(name string, bucket time.Duration) *ThroughputMeter {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &ThroughputMeter{series: NewSeries(name), bucket: bucket}
+}
+
+// Observe records that weight real events were ingested at virtual time
+// now.  Samples are flushed into the rate series each time now crosses a
+// bucket boundary.
+func (m *ThroughputMeter) Observe(now time.Duration, weight int64) {
+	for now-m.last >= m.bucket {
+		m.flush(m.last + m.bucket)
+	}
+	m.pending += weight
+	m.total += weight
+}
+
+// Flush closes the current bucket at time now; call once at the end of the
+// run so the final partial bucket is not lost.
+func (m *ThroughputMeter) Flush(now time.Duration) {
+	if now > m.last {
+		// Only emit the partial bucket if it covers a meaningful span;
+		// a tiny tail would produce a wild rate estimate.
+		span := now - m.last
+		if span >= m.bucket/2 {
+			m.series.Add(now, float64(m.pending)/span.Seconds())
+		}
+		m.pending = 0
+		m.last = now
+	}
+}
+
+func (m *ThroughputMeter) flush(boundary time.Duration) {
+	m.series.Add(boundary, float64(m.pending)/m.bucket.Seconds())
+	m.pending = 0
+	m.last = boundary
+}
+
+// Series returns the rate series (events/second per bucket).
+func (m *ThroughputMeter) Series() *Series { return m.series }
+
+// Total returns the total number of real events observed.
+func (m *ThroughputMeter) Total() int64 { return m.total }
+
+// SustainabilityVerdict is the outcome of judging one run at one offered
+// rate, per Definition 5.
+type SustainabilityVerdict struct {
+	// Sustainable is true when the run showed no prolonged backpressure:
+	// the driver queues did not grow without bound and event-time latency
+	// had no sustained positive trend.
+	Sustainable bool
+	// Reason is a human-readable explanation of the verdict.
+	Reason string
+	// LatencySlope is the fitted event-time latency trend in s/s.
+	LatencySlope float64
+	// QueueSlope is the fitted driver-queue depth trend in events/s.
+	QueueSlope float64
+	// FinalQueueShare is final queue depth / total events offered.
+	FinalQueueShare float64
+}
+
+// SustainabilityConfig tunes the divergence test.  The paper "allow[s] for
+// some fluctuation, i.e., we allow a maximum number of events to be queued,
+// as soon as the queue does not continuously increase"; these thresholds
+// encode exactly that tolerance.
+type SustainabilityConfig struct {
+	// MaxLatencySlope is the largest tolerated event-time latency trend,
+	// in seconds of latency per second of run time.  A system in steady
+	// state has slope ~0; an overloaded one has slope approaching
+	// (offered-sustainable)/offered, typically >> 0.05.
+	MaxLatencySlope float64
+	// MaxQueueShare is the largest tolerated fraction of all offered
+	// events still sitting in driver queues at the end of the run.
+	MaxQueueShare float64
+}
+
+// DefaultSustainabilityConfig mirrors the tolerances used throughout the
+// evaluation.
+func DefaultSustainabilityConfig() SustainabilityConfig {
+	return SustainabilityConfig{
+		MaxLatencySlope: 0.05,
+		MaxQueueShare:   0.03,
+	}
+}
+
+// JudgeSustainability applies Definition 5 to a measured run.
+//
+// latency is the event-time latency time series (seconds), queueDepth the
+// total driver-queue depth series (events), offered the total number of
+// events offered during the measured window, and failed reports whether the
+// SUT dropped a generator connection or stalled (which the paper counts as
+// an immediate failure at that rate).
+func JudgeSustainability(cfg SustainabilityConfig, latency, queueDepth *Series, offered int64, failed bool, failReason string) SustainabilityVerdict {
+	v := SustainabilityVerdict{
+		LatencySlope: latency.Slope(),
+		QueueSlope:   queueDepth.Slope(),
+	}
+	if offered > 0 {
+		v.FinalQueueShare = queueDepth.Last().V / float64(offered)
+	}
+	switch {
+	case failed:
+		v.Reason = "SUT failure: " + failReason
+	case v.LatencySlope > cfg.MaxLatencySlope:
+		v.Reason = "event-time latency diverges (continuously increasing backpressure)"
+	case v.FinalQueueShare > cfg.MaxQueueShare:
+		v.Reason = "driver queues grew beyond tolerated share of offered events"
+	default:
+		v.Sustainable = true
+		v.Reason = "no prolonged backpressure"
+	}
+	return v
+}

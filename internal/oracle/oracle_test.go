@@ -1,0 +1,175 @@
+package oracle_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/engine/flink"
+	"repro/internal/engine/storm"
+	"repro/internal/generator"
+	"repro/internal/oracle"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// TestFlinkAggregationMatchesOracle is the end-to-end correctness check:
+// run the full benchmark pipeline (generator -> queues -> engine model ->
+// sink), capture every generated event, and verify the engine's emitted
+// window sums equal a brute-force recomputation.
+func TestFlinkAggregationMatchesOracle(t *testing.T) {
+	runOracleCheck(t, flink.New(flink.Options{}))
+}
+
+// TestStormAggregationMatchesOracle does the same for the Storm model
+// (fully-buffered windows, a different firing path).
+func TestStormAggregationMatchesOracle(t *testing.T) {
+	runOracleCheck(t, storm.New(storm.Options{}))
+}
+
+func runOracleCheck(t *testing.T, eng engine.Engine) {
+	t.Helper()
+	q := workload.Default(workload.Aggregation)
+
+	var log []*tuple.Event
+	var outputs []*tuple.Output
+
+	cfg := driver.Config{
+		Seed:           11,
+		Workers:        2,
+		Rate:           generator.ConstantRate(0.2e6),
+		Query:          q,
+		RunFor:         80 * time.Second,
+		EventsPerTuple: 200,
+		EventTap: func(e *tuple.Event) {
+			c := *e
+			log = append(log, &c)
+		},
+		OutputTap: func(o *tuple.Output) {
+			c := *o
+			outputs = append(outputs, &c)
+		},
+	}
+
+	res, err := driver.Run(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("run failed: %s", res.FailReason)
+	}
+	if len(outputs) == 0 || len(log) == 0 {
+		t.Fatalf("no data captured: %d outputs, %d events", len(outputs), len(log))
+	}
+
+	expected := oracle.Aggregate(q, log)
+
+	// Only check interior windows: ones that closed well before the run
+	// ended and opened well after it started, so the engine saw all
+	// their input and had time to emit them.
+	interior := map[time.Duration]bool{}
+	for _, o := range outputs {
+		if o.WindowEnd > 20*time.Second && o.WindowEnd < 60*time.Second {
+			interior[o.WindowEnd] = true
+		}
+	}
+	if len(interior) < 5 {
+		t.Fatalf("too few interior windows: %d", len(interior))
+	}
+	if bad := oracle.CompareAggregates(expected, outputs, interior); bad != nil {
+		t.Fatalf("%s output disagrees with oracle on %d (key, window) cells; first: %+v",
+			eng.Name(), len(bad), bad[0])
+	}
+
+	// And the engine must have emitted *every* oracle cell for those
+	// windows (no missing keys).
+	emitted := map[[2]int64]bool{}
+	for _, o := range outputs {
+		emitted[[2]int64{o.Key, int64(o.WindowEnd)}] = true
+	}
+	for _, r := range expected {
+		if !interior[r.WindowEnd] {
+			continue
+		}
+		if !emitted[[2]int64{r.Key, int64(r.WindowEnd)}] {
+			t.Fatalf("%s never emitted key %d window %v (oracle sum %d)",
+				eng.Name(), r.Key, r.WindowEnd, r.Sum)
+		}
+	}
+}
+
+// TestFlinkJoinCountMatchesOracle verifies the join pipeline produces
+// exactly the pairs a brute-force evaluation finds, per interior window.
+func TestFlinkJoinCountMatchesOracle(t *testing.T) {
+	q := workload.Default(workload.Join)
+
+	var log []*tuple.Event
+	var outputs []*tuple.Output
+	cfg := driver.Config{
+		Seed:           13,
+		Workers:        2,
+		Rate:           generator.ConstantRate(0.2e6),
+		Query:          q,
+		RunFor:         80 * time.Second,
+		EventsPerTuple: 200,
+		EventTap:       func(e *tuple.Event) { c := *e; log = append(log, &c) },
+		OutputTap:      func(o *tuple.Output) { c := *o; outputs = append(outputs, &c) },
+	}
+	res, err := driver.Run(flink.New(flink.Options{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("run failed: %s", res.FailReason)
+	}
+	want := oracle.JoinResultCount(q, log)
+	got := map[time.Duration]int{}
+	for _, o := range outputs {
+		got[o.WindowEnd]++
+	}
+	checked := 0
+	for end, n := range want {
+		if end <= 20*time.Second || end >= 60*time.Second {
+			continue
+		}
+		checked++
+		if got[end] != n {
+			t.Fatalf("window %v: engine emitted %d pairs, oracle expects %d", end, got[end], n)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("too few interior windows checked: %d", checked)
+	}
+}
+
+// TestOracleUnits sanity-checks the oracle itself on a tiny hand-built log.
+func TestOracleUnits(t *testing.T) {
+	q := workload.Default(workload.Aggregation)
+	log := []*tuple.Event{
+		{Stream: tuple.Purchases, GemPackID: 1, Price: 10, EventTime: 2 * time.Second, Weight: 1},
+		{Stream: tuple.Purchases, GemPackID: 1, Price: 20, EventTime: 6 * time.Second, Weight: 1},
+		{Stream: tuple.Ads, GemPackID: 1, EventTime: 3 * time.Second, Weight: 1},
+	}
+	res := oracle.Aggregate(q, log)
+	// Event at 2s -> windows 4s, 8s; event at 6s -> windows 8s, 12s.
+	bySig := map[[2]int64]oracle.AggResult{}
+	for _, r := range res {
+		bySig[[2]int64{r.Key, int64(r.WindowEnd)}] = r
+	}
+	if r := bySig[[2]int64{1, int64(8 * time.Second)}]; r.Sum != 30 || r.Count != 2 {
+		t.Fatalf("window 8s: %+v", r)
+	}
+	if r := bySig[[2]int64{1, int64(4 * time.Second)}]; r.Sum != 10 {
+		t.Fatalf("window 4s: %+v", r)
+	}
+	if r := bySig[[2]int64{1, int64(12 * time.Second)}]; r.Sum != 20 {
+		t.Fatalf("window 12s: %+v", r)
+	}
+	// Ads never contribute to the aggregation.
+	for _, r := range res {
+		if r.Sum == 0 {
+			t.Fatalf("zero-sum cell should not exist: %+v", r)
+		}
+	}
+}

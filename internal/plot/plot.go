@@ -1,0 +1,175 @@
+// Package plot renders metric time series as standalone SVG files, so the
+// figure experiments can emit actual figures (latency-over-time panels,
+// throughput traces, resource usage) without any dependency beyond the
+// standard library.  The output intentionally mimics the paper's plot
+// style: one panel per (engine, configuration), time on the x axis.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Options control a panel's geometry and labelling.
+type Options struct {
+	Width, Height int
+	Title         string
+	YLabel        string
+	// YMax forces the y-axis maximum (0 = auto from data).
+	YMax float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 220
+	}
+	return o
+}
+
+// margins inside the panel.
+const (
+	marginLeft   = 56
+	marginRight  = 12
+	marginTop    = 26
+	marginBottom = 30
+)
+
+// Line renders one series as a single-panel SVG document.
+func Line(s *metrics.Series, opts Options) string {
+	var b strings.Builder
+	opts = opts.withDefaults()
+	openSVG(&b, opts.Width, opts.Height)
+	panel(&b, s, opts, 0, 0)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Grid renders a set of series as a grid of panels, cols wide, sharing the
+// given options (each panel gets its series' name as subtitle if Title is
+// empty).
+func Grid(series []*metrics.Series, cols int, opts Options) string {
+	if cols <= 0 {
+		cols = 1
+	}
+	opts = opts.withDefaults()
+	rows := (len(series) + cols - 1) / cols
+	var b strings.Builder
+	openSVG(&b, cols*opts.Width, rows*opts.Height)
+	for i, s := range series {
+		o := opts
+		if o.Title == "" {
+			o.Title = s.Name
+		}
+		panel(&b, s, o, (i%cols)*opts.Width, (i/cols)*opts.Height)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func openSVG(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+}
+
+// panel draws one series into the rectangle at (x0, y0).
+func panel(b *strings.Builder, s *metrics.Series, opts Options, x0, y0 int) {
+	w, h := opts.Width, opts.Height
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+
+	// Data ranges.
+	tMin, tMax := 0.0, 1.0
+	if s.Len() > 0 {
+		tMin = s.Points[0].T.Seconds()
+		tMax = s.Points[len(s.Points)-1].T.Seconds()
+		if tMax <= tMin {
+			tMax = tMin + 1
+		}
+	}
+	yMax := opts.YMax
+	if yMax <= 0 {
+		yMax = s.Max() * 1.08
+		if yMax <= 0 {
+			yMax = 1
+		}
+	}
+
+	toX := func(t float64) float64 {
+		return float64(x0+marginLeft) + (t-tMin)/(tMax-tMin)*plotW
+	}
+	toY := func(v float64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > yMax {
+			v = yMax
+		}
+		return float64(y0+marginTop) + plotH - v/yMax*plotH
+	}
+
+	// Frame and title.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`+"\n",
+		x0+marginLeft, y0+marginTop, plotW, plotH)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" fill="#222">%s</text>`+"\n",
+		x0+marginLeft, y0+16, escape(opts.Title))
+
+	// Axis ticks: 4 y ticks, 4 x ticks.
+	for i := 0; i <= 4; i++ {
+		v := yMax * float64(i) / 4
+		y := toY(v)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			x0+marginLeft, y, float64(x0+marginLeft)+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="9" fill="#555" text-anchor="end">%s</text>`+"\n",
+			x0+marginLeft-4, y+3, formatTick(v))
+		t := tMin + (tMax-tMin)*float64(i)/4
+		x := toX(t)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="9" fill="#555" text-anchor="middle">%.0fs</text>`+"\n",
+			x, y0+h-marginBottom+14, t)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="9" fill="#555">%s</text>`+"\n",
+			x0+4, y0+marginTop-6, escape(opts.YLabel))
+	}
+
+	// The polyline.
+	if s.Len() > 0 {
+		var pts strings.Builder
+		step := 1
+		// Bound the polyline to ~2000 points for file size.
+		if s.Len() > 2000 {
+			step = s.Len() / 2000
+		}
+		for i := 0; i < s.Len(); i += step {
+			p := s.Points[i]
+			fmt.Fprintf(&pts, "%.1f,%.1f ", toX(p.T.Seconds()), toY(p.V))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="#0b62a4" stroke-width="1.2"/>`+"\n",
+			strings.TrimSpace(pts.String()))
+	}
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

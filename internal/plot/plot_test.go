@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func series(n int) *metrics.Series {
+	s := metrics.NewSeries("lat")
+	for i := 0; i < n; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i%10))
+	}
+	return s
+}
+
+func TestLineProducesValidSVGSkeleton(t *testing.T) {
+	svg := Line(series(100), Options{Title: "storm, 2-node", YLabel: "s"})
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "storm, 2-node", `fill="white"`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatal("exactly one svg root expected")
+	}
+}
+
+func TestLineEmptySeries(t *testing.T) {
+	svg := Line(metrics.NewSeries("empty"), Options{})
+	if !strings.Contains(svg, "<svg") || strings.Contains(svg, "<polyline") {
+		t.Fatal("empty series should render a frame without a polyline")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg := Line(series(3), Options{Title: "a<b & c>d"})
+	if strings.Contains(svg, "a<b") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	ss := []*metrics.Series{series(10), series(20), series(30)}
+	svg := Grid(ss, 2, Options{Width: 300, Height: 150})
+	// 3 panels in 2 columns = 2 rows: canvas 600x300.
+	if !strings.Contains(svg, `width="600" height="300"`) {
+		t.Fatalf("grid canvas wrong: %s", svg[:120])
+	}
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Fatalf("expected 3 polylines, got %d", got)
+	}
+	// Panel subtitles default to series names.
+	if strings.Count(svg, ">lat<") != 3 {
+		t.Fatal("panel titles missing")
+	}
+}
+
+func TestGridZeroColsDefaults(t *testing.T) {
+	svg := Grid([]*metrics.Series{series(5)}, 0, Options{})
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("grid with cols=0 should still render")
+	}
+}
+
+func TestLargeSeriesDownsampled(t *testing.T) {
+	svg := Line(series(10000), Options{})
+	// The polyline must stay bounded (~2000 points).
+	poly := svg[strings.Index(svg, "<polyline"):]
+	poly = poly[:strings.Index(poly, "/>")]
+	if n := strings.Count(poly, ","); n > 2500 {
+		t.Fatalf("polyline not downsampled: %d points", n)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		1.5e6: "1.5M",
+		2000:  "2k",
+		42:    "42",
+		0.5:   "0.50",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package queue implements the driver-side queues that sit between each
+// data-generator instance and the SUT's source operators (Section III-B of
+// the paper): in-memory, co-located with their generator, evening out the
+// difference between the constant generation rate and the SUT's fluctuating
+// ingestion rate.
+//
+// The queues are where event-time latency accrues under backpressure ("the
+// longer an event stays in a queue, the higher its latency") and where the
+// driver measures throughput.  A SUT that stops draining a queue for too
+// long — Storm dropping connections under overload — is detected here and
+// treated as a failure, exactly as the paper prescribes.
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Queue is a FIFO buffer of events with weight-based capacity accounting.
+// It is not safe for concurrent use; the simulation is single-goroutine.
+type Queue struct {
+	name string
+	// capWeight is the maximum buffered real-event weight; 0 means
+	// unbounded.  The paper's queues are memory-bounded on the driver
+	// machines; exceeding the bound means the generator can no longer
+	// buffer and the experiment is halted.
+	capWeight int64
+
+	buf  []*tuple.Event
+	head int
+
+	weight   int64
+	totalIn  int64 // cumulative real-event weight pushed
+	totalOut int64 // cumulative real-event weight popped
+	overflow bool
+}
+
+// New creates a queue.  capWeight is the maximum real-event weight buffered
+// (0 = unbounded).
+func New(name string, capWeight int64) *Queue {
+	return &Queue{name: name, capWeight: capWeight}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Push appends an event.  It returns false — and marks the queue
+// overflowed — if the event does not fit; the driver converts that into an
+// experiment failure at the offered rate.
+func (q *Queue) Push(e *tuple.Event) bool {
+	if q.capWeight > 0 && q.weight+e.Weight > q.capWeight {
+		q.overflow = true
+		return false
+	}
+	q.buf = append(q.buf, e)
+	q.weight += e.Weight
+	q.totalIn += e.Weight
+	return true
+}
+
+// Pop removes and returns the oldest event, or nil if empty.
+func (q *Queue) Pop() *tuple.Event {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	q.weight -= e.Weight
+	q.totalOut += e.Weight
+	// Compact once the dead prefix dominates, keeping amortised O(1)
+	// pops without unbounded memory.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return e
+}
+
+// Peek returns the oldest event without removing it, or nil.
+func (q *Queue) Peek() *tuple.Event {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Len returns the number of buffered simulated events.
+func (q *Queue) Len() int { return len(q.buf) - q.head }
+
+// Weight returns the buffered real-event weight (the paper's "maximum
+// number of events ... queued" tolerance is judged on this).
+func (q *Queue) Weight() int64 { return q.weight }
+
+// TotalIn returns the cumulative real-event weight ever pushed.
+func (q *Queue) TotalIn() int64 { return q.totalIn }
+
+// TotalOut returns the cumulative real-event weight ever popped.
+func (q *Queue) TotalOut() int64 { return q.totalOut }
+
+// Overflowed reports whether a push was ever refused.
+func (q *Queue) Overflowed() bool { return q.overflow }
+
+// Group is the set of queues of one deployment (one per generator
+// instance), with helpers for the SUT side to drain them fairly.
+type Group struct {
+	queues []*Queue
+	next   int
+}
+
+// NewGroup creates n queues named prefix-0..n-1, each with capWeight.
+func NewGroup(prefix string, n int, capWeight int64) *Group {
+	g := &Group{}
+	for i := 0; i < n; i++ {
+		g.queues = append(g.queues, New(fmt.Sprintf("%s-%d", prefix, i), capWeight))
+	}
+	return g
+}
+
+// Queues returns the member queues.
+func (g *Group) Queues() []*Queue { return g.queues }
+
+// Queue returns the i-th member.
+func (g *Group) Queue(i int) *Queue { return g.queues[i] }
+
+// Size returns the number of queues.
+func (g *Group) Size() int { return len(g.queues) }
+
+// Weight returns the total buffered real-event weight across the group.
+func (g *Group) Weight() int64 {
+	var w int64
+	for _, q := range g.queues {
+		w += q.weight
+	}
+	return w
+}
+
+// Len returns the total number of buffered simulated events.
+func (g *Group) Len() int {
+	n := 0
+	for _, q := range g.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// TotalIn returns cumulative pushed weight across the group.
+func (g *Group) TotalIn() int64 {
+	var w int64
+	for _, q := range g.queues {
+		w += q.totalIn
+	}
+	return w
+}
+
+// TotalOut returns cumulative popped weight across the group — the SUT's
+// cumulative ingestion, which is where the paper measures throughput.
+func (g *Group) TotalOut() int64 {
+	var w int64
+	for _, q := range g.queues {
+		w += q.totalOut
+	}
+	return w
+}
+
+// Overflowed reports whether any member overflowed.
+func (g *Group) Overflowed() bool {
+	for _, q := range g.queues {
+		if q.overflow {
+			return true
+		}
+	}
+	return false
+}
+
+// PopUpTo removes up to n events round-robin across the queues, preserving
+// approximate arrival fairness.  It returns fewer than n only when the
+// group is drained.  The round-robin cursor persists across calls so no
+// queue is starved.
+func (g *Group) PopUpTo(n int) []*tuple.Event {
+	if n <= 0 || len(g.queues) == 0 {
+		return nil
+	}
+	out := make([]*tuple.Event, 0, n)
+	idle := 0
+	for len(out) < n && idle < len(g.queues) {
+		q := g.queues[g.next%len(g.queues)]
+		g.next++
+		if e := q.Pop(); e != nil {
+			out = append(out, e)
+			idle = 0
+		} else {
+			idle++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+func mkEvent(i int, weight int64) *tuple.Event {
+	return &tuple.Event{
+		UserID: int64(i), GemPackID: int64(i % 10),
+		EventTime: time.Duration(i) * time.Millisecond, Weight: weight,
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := New("q", 0)
+	for i := 0; i < 100; i++ {
+		if !q.Push(mkEvent(i, 1)) {
+			t.Fatal("unbounded queue refused a push")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		e := q.Pop()
+		if e == nil || e.UserID != int64(i) {
+			t.Fatalf("FIFO order broken at %d: %+v", i, e)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("empty queue must pop nil")
+	}
+}
+
+func TestQueueWeightAccounting(t *testing.T) {
+	q := New("q", 0)
+	q.Push(mkEvent(0, 200))
+	q.Push(mkEvent(1, 300))
+	if q.Weight() != 500 || q.Len() != 2 {
+		t.Fatalf("weight=%d len=%d", q.Weight(), q.Len())
+	}
+	q.Pop()
+	if q.Weight() != 300 || q.TotalOut() != 200 || q.TotalIn() != 500 {
+		t.Fatalf("after pop: weight=%d out=%d in=%d", q.Weight(), q.TotalOut(), q.TotalIn())
+	}
+}
+
+func TestQueueCapacityOverflow(t *testing.T) {
+	q := New("q", 500)
+	if !q.Push(mkEvent(0, 400)) {
+		t.Fatal("push within capacity refused")
+	}
+	if q.Push(mkEvent(1, 200)) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if !q.Overflowed() {
+		t.Fatal("overflow must be recorded (it is the paper's failure signal)")
+	}
+	// Weight-100 event still fits.
+	if !q.Push(mkEvent(2, 100)) {
+		t.Fatal("push that fits after refusal should succeed")
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := New("q", 0)
+	if q.Peek() != nil {
+		t.Fatal("peek on empty must be nil")
+	}
+	q.Push(mkEvent(7, 1))
+	if q.Peek().UserID != 7 || q.Len() != 1 {
+		t.Fatal("peek must not consume")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	q := New("q", 0)
+	// Interleave pushes and pops to force compaction several times; FIFO
+	// order must survive.
+	next := 0
+	popped := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			q.Push(mkEvent(next, 1))
+			next++
+		}
+		for i := 0; i < 90; i++ {
+			e := q.Pop()
+			if e == nil || e.UserID != int64(popped) {
+				t.Fatalf("order broken after compaction at %d", popped)
+			}
+			popped++
+		}
+	}
+	if q.Len() != next-popped {
+		t.Fatalf("len mismatch: %d vs %d", q.Len(), next-popped)
+	}
+}
+
+func TestQueueConservationProperty(t *testing.T) {
+	// TotalIn == TotalOut + Weight at all times, for any push/pop mix.
+	f := func(ops []bool, weights []uint8) bool {
+		q := New("q", 0)
+		wi := 0
+		for _, push := range ops {
+			if push {
+				w := int64(1)
+				if wi < len(weights) {
+					w = int64(weights[wi]%100) + 1
+					wi++
+				}
+				q.Push(mkEvent(wi, w))
+			} else {
+				q.Pop()
+			}
+			if q.TotalIn() != q.TotalOut()+q.Weight() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupRoundRobinFairness(t *testing.T) {
+	g := NewGroup("gen", 4, 0)
+	if g.Size() != 4 {
+		t.Fatalf("size: %d", g.Size())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 10; j++ {
+			g.Queue(i).Push(mkEvent(i*100+j, 1))
+		}
+	}
+	out := g.PopUpTo(8)
+	if len(out) != 8 {
+		t.Fatalf("popped %d", len(out))
+	}
+	// Round-robin: exactly two events from each queue.
+	seen := map[int64]int{}
+	for _, e := range out {
+		seen[e.UserID/100]++
+	}
+	for i := int64(0); i < 4; i++ {
+		if seen[i] != 2 {
+			t.Fatalf("queue %d contributed %d of 8 (want 2): %v", i, seen[i], seen)
+		}
+	}
+}
+
+func TestGroupPopUpToDrainsUnevenQueues(t *testing.T) {
+	g := NewGroup("gen", 3, 0)
+	// Only queue 1 has events.
+	for j := 0; j < 5; j++ {
+		g.Queue(1).Push(mkEvent(j, 1))
+	}
+	out := g.PopUpTo(10)
+	if len(out) != 5 {
+		t.Fatalf("should drain all 5 available, got %d", len(out))
+	}
+	if g.PopUpTo(10) != nil {
+		t.Fatal("drained group should return nil")
+	}
+	if g.PopUpTo(0) != nil {
+		t.Fatal("n<=0 should return nil")
+	}
+}
+
+func TestGroupAggregates(t *testing.T) {
+	g := NewGroup("gen", 2, 100)
+	g.Queue(0).Push(mkEvent(0, 60))
+	g.Queue(1).Push(mkEvent(1, 70))
+	if g.Weight() != 130 || g.Len() != 2 || g.TotalIn() != 130 {
+		t.Fatalf("group accounting wrong: w=%d l=%d in=%d", g.Weight(), g.Len(), g.TotalIn())
+	}
+	if g.Overflowed() {
+		t.Fatal("no overflow yet")
+	}
+	g.Queue(1).Push(mkEvent(2, 60)) // exceeds 100 on queue 1
+	if !g.Overflowed() {
+		t.Fatal("group must surface member overflow")
+	}
+}

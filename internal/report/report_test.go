@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestThroughputTableLayout(t *testing.T) {
+	cells := []ThroughputCell{
+		{Engine: "flink", Workers: 2, RateEvPerSec: 1.2e6},
+		{Engine: "storm", Workers: 2, RateEvPerSec: 0.4e6},
+		{Engine: "spark", Workers: 2, RateEvPerSec: 0.38e6},
+		{Engine: "storm", Workers: 4, RateEvPerSec: 0.69e6},
+		{Engine: "spark", Workers: 4, RateEvPerSec: 0.64e6},
+		{Engine: "flink", Workers: 4, RateEvPerSec: 1.2e6},
+	}
+	out := ThroughputTable("Table I", cells)
+	if !strings.Contains(out, "Table I") {
+		t.Fatal("title missing")
+	}
+	// Paper ordering: Storm before Spark before Flink.
+	si := strings.Index(out, "storm")
+	pi := strings.Index(out, "spark")
+	fi := strings.Index(out, "flink")
+	if !(si < pi && pi < fi) {
+		t.Fatalf("engine ordering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0.40 M/s") || !strings.Contains(out, "1.20 M/s") {
+		t.Fatalf("rates missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2-node") || !strings.Contains(out, "4-node") {
+		t.Fatalf("columns missing:\n%s", out)
+	}
+}
+
+func TestThroughputTableFailureCell(t *testing.T) {
+	out := ThroughputTable("T", []ThroughputCell{
+		{Engine: "storm", Workers: 4, RateEvPerSec: -1, Note: "topology stall"},
+	})
+	if !strings.Contains(out, "fail") || !strings.Contains(out, "topology stall") {
+		t.Fatalf("failure rendering wrong:\n%s", out)
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	mk := func(avg time.Duration) metrics.Summary {
+		return metrics.Summary{Avg: avg, Min: avg / 10, Max: avg * 3,
+			P90: avg * 2, P95: avg * 2, P99: avg * 3}
+	}
+	rows := []LatencyRow{
+		{Engine: "storm", LoadPct: 100, Workers: 2, Summary: mk(1400 * time.Millisecond)},
+		{Engine: "storm", LoadPct: 90, Workers: 2, Summary: mk(1100 * time.Millisecond)},
+		{Engine: "flink", LoadPct: 100, Workers: 2, Summary: mk(500 * time.Millisecond)},
+	}
+	out := LatencyTable("Table II", rows)
+	if !strings.Contains(out, "storm(90%)") {
+		t.Fatalf("90%% row label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.4 /") {
+		t.Fatalf("avg value missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2-node") {
+		t.Fatalf("cluster column missing:\n%s", out)
+	}
+}
+
+func TestFigureAndCSV(t *testing.T) {
+	s := metrics.NewSeries("lat")
+	for i := 0; i < 100; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i%7))
+	}
+	panels := []FigurePanel{{Title: "storm, 2-node", Series: s, Unit: "s"}}
+	fig := Figure("Figure 4", panels)
+	if !strings.Contains(fig, "Figure 4") || !strings.Contains(fig, "storm, 2-node") {
+		t.Fatalf("figure rendering wrong:\n%s", fig)
+	}
+	if !strings.Contains(fig, "mean=") || !strings.Contains(fig, "cv=") {
+		t.Fatalf("figure stats missing:\n%s", fig)
+	}
+	csv := CSV(panels)
+	if !strings.Contains(csv, "# storm, 2-node") || !strings.Contains(csv, "t_seconds,lat") {
+		t.Fatalf("csv rendering wrong:\n%s", csv[:80])
+	}
+	lines := strings.Count(csv, "\n")
+	if lines < 100 {
+		t.Fatalf("csv should carry every point: %d lines", lines)
+	}
+}

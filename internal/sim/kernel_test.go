@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelRunsEventsInOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30*time.Millisecond, func() { got = append(got, 3) })
+	k.At(10*time.Millisecond, func() { got = append(got, 1) })
+	k.At(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("clock should rest at until: got %v", k.Now())
+	}
+}
+
+func TestKernelFIFOAmongTies(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(time.Millisecond, func() {})
+	k.Run(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when scheduling before now")
+		}
+	}()
+	k.At(0, func() {})
+}
+
+func TestKernelAfterAndNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	k.After(10*time.Millisecond, func() {
+		times = append(times, k.Now())
+		k.After(5*time.Millisecond, func() {
+			times = append(times, k.Now())
+		})
+	})
+	k.Run(time.Second)
+	if len(times) != 2 {
+		t.Fatalf("expected 2 events, got %d", len(times))
+	}
+	if times[0] != 10*time.Millisecond || times[1] != 15*time.Millisecond {
+		t.Fatalf("unexpected firing times: %v", times)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	h := k.At(10*time.Millisecond, func() { fired = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	k.Run(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestKernelRunStopsAtUntil(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.At(2*time.Second, func() { fired = true })
+	k.Run(time.Second)
+	if fired {
+		t.Fatal("event past until fired")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("event should still be pending, got %d", k.Pending())
+	}
+	k.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event should fire on the next Run")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel(1)
+	var fires []Time
+	tk := k.Every(100*time.Millisecond, func(now Time) {
+		fires = append(fires, now)
+		if len(fires) == 5 {
+			// Stop from within the callback.
+			return
+		}
+	})
+	k.Run(450 * time.Millisecond)
+	if len(fires) != 4 {
+		t.Fatalf("expected 4 fires by 450ms, got %d", len(fires))
+	}
+	tk.Stop()
+	k.Run(time.Second)
+	if len(fires) != 4 {
+		t.Fatalf("ticker fired after Stop: %d fires", len(fires))
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var tk *Ticker
+	tk = k.Every(10*time.Millisecond, func(now Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	k.Run(time.Second)
+	if n != 3 {
+		t.Fatalf("expected exactly 3 fires, got %d", n)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.Every(10*time.Millisecond, func(now Time) {
+		n++
+		if n == 2 {
+			k.Halt()
+		}
+	})
+	k.Run(time.Second)
+	if n != 2 {
+		t.Fatalf("expected halt after 2 events, got %d", n)
+	}
+}
+
+func TestStep(t *testing.T) {
+	k := NewKernel(1)
+	order := []int{}
+	k.At(5*time.Millisecond, func() { order = append(order, 1) })
+	k.At(6*time.Millisecond, func() { order = append(order, 2) })
+	if !k.Step() || len(order) != 1 {
+		t.Fatal("first Step should fire one event")
+	}
+	if !k.Step() || len(order) != 2 {
+		t.Fatal("second Step should fire one event")
+	}
+	if k.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+func TestDeterminismAcrossKernels(t *testing.T) {
+	run := func() []uint64 {
+		k := NewKernel(42)
+		r := k.RNG("test")
+		out := make([]uint64, 100)
+		for i := range out {
+			out[i] = r.Uint64()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RNG stream not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGStreamsIndependentByName(t *testing.T) {
+	k := NewKernel(42)
+	a := k.RNG("a")
+	b := k.RNG("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams 'a' and 'b' look correlated: %d identical draws", same)
+	}
+	if k.RNG("a") != a {
+		t.Fatal("RNG must return the same stream for the same name")
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math"
+)
+
+// RNG is a deterministic pseudo-random stream based on splitmix64 seeding a
+// xoshiro256** generator.  It is not cryptographically secure; it is chosen
+// for speed, excellent statistical quality for simulation purposes, and a
+// stable definition that does not depend on the Go release (math/rand's
+// global behaviour has changed across versions; this one never will).
+type RNG struct {
+	s [4]uint64
+	// spare holds a cached second normal deviate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// splitmix64 advances x and returns the next output.  It is used only to
+// expand the (seed, name) pair into the 256-bit xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG derives an independent stream from a global seed and a stream name.
+func NewRNG(seed uint64, name string) *RNG {
+	// Mix the name into the seed with FNV-1a, then expand with splitmix64.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	x := seed ^ h
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n).  n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mean + stddev*u*m
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perturb returns v multiplied by a factor drawn from N(1, rel), clamped to
+// stay positive.  It is the standard "jitter a service time" helper used by
+// the engine models.
+func (r *RNG) Perturb(v, rel float64) float64 {
+	f := r.Normal(1, rel)
+	if f < 0.05 {
+		f = 0.05
+	}
+	return v * f
+}
+
+// Zipf draws from a Zipf distribution over {0, ..., n-1} with exponent s>1
+// being more skewed as s grows.  It uses the rejection-inversion method of
+// Hörmann and Derflinger, which needs no precomputed tables and is exact.
+type Zipf struct {
+	r                *RNG
+	n                float64
+	s                float64
+	oneMinusS        float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	ss               float64
+	hX1MinusHalfOver float64
+}
+
+// NewZipf constructs a Zipf sampler over n elements with exponent s (> 0,
+// s != 1 handled; s close to 1 is fine).
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf requires n > 0")
+	}
+	z := &Zipf{r: r, n: float64(n), s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(z.n + 0.5)
+	z.ss = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	z.hX1MinusHalfOver = z.hIntegralX1
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series expansion near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x with a series expansion near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}
+
+// Next draws the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() int {
+	for {
+		u := z.hIntegralN + z.r.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.ss || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7, "f")
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(7, "uniform")
+	const n = 100000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d badly unbalanced: %d of %d", i, b, n)
+		}
+	}
+}
+
+func TestIntnRangeProperty(t *testing.T) {
+	r := NewRNG(9, "intn")
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(9, "intn2")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11, "normal")
+	const n = 200000
+	mean, stddev := 5.0, 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("normal mean off: got %v want %v", m, mean)
+	}
+	if math.Abs(sd-stddev) > 0.05 {
+		t.Fatalf("normal stddev off: got %v want %v", sd, stddev)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(13, "exp")
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(3.0)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-3.0) > 0.05 {
+		t.Fatalf("exp mean off: got %v want 3.0", m)
+	}
+}
+
+func TestPerturbPositive(t *testing.T) {
+	r := NewRNG(17, "perturb")
+	for i := 0; i < 10000; i++ {
+		if v := r.Perturb(10, 0.5); v <= 0 {
+			t.Fatalf("Perturb returned non-positive %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(19, "bool")
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency off: %v", frac)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(23, "zipf")
+	z := NewZipf(r, 1000, 1.2)
+	counts := make(map[int]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 should dominate rank 10 which should dominate rank 100.
+	if !(counts[0] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("Zipf not skewed: c0=%d c10=%d c100=%d", counts[0], counts[10], counts[100])
+	}
+	// The head should carry a large share of the mass.
+	if counts[0] < n/50 {
+		t.Fatalf("Zipf head too light: %d of %d", counts[0], n)
+	}
+}
+
+func TestZipfSingleElement(t *testing.T) {
+	r := NewRNG(29, "zipf1")
+	z := NewZipf(r, 1, 1.5)
+	for i := 0; i < 100; i++ {
+		if v := z.Next(); v != 0 {
+			t.Fatalf("Zipf over 1 element must return 0, got %d", v)
+		}
+	}
+}
+
+func TestNewRNGDistinctSeeds(t *testing.T) {
+	a := NewRNG(1, "x")
+	b := NewRNG(2, "x")
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds should give different streams")
+	}
+}

@@ -1,0 +1,111 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStreamIDString(t *testing.T) {
+	if Purchases.String() != "PURCHASES" || Ads.String() != "ADS" {
+		t.Fatal("stream names do not match the paper's Listing 1")
+	}
+	if StreamID(99).String() != "UNKNOWN" {
+		t.Fatal("unknown stream should stringify as UNKNOWN")
+	}
+}
+
+func TestKeyAndJoinKey(t *testing.T) {
+	e := Event{UserID: 7, GemPackID: 42}
+	if e.Key() != 42 {
+		t.Fatalf("aggregation key must be gemPackID: got %d", e.Key())
+	}
+	jk := e.JoinKey()
+	if jk != 7<<32|42 {
+		t.Fatalf("unexpected join key packing: %d", jk)
+	}
+}
+
+func TestJoinKeyInjectiveProperty(t *testing.T) {
+	// For ids in the generated range, JoinKey must be injective: two
+	// events share a join key iff they share (userID, gemPackID).
+	f := func(u1, g1, u2, g2 uint32) bool {
+		a := Event{UserID: int64(u1 % (1 << 30)), GemPackID: int64(g1 % (1 << 30))}
+		b := Event{UserID: int64(u2 % (1 << 30)), GemPackID: int64(g2 % (1 << 30))}
+		same := a.UserID == b.UserID && a.GemPackID == b.GemPackID
+		return (a.JoinKey() == b.JoinKey()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputLatencies(t *testing.T) {
+	o := Output{
+		EventTime: 100 * time.Millisecond,
+		ProcTime:  150 * time.Millisecond,
+		EmitTime:  600 * time.Millisecond,
+	}
+	if o.EventTimeLatency() != 500*time.Millisecond {
+		t.Fatalf("event-time latency: got %v", o.EventTimeLatency())
+	}
+	if o.ProcTimeLatency() != 450*time.Millisecond {
+		t.Fatalf("processing-time latency: got %v", o.ProcTimeLatency())
+	}
+	// Processing-time latency is always <= event-time latency when
+	// ingestion happens after generation (Section IV of the paper).
+	if o.ProcTimeLatency() > o.EventTimeLatency() {
+		t.Fatal("processing-time latency exceeded event-time latency")
+	}
+}
+
+func TestProvenanceObserveTakesMaximum(t *testing.T) {
+	var p Provenance
+	p.Observe(&Event{EventTime: 580 * time.Second, IngestTime: 601 * time.Second})
+	p.Observe(&Event{EventTime: 600 * time.Second, IngestTime: 601 * time.Second})
+	p.Observe(&Event{EventTime: 590 * time.Second, IngestTime: 602 * time.Second})
+	if p.MaxEventTime != 600*time.Second {
+		t.Fatalf("Definition 3 violated: max event-time should be 600s, got %v", p.MaxEventTime)
+	}
+	if p.MaxProcTime != 602*time.Second {
+		t.Fatalf("Definition 4 violated: max proc-time should be 602s, got %v", p.MaxProcTime)
+	}
+}
+
+func TestProvenancePaperFigure1Example(t *testing.T) {
+	// Figure 1 of the paper: the key=US window holds events with times
+	// 580, 590, 600; the output carries event-time 600 and, when emitted
+	// at time 610, latency 10.
+	var p Provenance
+	for _, et := range []time.Duration{580, 590, 600} {
+		p.Observe(&Event{EventTime: et * time.Second})
+	}
+	out := Output{EventTime: p.MaxEventTime, EmitTime: 610 * time.Second}
+	if got := out.EventTimeLatency(); got != 10*time.Second {
+		t.Fatalf("Figure 1 example: want latency 10s, got %v", got)
+	}
+}
+
+func TestProvenanceMergeCommutative(t *testing.T) {
+	f := func(a1, p1, a2, p2 uint32) bool {
+		x := Provenance{MaxEventTime: time.Duration(a1), MaxProcTime: time.Duration(p1)}
+		y := Provenance{MaxEventTime: time.Duration(a2), MaxProcTime: time.Duration(p2)}
+		xy := x
+		xy.Merge(y)
+		yx := y
+		yx.Merge(x)
+		return xy == yx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvenanceMergeIdempotent(t *testing.T) {
+	p := Provenance{MaxEventTime: 5 * time.Second, MaxProcTime: 6 * time.Second}
+	q := p
+	q.Merge(p)
+	if q != p {
+		t.Fatalf("merge with self changed provenance: %+v vs %+v", q, p)
+	}
+}

@@ -1,0 +1,141 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustAssigner(t *testing.T, size, slide time.Duration) Assigner {
+	t.Helper()
+	a, err := NewAssigner(size, slide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAssignerValidation(t *testing.T) {
+	if _, err := NewAssigner(0, time.Second); err == nil {
+		t.Fatal("zero size must be rejected")
+	}
+	if _, err := NewAssigner(time.Second, 0); err == nil {
+		t.Fatal("zero slide must be rejected")
+	}
+	if _, err := NewAssigner(7*time.Second, 2*time.Second); err == nil {
+		t.Fatal("non-multiple size/slide must be rejected")
+	}
+	if _, err := NewAssigner(8*time.Second, 4*time.Second); err != nil {
+		t.Fatalf("paper's (8s,4s) config rejected: %v", err)
+	}
+}
+
+func TestAssignPaperConfig(t *testing.T) {
+	// (8s, 4s): each event belongs to exactly two windows.
+	a := mustAssigner(t, 8*time.Second, 4*time.Second)
+	if a.WindowsPerEvent() != 2 {
+		t.Fatalf("windows per event: %d", a.WindowsPerEvent())
+	}
+	ws := a.Assign(5 * time.Second)
+	if len(ws) != 2 {
+		t.Fatalf("event at 5s should be in 2 windows, got %v", ws)
+	}
+	if ws[0].End != 8*time.Second || ws[1].End != 12*time.Second {
+		t.Fatalf("windows for t=5s: %v", ws)
+	}
+}
+
+func TestAssignBoundaryEvent(t *testing.T) {
+	// Windows are [End-Size, End): an event exactly on a slide boundary
+	// belongs to the window starting there, not the one ending there.
+	a := mustAssigner(t, 8*time.Second, 4*time.Second)
+	ws := a.Assign(8 * time.Second)
+	for _, w := range ws {
+		if w.End == 8*time.Second {
+			t.Fatal("event at t=8s must not be in window ending at 8s (half-open)")
+		}
+		if !a.Contains(w, 8*time.Second) {
+			t.Fatalf("assigned window %v does not contain its event", w)
+		}
+	}
+	if len(ws) != 2 || ws[0].End != 12*time.Second || ws[1].End != 16*time.Second {
+		t.Fatalf("boundary assignment wrong: %v", ws)
+	}
+}
+
+func TestAssignTumbling(t *testing.T) {
+	// (60s, 60s) from Experiment 3: tumbling, one window per event.
+	a := mustAssigner(t, time.Minute, time.Minute)
+	ws := a.Assign(59 * time.Second)
+	if len(ws) != 1 || ws[0].End != time.Minute {
+		t.Fatalf("tumbling assignment wrong: %v", ws)
+	}
+}
+
+func TestAssignPropertyMembership(t *testing.T) {
+	// For arbitrary times and configs: Assign returns exactly
+	// size/slide windows, each containing t, with aligned ends.
+	f := func(tRaw uint32, sizeMul, slideRaw uint8) bool {
+		slide := time.Duration(int(slideRaw%9)+1) * time.Second
+		size := slide * time.Duration(int(sizeMul%6)+1)
+		a, err := NewAssigner(size, slide)
+		if err != nil {
+			return false
+		}
+		et := time.Duration(tRaw) * time.Millisecond
+		ws := a.Assign(et)
+		if len(ws) != a.WindowsPerEvent() {
+			return false
+		}
+		for _, w := range ws {
+			if !a.Contains(w, et) {
+				return false
+			}
+			if w.End%slide != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaneOfAndPanesOf(t *testing.T) {
+	a := mustAssigner(t, 8*time.Second, 4*time.Second)
+	p := a.PaneOf(5 * time.Second)
+	if p.End != 8*time.Second {
+		t.Fatalf("pane of 5s: %v", p)
+	}
+	panes := a.PanesOf(ID{End: 16 * time.Second})
+	if len(panes) != 2 || panes[0].End != 12*time.Second || panes[1].End != 16*time.Second {
+		t.Fatalf("panes of window(8,16]: %v", panes)
+	}
+}
+
+func TestPanePartitionProperty(t *testing.T) {
+	// Every event's pane must be among the panes of every window the
+	// event is assigned to — the invariant pane sharing rests on.
+	a := mustAssigner(t, 12*time.Second, 3*time.Second)
+	f := func(tRaw uint32) bool {
+		et := time.Duration(tRaw) * time.Millisecond
+		pane := a.PaneOf(et)
+		for _, w := range a.Assign(et) {
+			found := false
+			for _, p := range a.PanesOf(w) {
+				if p == pane {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

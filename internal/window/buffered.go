@@ -1,0 +1,120 @@
+package window
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// BufferedWindows retains every raw event of every live window and computes
+// the aggregate only when the window fires.  This models operators that do
+// not (or cannot) pre-aggregate: Storm UDF windows, and any engine's
+// windowed join input side.  Memory grows with rate × window size — which
+// is exactly why the Storm model hits node memory limits in the paper's
+// large-window experiment while Flink's incremental operator does not.
+type BufferedWindows struct {
+	asg     Assigner
+	buf     map[ID][]*tuple.Event
+	bytes   int64
+	scratch []ID
+	// firedThrough is the firing cursor; late events' contributions to
+	// already-fired windows are lost (allowed lateness zero).
+	firedThrough time.Duration
+	lateDropped  int64
+}
+
+// LateDropped returns the number of (event, window) contributions lost to
+// late arrival.
+func (bw *BufferedWindows) LateDropped() int64 { return bw.lateDropped }
+
+// bytesPerBufferedEvent is the modelled heap footprint of one buffered
+// event (object header, fields, slice slot); scaled by the event's Weight
+// because one simulated tuple stands for Weight real events.
+const bytesPerBufferedEvent = 120
+
+// NewBufferedWindows builds empty buffered window state.
+func NewBufferedWindows(asg Assigner) *BufferedWindows {
+	return &BufferedWindows{asg: asg, buf: make(map[ID][]*tuple.Event)}
+}
+
+// Add buffers the event in every window containing it and returns the
+// bytes of additional state consumed.
+func (bw *BufferedWindows) Add(e *tuple.Event) int64 {
+	return bw.AddAt(e, e.EventTime)
+}
+
+// AddAt buffers the event in the windows containing time at rather than
+// the event's own time; see PaneAggregator.AddAt for when arrival-time
+// assignment is the right semantics.
+func (bw *BufferedWindows) AddAt(e *tuple.Event, at time.Duration) int64 {
+	bw.scratch = bw.scratch[:0]
+	bw.asg.AssignTo(at, &bw.scratch)
+	var grew int64
+	for _, w := range bw.scratch {
+		if w.End <= bw.firedThrough {
+			bw.lateDropped++
+			continue
+		}
+		bw.buf[w] = append(bw.buf[w], e)
+		grew += bytesPerBufferedEvent * e.Weight
+	}
+	bw.bytes += grew
+	return grew
+}
+
+// FiredWindow is a complete window's raw content.
+type FiredWindow struct {
+	Window ID
+	Events []*tuple.Event
+}
+
+// Fire removes and returns every window with End <= watermark, ascending.
+func (bw *BufferedWindows) Fire(watermark time.Duration) []FiredWindow {
+	if watermark > bw.firedThrough {
+		bw.firedThrough = watermark
+	}
+	var out []FiredWindow
+	for w, events := range bw.buf {
+		if w.End <= watermark {
+			out = append(out, FiredWindow{Window: w, Events: events})
+			for _, e := range events {
+				bw.bytes -= bytesPerBufferedEvent * e.Weight
+			}
+			delete(bw.buf, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Window.End < out[j].Window.End })
+	return out
+}
+
+// StateBytes returns the modelled resident bytes of buffered events.
+func (bw *BufferedWindows) StateBytes() int64 { return bw.bytes }
+
+// LiveWindows returns the number of buffered windows.
+func (bw *BufferedWindows) LiveWindows() int { return len(bw.buf) }
+
+// AggregateFired computes per-key SUM aggregates over a fired window's raw
+// events — what a Storm bolt does at trigger time.  Results are ordered by
+// key for determinism.
+func AggregateFired(fw FiredWindow) []Result {
+	perKey := make(map[int64]*Agg)
+	for _, e := range fw.Events {
+		g, ok := perKey[e.Key()]
+		if !ok {
+			g = &Agg{}
+			perKey[e.Key()] = g
+		}
+		g.add(e)
+	}
+	keys := make([]int64, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Result, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Result{Key: k, Window: fw.Window, Agg: *perKey[k]})
+	}
+	return out
+}

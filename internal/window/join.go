@@ -1,0 +1,191 @@
+package window
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// JoinResult is one output row of the windowed join query
+// (SELECT p.userID, p.gemPackID, p.price FROM PURCHASES p, ADS a WHERE
+// p.userID = a.userID AND p.gemPackID = a.gemPackID) for one window.  The
+// event-time of a join output is the maximum event-time over the two
+// matching tuples' windows (the paper's join refinement of Definition 3,
+// illustrated in Figure 2: the output carries time=600 = max(500, 600)).
+type JoinResult struct {
+	UserID    int64
+	GemPackID int64
+	Price     int64
+	Window    ID
+	// Weight is the real-event weight of the joined pair.
+	Weight int64
+	Prov   tuple.Provenance
+}
+
+// HashJoinWindow performs an in-memory hash equi-join over one fired
+// window's purchases and ads.  The build side is the smaller input.  Cost
+// is O(|P| + |A| + |results|), which is what Flink's and Spark's window
+// joins achieve; contrast NestedLoopJoinWindow below.
+func HashJoinWindow(w ID, purchases, ads []*tuple.Event) []JoinResult {
+	if len(purchases) == 0 || len(ads) == 0 {
+		return nil
+	}
+	// Definition 3 (join form): the tuples' event-time is set to the
+	// maximum event-time of their window, so compute each side's window
+	// maximum first (Figure 2's max_time).
+	var pProv, aProv tuple.Provenance
+	for _, p := range purchases {
+		pProv.Observe(p)
+	}
+	for _, a := range ads {
+		aProv.Observe(a)
+	}
+	pairProv := pProv
+	pairProv.Merge(aProv)
+
+	index := make(map[int64][]*tuple.Event, len(ads))
+	for _, a := range ads {
+		index[a.JoinKey()] = append(index[a.JoinKey()], a)
+	}
+	var out []JoinResult
+	for _, p := range purchases {
+		for _, a := range index[p.JoinKey()] {
+			// One simulated pair stands for min(weights) real pairs:
+			// the matched ad and purchase populations pair up 1:1.
+			w8 := p.Weight
+			if a.Weight < w8 {
+				w8 = a.Weight
+			}
+			out = append(out, JoinResult{
+				UserID:    p.UserID,
+				GemPackID: p.GemPackID,
+				Price:     p.Price,
+				Window:    w,
+				Weight:    w8,
+				Prov:      pairProv,
+			})
+		}
+	}
+	sortJoinResults(out)
+	return out
+}
+
+// NestedLoopJoinWindow is the naive O(|P|·|A|) join "we implemented a
+// simple version of a windowed join in Storm" refers to.  Results are
+// identical to HashJoinWindow; only the cost model differs (the Storm
+// engine model charges quadratic CPU for it).  Comparisons is the number
+// of pair comparisons performed, for CPU accounting.
+func NestedLoopJoinWindow(w ID, purchases, ads []*tuple.Event) (out []JoinResult, comparisons int64) {
+	var pProv, aProv tuple.Provenance
+	for _, p := range purchases {
+		pProv.Observe(p)
+	}
+	for _, a := range ads {
+		aProv.Observe(a)
+	}
+	pairProv := pProv
+	pairProv.Merge(aProv)
+	for _, p := range purchases {
+		for _, a := range ads {
+			comparisons++
+			if p.UserID == a.UserID && p.GemPackID == a.GemPackID {
+				w8 := p.Weight
+				if a.Weight < w8 {
+					w8 = a.Weight
+				}
+				out = append(out, JoinResult{
+					UserID:    p.UserID,
+					GemPackID: p.GemPackID,
+					Price:     p.Price,
+					Window:    w,
+					Weight:    w8,
+					Prov:      pairProv,
+				})
+			}
+		}
+	}
+	sortJoinResults(out)
+	return out, comparisons
+}
+
+func sortJoinResults(out []JoinResult) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UserID != out[j].UserID {
+			return out[i].UserID < out[j].UserID
+		}
+		if out[i].GemPackID != out[j].GemPackID {
+			return out[i].GemPackID < out[j].GemPackID
+		}
+		return out[i].Price < out[j].Price
+	})
+}
+
+// TwoStreamBuffer holds both join inputs buffered per window, the state any
+// windowed join must keep regardless of engine.
+type TwoStreamBuffer struct {
+	Purchases *BufferedWindows
+	Ads       *BufferedWindows
+}
+
+// NewTwoStreamBuffer builds buffered state for both streams over the same
+// assigner.
+func NewTwoStreamBuffer(asg Assigner) *TwoStreamBuffer {
+	return &TwoStreamBuffer{
+		Purchases: NewBufferedWindows(asg),
+		Ads:       NewBufferedWindows(asg),
+	}
+}
+
+// Add routes the event to its stream's buffer and returns state growth in
+// bytes.
+func (tb *TwoStreamBuffer) Add(e *tuple.Event) int64 {
+	return tb.AddAt(e, e.EventTime)
+}
+
+// AddAt routes the event using arrival-time window assignment; see
+// PaneAggregator.AddAt.
+func (tb *TwoStreamBuffer) AddAt(e *tuple.Event, at time.Duration) int64 {
+	if e.Stream == tuple.Ads {
+		return tb.Ads.AddAt(e, at)
+	}
+	return tb.Purchases.AddAt(e, at)
+}
+
+// FiredJoinWindow pairs both sides of one fired window.
+type FiredJoinWindow struct {
+	Window    ID
+	Purchases []*tuple.Event
+	Ads       []*tuple.Event
+}
+
+// Fire returns both sides of every window with End <= watermark, ascending.
+func (tb *TwoStreamBuffer) Fire(watermark time.Duration) []FiredJoinWindow {
+	p := tb.Purchases.Fire(watermark)
+	a := tb.Ads.Fire(watermark)
+	byEnd := make(map[ID]*FiredJoinWindow)
+	var order []ID
+	for _, fw := range p {
+		byEnd[fw.Window] = &FiredJoinWindow{Window: fw.Window, Purchases: fw.Events}
+		order = append(order, fw.Window)
+	}
+	for _, fw := range a {
+		if jw, ok := byEnd[fw.Window]; ok {
+			jw.Ads = fw.Events
+		} else {
+			byEnd[fw.Window] = &FiredJoinWindow{Window: fw.Window, Ads: fw.Events}
+			order = append(order, fw.Window)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].End < order[j].End })
+	out := make([]FiredJoinWindow, 0, len(order))
+	for _, w := range order {
+		out = append(out, *byEnd[w])
+	}
+	return out
+}
+
+// StateBytes returns total buffered bytes across both sides.
+func (tb *TwoStreamBuffer) StateBytes() int64 {
+	return tb.Purchases.StateBytes() + tb.Ads.StateBytes()
+}

@@ -1,0 +1,187 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tuple"
+)
+
+func TestHashJoinPaperFigure2(t *testing.T) {
+	// Figure 2: ads window has max_time=500, purchases window has
+	// max_time=600; every join output carries time=600, and emitted at
+	// 630 its latency is 30.
+	w := ID{End: 605 * time.Second}
+	ads := []*tuple.Event{
+		ev(tuple.Ads, 1, 2, 0, 500*time.Second),
+	}
+	purchases := []*tuple.Event{
+		ev(tuple.Purchases, 1, 2, 10, 580*time.Second),
+		ev(tuple.Purchases, 1, 2, 20, 550*time.Second),
+		ev(tuple.Purchases, 1, 2, 30, 600*time.Second),
+	}
+	out := HashJoinWindow(w, purchases, ads)
+	if len(out) != 3 {
+		t.Fatalf("expected 3 join results, got %d", len(out))
+	}
+	for _, r := range out {
+		if r.Prov.MaxEventTime != 600*time.Second {
+			t.Fatalf("join output event-time must be window max 600s, got %v", r.Prov.MaxEventTime)
+		}
+		if r.UserID != 1 || r.GemPackID != 2 {
+			t.Fatalf("unexpected join keys: %+v", r)
+		}
+	}
+	emit := 630 * time.Second
+	if lat := emit - out[0].Prov.MaxEventTime; lat != 30*time.Second {
+		t.Fatalf("Figure 2 latency should be 30s, got %v", lat)
+	}
+}
+
+func TestHashJoinNoMatch(t *testing.T) {
+	w := ID{End: 10 * time.Second}
+	p := []*tuple.Event{ev(tuple.Purchases, 1, 2, 10, time.Second)}
+	a := []*tuple.Event{ev(tuple.Ads, 3, 4, 0, time.Second)}
+	if out := HashJoinWindow(w, p, a); out != nil {
+		t.Fatalf("disjoint keys must not join: %+v", out)
+	}
+	if out := HashJoinWindow(w, nil, a); out != nil {
+		t.Fatal("empty side must produce no results")
+	}
+}
+
+func TestNestedLoopMatchesHashJoinProperty(t *testing.T) {
+	// Storm's naive join must produce identical results to the hash
+	// join; only its cost differs.
+	f := func(seed uint16, np, na uint8) bool {
+		r := sim.NewRNG(uint64(seed), "join")
+		w := ID{End: 10 * time.Second}
+		var purchases, ads []*tuple.Event
+		for i := 0; i < int(np%20)+1; i++ {
+			purchases = append(purchases, ev(tuple.Purchases,
+				int64(r.Intn(5)), int64(r.Intn(5)), int64(r.Intn(50)),
+				time.Duration(r.Intn(9000))*time.Millisecond))
+		}
+		for i := 0; i < int(na%20)+1; i++ {
+			ads = append(ads, ev(tuple.Ads,
+				int64(r.Intn(5)), int64(r.Intn(5)), 0,
+				time.Duration(r.Intn(9000))*time.Millisecond))
+		}
+		hj := HashJoinWindow(w, purchases, ads)
+		nl, comparisons := NestedLoopJoinWindow(w, purchases, ads)
+		if comparisons != int64(len(purchases))*int64(len(ads)) {
+			return false
+		}
+		if len(hj) != len(nl) {
+			return false
+		}
+		for i := range hj {
+			if hj[i] != nl[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinWeightIsMinOfPair(t *testing.T) {
+	w := ID{End: 10 * time.Second}
+	p := ev(tuple.Purchases, 1, 2, 10, time.Second)
+	p.Weight = 100
+	a := ev(tuple.Ads, 1, 2, 0, time.Second)
+	a.Weight = 40
+	out := HashJoinWindow(w, []*tuple.Event{p}, []*tuple.Event{a})
+	if len(out) != 1 || out[0].Weight != 40 {
+		t.Fatalf("pair weight should be min(100,40)=40: %+v", out)
+	}
+}
+
+func TestTwoStreamBufferRoutesAndFires(t *testing.T) {
+	asg := mustAssigner(t, 8*time.Second, 4*time.Second)
+	tb := NewTwoStreamBuffer(asg)
+	tb.Add(ev(tuple.Purchases, 1, 2, 10, 2*time.Second))
+	tb.Add(ev(tuple.Ads, 1, 2, 0, 3*time.Second))
+	tb.Add(ev(tuple.Ads, 9, 9, 0, 6*time.Second)) // second window only reaches 12s
+
+	if tb.StateBytes() <= 0 {
+		t.Fatal("buffered state must be accounted")
+	}
+	// At wm=8s both the (−4,4] and (0,8] windows fire: the events at 2s
+	// and 3s belong to both, the event at 6s only to (0,8].
+	fired := tb.Fire(8 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("two windows should fire at wm=8s, got %d", len(fired))
+	}
+	if fired[0].Window.End != 4*time.Second || fired[1].Window.End != 8*time.Second {
+		t.Fatalf("fired window ends wrong: %v, %v", fired[0].Window, fired[1].Window)
+	}
+	jw := fired[1]
+	if len(jw.Purchases) != 1 || len(jw.Ads) != 2 {
+		t.Fatalf("window content wrong: %d purchases, %d ads", len(jw.Purchases), len(jw.Ads))
+	}
+	out := HashJoinWindow(jw.Window, jw.Purchases, jw.Ads)
+	if len(out) != 1 {
+		t.Fatalf("expected exactly one matching pair, got %d", len(out))
+	}
+
+	fired = tb.Fire(12 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("second window should fire at wm=12s, got %d", len(fired))
+	}
+	if tb.StateBytes() != 0 {
+		t.Fatalf("state should be empty after firing everything, %d bytes", tb.StateBytes())
+	}
+}
+
+func TestBufferedWindowsFireOrderAndAggregate(t *testing.T) {
+	asg := mustAssigner(t, 4*time.Second, 2*time.Second)
+	bw := NewBufferedWindows(asg)
+	bw.Add(ev(tuple.Purchases, 1, 5, 10, time.Second))
+	bw.Add(ev(tuple.Purchases, 2, 5, 20, 3*time.Second))
+	bw.Add(ev(tuple.Purchases, 3, 6, 7, 3*time.Second))
+	fired := bw.Fire(100 * time.Second)
+	for i := 1; i < len(fired); i++ {
+		if fired[i-1].Window.End > fired[i].Window.End {
+			t.Fatal("fired windows must be ascending by end")
+		}
+	}
+	// The window (0,4] holds all three events.
+	var w4 *FiredWindow
+	for i := range fired {
+		if fired[i].Window.End == 4*time.Second {
+			w4 = &fired[i]
+		}
+	}
+	if w4 == nil || len(w4.Events) != 3 {
+		t.Fatalf("window ending at 4s should hold 3 events: %+v", fired)
+	}
+	res := AggregateFired(*w4)
+	if len(res) != 2 {
+		t.Fatalf("aggregate should have 2 keys, got %d", len(res))
+	}
+	if res[0].Key != 5 || res[0].Agg.Sum != 30 || res[1].Key != 6 || res[1].Agg.Sum != 7 {
+		t.Fatalf("aggregate wrong: %+v", res)
+	}
+}
+
+func TestBufferedStateAccountingProperty(t *testing.T) {
+	// State bytes must return to zero after all windows fire, for any
+	// workload.
+	f := func(seed uint16) bool {
+		asg, _ := NewAssigner(8*time.Second, 4*time.Second)
+		bw := NewBufferedWindows(asg)
+		for _, e := range genEvents(uint64(seed), 100, 5, 20*time.Second) {
+			bw.Add(e)
+		}
+		bw.Fire(1000 * time.Second)
+		return bw.StateBytes() == 0 && bw.LiveWindows() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

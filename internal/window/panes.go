@@ -1,0 +1,152 @@
+package window
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// PaneAggregator computes sliding-window aggregates from shared panes: each
+// event is folded into exactly one pane (a tumbling window of width Slide),
+// and a sliding window's result is assembled by merging Size/Slide panes.
+//
+// This is the "Inverse Reduce Function" fix of Experiment 3: instead of
+// recomputing (or caching) every overlapping window, the running window
+// aggregate advances by adding the newest pane and subtracting the expired
+// one.  For an invertible reduce like SUM the two strategies are
+// semantically identical; PaneAggregator is the memory- and CPU-cheap one.
+// Its equivalence to IncrementalAggregator is property-tested.
+type PaneAggregator struct {
+	asg   Assigner
+	panes map[keyWindow]*Agg // key × pane-end -> pane partial
+	ends  map[time.Duration]int
+	// firedThrough is the watermark cursor: every window with
+	// End <= firedThrough has already fired.  Panes outlive the windows
+	// they have fired in (a pane feeds size/slide windows), so firing
+	// must be tracked separately from pane retirement.
+	firedThrough time.Duration
+	// maxEnd is the largest pane end ever created; windows beyond it
+	// cannot have content, which bounds the fire scan.
+	maxEnd time.Duration
+	// lateDropped counts events dropped because every window containing
+	// them had already fired.
+	lateDropped int64
+}
+
+// LateDropped returns how many events missed every window they belonged to.
+func (pa *PaneAggregator) LateDropped() int64 { return pa.lateDropped }
+
+// NewPaneAggregator builds an empty pane-based aggregator.
+func NewPaneAggregator(asg Assigner) *PaneAggregator {
+	return &PaneAggregator{
+		asg:   asg,
+		panes: make(map[keyWindow]*Agg),
+		ends:  make(map[time.Duration]int),
+	}
+}
+
+// Add folds one event into its single pane (O(1) regardless of the
+// size/slide ratio — the whole point of pane sharing).  Events whose every
+// window has already fired are dropped.
+func (pa *PaneAggregator) Add(e *tuple.Event) {
+	pa.AddAt(e, e.EventTime)
+}
+
+// AddAt folds the event into the pane containing time at instead of the
+// event's own time.  Micro-batch engines bucket events by *arrival*: a
+// DStream window holds whatever reached the receiver during its span, so
+// under backpressure old events slide into current windows instead of
+// being dropped as late.  Provenance still records the event's true
+// event-time, which is how those windows expose their stale content as
+// event-time latency (Figure 7).
+func (pa *PaneAggregator) AddAt(e *tuple.Event, at time.Duration) {
+	p := pa.asg.PaneOf(at)
+	// The pane's last window is p.End + Size - Slide; if that has fired,
+	// no remaining window can consume this event.
+	if p.End+pa.asg.Size-pa.asg.Slide <= pa.firedThrough {
+		pa.lateDropped++
+		return
+	}
+	kw := keyWindow{key: e.Key(), end: p.End}
+	g, ok := pa.panes[kw]
+	if !ok {
+		g = &Agg{}
+		pa.panes[kw] = g
+		pa.ends[p.End]++
+		if p.End > pa.maxEnd {
+			pa.maxEnd = p.End
+		}
+	}
+	g.add(e)
+}
+
+// Fire assembles and returns the aggregate of every window with
+// End <= watermark, then retires panes that no live window can need
+// (panes with end <= watermark - Size + Slide).
+func (pa *PaneAggregator) Fire(watermark time.Duration) []Result {
+	if watermark <= pa.firedThrough {
+		return nil
+	}
+	// Candidate window ends are the aligned points in
+	// (firedThrough, watermark]; a window later than the last pane plus
+	// the window span cannot have content.
+	first := (pa.firedThrough/pa.asg.Slide)*pa.asg.Slide + pa.asg.Slide
+	limit := watermark
+	if horizon := pa.maxEnd + pa.asg.Size - pa.asg.Slide; limit > horizon {
+		limit = horizon
+	}
+	var out []Result
+	for end := first; end <= limit; end += pa.asg.Slide {
+		w := ID{End: end}
+		perKey := make(map[int64]*Agg)
+		for _, pane := range pa.asg.PanesOf(w) {
+			for kw, g := range pa.panes {
+				if kw.end == pane.End {
+					acc, ok := perKey[kw.key]
+					if !ok {
+						acc = &Agg{}
+						perKey[kw.key] = acc
+					}
+					acc.merge(*g)
+				}
+			}
+		}
+		for key, g := range perKey {
+			out = append(out, Result{Key: key, Window: w, Agg: *g})
+		}
+	}
+	pa.firedThrough = watermark
+
+	// Retire panes that have left every window still to fire.  A pane
+	// with end p contributes to windows with End in [p, p+Size-Slide];
+	// once watermark >= p+Size-Slide it can never be needed again.
+	horizon := watermark - pa.asg.Size + pa.asg.Slide
+	for kw := range pa.panes {
+		if kw.end <= horizon {
+			delete(pa.panes, kw)
+		}
+	}
+	for end := range pa.ends {
+		if end <= horizon {
+			delete(pa.ends, end)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Window.End != out[j].Window.End {
+			return out[i].Window.End < out[j].Window.End
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// LiveEntries returns the number of (key, pane) partials held.
+func (pa *PaneAggregator) LiveEntries() int { return len(pa.panes) }
+
+// StateBytes estimates resident state.
+func (pa *PaneAggregator) StateBytes() int64 {
+	const bytesPerEntry = 96
+	return int64(len(pa.panes)) * bytesPerEntry
+}

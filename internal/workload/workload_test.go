@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewAggregation(t *testing.T) {
+	q, err := NewAggregation(8*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != Aggregation || q.WindowSize != 8*time.Second {
+		t.Fatalf("query wrong: %+v", q)
+	}
+	if _, err := NewAggregation(7*time.Second, 4*time.Second); err == nil {
+		t.Fatal("non-multiple window accepted")
+	}
+}
+
+func TestNewJoin(t *testing.T) {
+	q, err := NewJoin(8*time.Second, 4*time.Second, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != Join || q.Selectivity != 0.05 {
+		t.Fatalf("query wrong: %+v", q)
+	}
+	if _, err := NewJoin(8*time.Second, 4*time.Second, 0); err == nil {
+		t.Fatal("zero selectivity accepted")
+	}
+	if _, err := NewJoin(8*time.Second, 4*time.Second, 1.5); err == nil {
+		t.Fatal("selectivity > 1 accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	agg := Default(Aggregation)
+	if err := agg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if agg.WindowSize != 8*time.Second || agg.WindowSlide != 4*time.Second {
+		t.Fatalf("default window should be the paper's (8s,4s): %+v", agg)
+	}
+	join := Default(Join)
+	if err := join.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if join.Selectivity <= 0 {
+		t.Fatal("default join needs a selectivity")
+	}
+}
+
+func TestAssigner(t *testing.T) {
+	q := Default(Aggregation)
+	a := q.Assigner()
+	if a.Size != q.WindowSize || a.Slide != q.WindowSlide {
+		t.Fatalf("assigner mismatch: %+v", a)
+	}
+}
+
+func TestAssignerPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Assigner on invalid query must panic")
+		}
+	}()
+	Query{Type: Aggregation, WindowSize: 7 * time.Second, WindowSlide: 2 * time.Second}.Assigner()
+}
+
+func TestStrings(t *testing.T) {
+	if Default(Aggregation).String() != "aggregation (8s, 4s)" {
+		t.Fatalf("query string: %q", Default(Aggregation).String())
+	}
+	if !strings.Contains(Default(Join).String(), "join") {
+		t.Fatal("join string")
+	}
+	if Aggregation.String() != "aggregation" || Join.String() != "join" {
+		t.Fatal("type strings")
+	}
+	if Type(9).String() == "" || SlidingStrategy(9).String() == "" {
+		t.Fatal("unknown values must stringify")
+	}
+	for _, s := range []SlidingStrategy{StrategyDefault, StrategyRecompute, StrategyInverseReduce} {
+		if s.String() == "" {
+			t.Fatal("strategy string empty")
+		}
+	}
+}
