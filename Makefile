@@ -1,0 +1,32 @@
+# Repro build/test entry points.  `make ci` is the gate every change must
+# pass: static checks, a full build, the test suite, and a bench smoke
+# that keeps the zero-allocation hot-path benchmarks compiling and honest.
+
+GO ?= go
+
+.PHONY: ci vet build test bench-smoke bench race
+
+ci: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of the hot-path microbenchmarks with -benchmem, so an
+# allocation regression shows up as a non-zero allocs/op in CI logs.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate' \
+		-benchtime=1x -benchmem ./internal/queue/ ./internal/generator/ ./internal/window/
+
+# The full paper-artefact benchmark suite (quick scale).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Race-check the parallel experiment executor paths.
+race:
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestTable1Shape|TestReplicate|TestExp4Shape'

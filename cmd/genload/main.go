@@ -23,6 +23,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/queue"
 	"repro/internal/sim"
+	"repro/internal/tuple"
 )
 
 // eventJSON is the wire shape of one emitted event.
@@ -96,27 +97,35 @@ func main() {
 	defer out.Flush()
 	enc := json.NewEncoder(out)
 
+	// Drain queue by queue in batches — the per-partition consumption
+	// pattern an external engine binding would use; each instance's
+	// stream is emitted in event-time order.
+	batch := tuple.NewBatch(4096)
 	drain := func(now sim.Time) (n int, w int64) {
-		for {
-			batch := queues.PopUpTo(4096)
-			if batch == nil {
-				return
-			}
-			for _, e := range batch {
-				n++
-				w += e.Weight
-				if *events {
-					enc.Encode(eventJSON{
-						Stream:    e.Stream.String(),
-						UserID:    e.UserID,
-						GemPackID: e.GemPackID,
-						Price:     e.Price,
-						EventTime: int64(e.EventTime / time.Millisecond),
-						Weight:    e.Weight,
-					})
+		for _, q := range queues.Queues() {
+			for {
+				batch.Reset()
+				if q.PopBatch(batch, 4096) == 0 {
+					break
+				}
+				for i := range batch.Events {
+					e := &batch.Events[i]
+					n++
+					w += e.Weight
+					if *events {
+						enc.Encode(eventJSON{
+							Stream:    e.Stream.String(),
+							UserID:    e.UserID,
+							GemPackID: e.GemPackID,
+							Price:     e.Price,
+							EventTime: int64(e.EventTime / time.Millisecond),
+							Weight:    e.Weight,
+						})
+					}
 				}
 			}
 		}
+		return
 	}
 
 	k.Every(time.Second, func(now sim.Time) {

@@ -102,9 +102,10 @@ func (c Config) CapacityEvPerSec() float64 {
 	return cap
 }
 
-// partitionEntry is one event with its visibility time (append + flush).
+// partitionEntry is one event (by value) with its visibility time
+// (append + flush).
 type partitionEntry struct {
-	e       *tuple.Event
+	e       tuple.Event
 	visible sim.Time
 }
 
@@ -168,8 +169,8 @@ func (b *Broker) tick(now sim.Time, tick time.Duration) {
 	// Publish side: limited by broker CPU.
 	budgetEvents := b.cfg.CapacityEvPerSec()*tick.Seconds() + b.carry
 	for budgetEvents > 0 {
-		e := b.popFitting(budgetEvents)
-		if e == nil {
+		e, ok := b.popFitting(budgetEvents)
+		if !ok {
 			break
 		}
 		budgetEvents -= float64(e.Weight)
@@ -208,20 +209,20 @@ func (b *Broker) tick(now sim.Time, tick time.Duration) {
 }
 
 // popFitting pops the next publishable event whose weight fits the
-// remaining budget, or returns nil.
-func (b *Broker) popFitting(budget float64) *tuple.Event {
+// remaining budget; ok is false when nothing fits or everything is empty.
+func (b *Broker) popFitting(budget float64) (tuple.Event, bool) {
 	for i := 0; i < b.in.Size(); i++ {
 		q := b.in.Queue(i)
-		e := q.Peek()
-		if e == nil {
+		e, ok := q.Peek()
+		if !ok {
 			continue
 		}
 		if float64(e.Weight) > budget {
-			return nil
+			return tuple.Event{}, false
 		}
 		return q.Pop()
 	}
-	return nil
+	return tuple.Event{}, false
 }
 
 // Published returns the cumulative real-event weight accepted from the

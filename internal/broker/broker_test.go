@@ -16,7 +16,7 @@ func feed(k *sim.Kernel, in *queue.Group, ratePerSec int, weight int64) {
 	}
 	k.Every(10*time.Millisecond, func(now sim.Time) {
 		for i := 0; i < per; i++ {
-			in.Queue(i % in.Size()).Push(&tuple.Event{
+			in.Queue(i % in.Size()).Push(tuple.Event{
 				UserID: int64(i), GemPackID: int64(i % 7),
 				EventTime: now, Weight: weight,
 			})
@@ -122,7 +122,7 @@ func TestBrokerPersistenceDelay(t *testing.T) {
 	cfg.FlushInterval = 500 * time.Millisecond
 	cfg.FetchBatch = 100 * time.Millisecond
 	b, _ := New(k, cfg, in, out)
-	in.Queue(0).Push(&tuple.Event{UserID: 1, EventTime: 0, Weight: 1})
+	in.Queue(0).Push(tuple.Event{UserID: 1, EventTime: 0, Weight: 1})
 	b.Start()
 
 	// Before the flush interval the event must not be fetchable.
@@ -146,7 +146,7 @@ func TestBrokerPartitionsByKey(t *testing.T) {
 	// Two keys; all events of one key share a partition, so their
 	// relative order survives the broker.
 	for i := 0; i < 50; i++ {
-		in.Queue(0).Push(&tuple.Event{UserID: int64(i), GemPackID: 1,
+		in.Queue(0).Push(tuple.Event{UserID: int64(i), GemPackID: 1,
 			EventTime: time.Duration(i) * time.Millisecond, Weight: 1})
 	}
 	b.Start()
@@ -155,8 +155,7 @@ func TestBrokerPartitionsByKey(t *testing.T) {
 	seen := 0
 	for _, q := range out.Queues() {
 		for {
-			e := q.Pop()
-			if e == nil {
+			if _, ok := q.Pop(); !ok {
 				break
 			}
 			seen++

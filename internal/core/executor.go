@@ -1,0 +1,96 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/driver"
+)
+
+// The experiment layer runs independent simulation cells — one engine ×
+// cluster-size grid cell, one bisection search, one replication seed — on a
+// bounded worker pool.  Every cell is a self-contained simulation: its own
+// kernel, RNG streams, cluster model, metrics and (per-run-bound) key
+// distributions, so cells share no mutable state and their results are
+// bit-identical to a sequential execution.  Determinism is preserved by
+// indexing: each task writes only its own slot of the caller's result
+// slice, and the caller assembles output in task order.
+
+// maxParallel returns the worker-pool width for n independent tasks,
+// gated by GOMAXPROCS (so SDPS experiments respect the same knob as the
+// rest of the Go runtime; set GOMAXPROCS=1 to force sequential execution).
+func maxParallel(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runTasks executes the tasks concurrently on the worker pool and returns
+// the first error in task order (all tasks run to completion either way,
+// which keeps result slices fully populated for the caller to inspect).
+func runTasks(tasks []func() error) error {
+	n := len(tasks)
+	if n == 0 {
+		return nil
+	}
+	if w := maxParallel(n); w > 1 {
+		errs := make([]error, n)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= n {
+						return
+					}
+					errs[t] = tasks[t]()
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var firstErr error
+	for _, t := range tasks {
+		if err := t(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// runEnginesParallel executes one benchmark run per engine name on the
+// worker pool and returns the results in input order.
+func runEnginesParallel(names []string, run func(name string) (*driver.Result, error)) ([]*driver.Result, error) {
+	results := make([]*driver.Result, len(names))
+	tasks := make([]func() error, 0, len(names))
+	for i, name := range names {
+		i, name := i, name
+		tasks = append(tasks, func() error {
+			res, err := run(name)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/driver"
+)
+
+func TestRunTasksRunsAllAndPreservesSlots(t *testing.T) {
+	const n = 57
+	results := make([]int, n)
+	tasks := make([]func() error, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks = append(tasks, func() error {
+			results[i] = i * i
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("slot %d holds %d", i, r)
+		}
+	}
+}
+
+func TestRunTasksReturnsFirstErrorByOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	var ran atomic.Int32
+	tasks := []func() error{
+		func() error { ran.Add(1); return nil },
+		func() error { ran.Add(1); return errA },
+		func() error { ran.Add(1); return errB },
+		func() error { ran.Add(1); return nil },
+	}
+	err := runTasks(tasks)
+	if !errors.Is(err, errA) {
+		t.Fatalf("want first error by task order, got %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("all tasks must run to completion: %d of 4", ran.Load())
+	}
+}
+
+func TestRunTasksEmpty(t *testing.T) {
+	if err := runTasks(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxParallelGating(t *testing.T) {
+	if got := maxParallel(0); got != 1 {
+		t.Fatalf("zero tasks still need one worker slot: %d", got)
+	}
+	if got := maxParallel(1000); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("pool must be gated by GOMAXPROCS: %d vs %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := maxParallel(1); got != 1 {
+		t.Fatalf("one task needs one worker: %d", got)
+	}
+}
+
+// TestRunEnginesParallelOrder pins that results come back in input order
+// regardless of completion order.
+func TestRunEnginesParallelOrder(t *testing.T) {
+	names := []string{"storm", "spark", "flink"}
+	results, err := runEnginesParallel(names, func(name string) (*driver.Result, error) {
+		return &driver.Result{Engine: name}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if results[i].Engine != name {
+			t.Fatalf("slot %d holds %q, want %q", i, results[i].Engine, name)
+		}
+	}
+	wantErr := errors.New("boom")
+	if _, err := runEnginesParallel(names, func(name string) (*driver.Result, error) {
+		if name == "spark" {
+			return nil, wantErr
+		}
+		return &driver.Result{Engine: name}, nil
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+}

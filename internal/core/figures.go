@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
-	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/report"
 	"repro/internal/workload"
@@ -62,41 +61,69 @@ func init() {
 }
 
 // latencySeriesPanels runs engine × workers × {100%, 90%} and collects the
-// per-second mean event-time latency panels.
-func latencySeriesPanels(o Options, q workload.Query, engines []engine.Engine, join bool) ([]report.FigurePanel, map[string]float64, error) {
+// per-second mean event-time latency panels.  The up-to-18 fixed-rate runs
+// are independent simulations, so they execute on the worker pool with
+// panels assembled in presentation order.
+func latencySeriesPanels(o Options, q workload.Query, engines []string, join bool) ([]report.FigurePanel, map[string]float64, error) {
 	rates := PaperRates(join)
-	var panels []report.FigurePanel
-	metrics := map[string]float64{}
-	for _, eng := range engines {
+	type panelSpec struct {
+		engine  string
+		workers int
+		pct     int
+		rate    float64
+	}
+	var specs []panelSpec
+	for _, name := range engines {
 		for _, w := range ClusterSizes {
-			base, ok := rates[fmt.Sprintf("%s/%d", eng.Name(), w)]
+			base, ok := rates[fmt.Sprintf("%s/%d", name, w)]
 			if !ok {
 				continue
 			}
 			for _, pct := range []int{100, 90} {
-				res, err := driver.Run(eng, driver.Config{
-					Seed:           o.Seed,
-					Workers:        w,
-					Rate:           generator.ConstantRate(base * float64(pct) / 100),
-					Query:          q,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
-				})
-				if err != nil {
-					return nil, nil, err
-				}
-				title := fmt.Sprintf("%s, %d-node, %d%% throughput", eng.Name(), w, pct)
-				panels = append(panels, report.FigurePanel{Title: title, Series: res.EventLatencySeries, Unit: "s"})
-				metrics[fmt.Sprintf("%s/%d/%d/mean", eng.Name(), w, pct)] = res.EventLatencySeries.Mean()
+				specs = append(specs, panelSpec{engine: name, workers: w, pct: pct, rate: base * float64(pct) / 100})
 			}
 		}
+	}
+	panels := make([]report.FigurePanel, len(specs))
+	means := make([]float64, len(specs))
+	tasks := make([]func() error, 0, len(specs))
+	for i, s := range specs {
+		i, s := i, s
+		tasks = append(tasks, func() error {
+			eng, err := EngineByName(s.engine)
+			if err != nil {
+				return err
+			}
+			res, err := driver.Run(eng, driver.Config{
+				Seed:           o.Seed,
+				Workers:        s.workers,
+				Rate:           generator.ConstantRate(s.rate),
+				Query:          q,
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("%s, %d-node, %d%% throughput", s.engine, s.workers, s.pct)
+			panels[i] = report.FigurePanel{Title: title, Series: res.EventLatencySeries, Unit: "s"}
+			means[i] = res.EventLatencySeries.Mean()
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		return nil, nil, err
+	}
+	metrics := map[string]float64{}
+	for i, s := range specs {
+		metrics[fmt.Sprintf("%s/%d/%d/mean", s.engine, s.workers, s.pct)] = means[i]
 	}
 	return panels, metrics, nil
 }
 
 func runFig4(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
-	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Aggregation), Engines(), false)
+	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Aggregation), engineNames, false)
 	if err != nil {
 		return nil, err
 	}
@@ -110,13 +137,7 @@ func runFig4(o Options) (*Outcome, error) {
 
 func runFig5(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
-	var engines []engine.Engine
-	for _, e := range Engines() {
-		if e.Name() != "storm" {
-			engines = append(engines, e)
-		}
-	}
-	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Join), engines, true)
+	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Join), []string{"spark", "flink"}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -132,41 +153,57 @@ func runFig6(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	const workers = 8 // every engine sustains the 0.84M ev/s peak on 8 nodes
 	schedule := generator.PaperFluctuation(o.runFor(), 0.84e6, 0.28e6)
-	var panels []report.FigurePanel
-	metrics := map[string]float64{}
-
-	run := func(eng engine.Engine, q workload.Query, label string) error {
-		res, err := driver.Run(eng, driver.Config{
-			Seed:           o.Seed,
-			Workers:        workers,
-			Rate:           schedule,
-			Query:          q,
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
-		})
-		if err != nil {
-			return err
-		}
-		panels = append(panels, report.FigurePanel{Title: label, Series: res.EventLatencySeries, Unit: "s"})
-		metrics[label+"/max"] = res.EventLatencySeries.Max()
-		metrics[label+"/mean"] = res.EventLatencySeries.Mean()
-		return nil
-	}
 
 	agg := workload.Default(workload.Aggregation)
 	join := workload.Default(workload.Join)
-	for _, eng := range Engines() {
-		if err := run(eng, agg, eng.Name()+" aggregation"); err != nil {
-			return nil, err
-		}
+	type spec struct {
+		engine string
+		q      workload.Query
+		label  string
 	}
-	for _, eng := range Engines() {
-		if eng.Name() == "storm" {
-			continue
-		}
-		if err := run(eng, join, eng.Name()+" join"); err != nil {
-			return nil, err
-		}
+	var specs []spec
+	for _, name := range engineNames {
+		specs = append(specs, spec{engine: name, q: agg, label: name + " aggregation"})
+	}
+	for _, name := range []string{"spark", "flink"} {
+		specs = append(specs, spec{engine: name, q: join, label: name + " join"})
+	}
+
+	panels := make([]report.FigurePanel, len(specs))
+	maxes := make([]float64, len(specs))
+	means := make([]float64, len(specs))
+	tasks := make([]func() error, 0, len(specs))
+	for i, s := range specs {
+		i, s := i, s
+		tasks = append(tasks, func() error {
+			eng, err := EngineByName(s.engine)
+			if err != nil {
+				return err
+			}
+			res, err := driver.Run(eng, driver.Config{
+				Seed:           o.Seed,
+				Workers:        workers,
+				Rate:           schedule,
+				Query:          s.q,
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			if err != nil {
+				return err
+			}
+			panels[i] = report.FigurePanel{Title: s.label, Series: res.EventLatencySeries, Unit: "s"}
+			maxes[i] = res.EventLatencySeries.Max()
+			means[i] = res.EventLatencySeries.Mean()
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		return nil, err
+	}
+	metrics := map[string]float64{}
+	for i, s := range specs {
+		metrics[s.label+"/max"] = maxes[i]
+		metrics[s.label+"/mean"] = means[i]
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 6: event-time latency under fluctuating arrival rate (0.84M -> 0.28M -> 0.84M ev/s, 8 nodes)", panels),
@@ -211,26 +248,33 @@ func runFig7(o Options) (*Outcome, error) {
 func runFig8(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	rates := PaperRates(false)
-	var panels []report.FigurePanel
-	metrics := map[string]float64{}
-	for _, eng := range Engines() {
-		res, err := driver.Run(eng, driver.Config{
+	results, err := runEnginesParallel(engineNames, func(name string) (*driver.Result, error) {
+		eng, err := EngineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return driver.Run(eng, driver.Config{
 			Seed:           o.Seed,
 			Workers:        2,
-			Rate:           generator.ConstantRate(rates[eng.Name()+"/2"]),
+			Rate:           generator.ConstantRate(rates[name+"/2"]),
 			Query:          workload.Default(workload.Aggregation),
 			RunFor:         o.runFor(),
 			EventsPerTuple: o.eventsPerTuple(),
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for i, name := range engineNames {
+		res := results[i]
 		panels = append(panels,
-			report.FigurePanel{Title: eng.Name() + " event-time", Series: res.EventLatencySeries, Unit: "s"},
-			report.FigurePanel{Title: eng.Name() + " processing-time", Series: res.ProcLatencySeries, Unit: "s"},
+			report.FigurePanel{Title: name + " event-time", Series: res.EventLatencySeries, Unit: "s"},
+			report.FigurePanel{Title: name + " processing-time", Series: res.ProcLatencySeries, Unit: "s"},
 		)
-		metrics[eng.Name()+"/event_mean"] = res.EventLatencySeries.Mean()
-		metrics[eng.Name()+"/proc_mean"] = res.ProcLatencySeries.Mean()
+		metrics[name+"/event_mean"] = res.EventLatencySeries.Mean()
+		metrics[name+"/proc_mean"] = res.ProcLatencySeries.Mean()
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 8: event-time vs processing-time latency (aggregation, 2 nodes, sustainable rate)", panels),
@@ -244,23 +288,29 @@ func runFig9(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	const workers = 4
 	rates := PaperRates(false)
-	var panels []report.FigurePanel
-	metrics := map[string]float64{}
-	for _, eng := range Engines() {
-		res, err := driver.Run(eng, driver.Config{
+	results, err := runEnginesParallel(engineNames, func(name string) (*driver.Result, error) {
+		eng, err := EngineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return driver.Run(eng, driver.Config{
 			Seed:           o.Seed,
 			Workers:        workers,
-			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", eng.Name(), workers)]),
+			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
 			Query:          workload.Default(workload.Aggregation),
 			RunFor:         o.runFor(),
 			EventsPerTuple: o.eventsPerTuple(),
 		})
-		if err != nil {
-			return nil, err
-		}
-		s := res.ThroughputSeries
-		panels = append(panels, report.FigurePanel{Title: eng.Name() + " pull rate", Series: s, Unit: " ev/s"})
-		metrics[eng.Name()+"/cv"] = s.Tail(o.runFor() / 4).CoefficientOfVariation()
+	})
+	if err != nil {
+		return nil, err
+	}
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for i, name := range engineNames {
+		s := results[i].ThroughputSeries
+		panels = append(panels, report.FigurePanel{Title: name + " pull rate", Series: s, Unit: " ev/s"})
+		metrics[name+"/cv"] = s.Tail(o.runFor() / 4).CoefficientOfVariation()
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 9: SUT ingestion rate over time (aggregation, 4 nodes, max sustainable)", panels),
@@ -274,32 +324,39 @@ func runFig10(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	const workers = 4
 	rates := PaperRates(false)
-	var panels []report.FigurePanel
-	metrics := map[string]float64{}
-	for _, eng := range Engines() {
-		res, err := driver.Run(eng, driver.Config{
+	results, err := runEnginesParallel(engineNames, func(name string) (*driver.Result, error) {
+		eng, err := EngineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return driver.Run(eng, driver.Config{
 			Seed:           o.Seed,
 			Workers:        workers,
-			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", eng.Name(), workers)]),
+			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
 			Query:          workload.Default(workload.Aggregation),
 			RunFor:         o.runFor(),
 			EventsPerTuple: o.eventsPerTuple(),
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var panels []report.FigurePanel
+	metrics := map[string]float64{}
+	for ei, name := range engineNames {
+		res := results[ei]
 		meanCPU := 0.0
 		for i, cs := range res.CPU {
 			panels = append(panels, report.FigurePanel{
-				Title: fmt.Sprintf("%s node-%d CPU load", eng.Name(), i+1), Series: cs, Unit: "%"})
+				Title: fmt.Sprintf("%s node-%d CPU load", name, i+1), Series: cs, Unit: "%"})
 			meanCPU += cs.Mean()
 		}
 		meanCPU /= float64(len(res.CPU))
 		for i, ns := range res.Net {
 			panels = append(panels, report.FigurePanel{
-				Title: fmt.Sprintf("%s node-%d network", eng.Name(), i+1), Series: ns, Unit: "MB"})
+				Title: fmt.Sprintf("%s node-%d network", name, i+1), Series: ns, Unit: "MB"})
 		}
-		metrics[eng.Name()+"/cpu_mean"] = meanCPU
+		metrics[name+"/cpu_mean"] = meanCPU
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 10: per-node network (MB/interval) and CPU load (aggregation, 4 nodes)", panels),

@@ -33,7 +33,10 @@ func (s ReplicaStat) RelSpread() float64 {
 }
 
 // Replicate runs the experiment once per seed and aggregates every metric.
-// Seeds are derived from opts.Seed when seeds is nil (opts.Seed, +1, ...).
+// Seeds are derived from opts.Seed (opts.Seed, +7919, ...).  The per-seed
+// runs are fully independent, so they execute on the worker pool; samples
+// are folded in seed order, making the aggregate identical to a sequential
+// replication.
 func Replicate(id string, opts Options, runs int) (*Replication, error) {
 	if runs <= 0 {
 		runs = 3
@@ -44,16 +47,28 @@ func Replicate(id string, opts Options, runs int) (*Replication, error) {
 		return nil, err
 	}
 	rep := &Replication{ID: id, Stats: map[string]ReplicaStat{}}
-	samples := map[string][]float64{}
+	outs := make([]*Outcome, runs)
+	tasks := make([]func() error, 0, runs)
 	for i := 0; i < runs; i++ {
+		i := i
 		seed := opts.Seed + uint64(i)*7919
 		rep.Seeds = append(rep.Seeds, seed)
-		o := opts
-		o.Seed = seed
-		out, err := exp.Run(o)
-		if err != nil {
-			return nil, fmt.Errorf("core: replicate %s seed %d: %w", id, seed, err)
-		}
+		tasks = append(tasks, func() error {
+			o := opts
+			o.Seed = seed
+			out, err := exp.Run(o)
+			if err != nil {
+				return fmt.Errorf("core: replicate %s seed %d: %w", id, seed, err)
+			}
+			outs[i] = out
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		return nil, err
+	}
+	samples := map[string][]float64{}
+	for _, out := range outs {
 		for k, v := range out.Metrics {
 			samples[k] = append(samples[k], v)
 		}

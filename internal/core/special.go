@@ -128,31 +128,74 @@ func runExp4(o Options) (*Outcome, error) {
 
 	b.WriteString("Experiment 4: extreme data skew (all events share one key)\n\n")
 	b.WriteString("Aggregation, sustainable throughput under single-key input:\n")
+
+	// The 9-cell skewed-aggregation grid and the two skewed-join runs are
+	// all independent simulations; run them on the worker pool and render
+	// in presentation order afterwards.
+	type aggCell struct {
+		name string
+		w    int
+	}
+	var aggCells []aggCell
 	for _, w := range ClusterSizes {
-		for _, eng := range Engines() {
-			cfg := driver.Config{Seed: o.Seed, Workers: w, Query: agg, Keys: skew}
-			rate, _, err := driver.FindSustainable(eng, cfg, o.searchConfig())
-			if err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(&b, "  %-6s %d-node: %.2f M/s\n", eng.Name(), w, rate/1e6)
-			metrics[fmt.Sprintf("%s/%d", eng.Name(), w)] = rate
+		for _, name := range engineNames {
+			aggCells = append(aggCells, aggCell{name: name, w: w})
 		}
 	}
-	b.WriteString("\nJoin under single-key input (0.30M ev/s offered, 4 nodes):\n")
-	for _, name := range []string{"spark", "flink"} {
-		eng, _ := EngineByName(name)
-		res, err := driver.Run(eng, driver.Config{
-			Seed: o.Seed, Workers: 4,
-			Rate:           generator.ConstantRate(0.3e6),
-			Query:          join,
-			Keys:           skew,
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
+	aggRates := make([]float64, len(aggCells))
+	joinNames := []string{"spark", "flink"}
+	joinResults := make([]*driver.Result, len(joinNames))
+
+	var tasks []func() error
+	for i, c := range aggCells {
+		i, c := i, c
+		tasks = append(tasks, func() error {
+			eng, err := EngineByName(c.name)
+			if err != nil {
+				return err
+			}
+			cfg := driver.Config{Seed: o.Seed, Workers: c.w, Query: agg, Keys: skew}
+			rate, _, err := driver.FindSustainable(eng, cfg, o.searchConfig())
+			if err != nil {
+				return err
+			}
+			aggRates[i] = rate
+			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	for i, name := range joinNames {
+		i, name := i, name
+		tasks = append(tasks, func() error {
+			eng, err := EngineByName(name)
+			if err != nil {
+				return err
+			}
+			res, err := driver.Run(eng, driver.Config{
+				Seed: o.Seed, Workers: 4,
+				Rate:           generator.ConstantRate(0.3e6),
+				Query:          join,
+				Keys:           skew,
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			if err != nil {
+				return err
+			}
+			joinResults[i] = res
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		return nil, err
+	}
+
+	for i, c := range aggCells {
+		fmt.Fprintf(&b, "  %-6s %d-node: %.2f M/s\n", c.name, c.w, aggRates[i]/1e6)
+		metrics[fmt.Sprintf("%s/%d", c.name, c.w)] = aggRates[i]
+	}
+	b.WriteString("\nJoin under single-key input (0.30M ev/s offered, 4 nodes):\n")
+	for i, name := range joinNames {
+		res := joinResults[i]
 		switch {
 		case res.Failed:
 			fmt.Fprintf(&b, "  %-6s FAILED: %s\n", name, res.FailReason)

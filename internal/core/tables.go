@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
-	"repro/internal/engine"
 	"repro/internal/engine/storm"
 	"repro/internal/generator"
 	"repro/internal/report"
@@ -38,29 +37,75 @@ func init() {
 	})
 }
 
+// engineNames is the paper's presentation order for the engine models.
+var engineNames = []string{"storm", "spark", "flink"}
+
+// searchCell is one (engine, workers) cell of a sustainable-throughput
+// grid, bisected independently of the other cells.
+type searchCell struct {
+	cell report.ThroughputCell
+	rate float64
+}
+
+// searchGridTasks returns one bisection task per engine × cluster-size
+// cell, each writing its slot of results (len(engines)×len(ClusterSizes),
+// (engine, workers) presentation order).  Callers fold the tasks into a
+// single runTasks call so the whole experiment shares one
+// GOMAXPROCS-bounded pool.
+func searchGridTasks(o Options, q workload.Query, engines []string, results []searchCell) []func() error {
+	tasks := make([]func() error, 0, len(engines)*len(ClusterSizes))
+	for ei, name := range engines {
+		for wi, w := range ClusterSizes {
+			slot := ei*len(ClusterSizes) + wi
+			name, w := name, w
+			tasks = append(tasks, func() error {
+				eng, err := EngineByName(name)
+				if err != nil {
+					return err
+				}
+				rate, res, err := driver.FindSustainable(eng, driver.Config{
+					Seed:    o.Seed,
+					Workers: w,
+					Query:   q,
+				}, o.searchConfig())
+				if err != nil {
+					return err
+				}
+				cell := report.ThroughputCell{Engine: name, Workers: w, RateEvPerSec: rate}
+				if res != nil && !res.Verdict.Sustainable && rate == 0 {
+					cell.RateEvPerSec = -1
+					cell.Note = res.FailReason
+				}
+				results[slot] = searchCell{cell: cell, rate: rate}
+				return nil
+			})
+		}
+	}
+	return tasks
+}
+
+// searchGrid bisects every engine × cluster-size cell concurrently (each
+// cell is an isolated simulation; see executor.go) and returns the cells
+// in (engine, workers) presentation order.
+func searchGrid(o Options, q workload.Query, engines []string) ([]searchCell, error) {
+	results := make([]searchCell, len(engines)*len(ClusterSizes))
+	if err := runTasks(searchGridTasks(o, q, engines, results)); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 func runTable1(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
-	q := workload.Default(workload.Aggregation)
+	results, err := searchGrid(o, workload.Default(workload.Aggregation), engineNames)
+	if err != nil {
+		return nil, err
+	}
 	var cells []report.ThroughputCell
 	metrics := map[string]float64{}
-	for _, eng := range Engines() {
-		for _, w := range ClusterSizes {
-			rate, res, err := driver.FindSustainable(eng, driver.Config{
-				Seed:    o.Seed,
-				Workers: w,
-				Query:   q,
-			}, o.searchConfig())
-			if err != nil {
-				return nil, err
-			}
-			cell := report.ThroughputCell{Engine: eng.Name(), Workers: w, RateEvPerSec: rate}
-			if res != nil && !res.Verdict.Sustainable && rate == 0 {
-				cell.RateEvPerSec = -1
-				cell.Note = res.FailReason
-			}
-			cells = append(cells, cell)
-			metrics[fmt.Sprintf("%s/%d", eng.Name(), w)] = rate
-		}
+	for _, r := range results {
+		cells = append(cells, r.cell)
+		metrics[fmt.Sprintf("%s/%d", r.cell.Engine, r.cell.Workers)] = r.rate
 	}
 	return &Outcome{
 		Text:    report.ThroughputTable("Table I: sustainable throughput, windowed aggregation (8s, 4s)", cells),
@@ -70,45 +115,69 @@ func runTable1(o Options) (*Outcome, error) {
 
 // latencyAtPaperRates measures latency statistics at the published
 // sustainable rates and 90% of them — the paper's "The latencies shown in
-// this table correspond to the workloads given in Table I".
-func latencyAtPaperRates(o Options, q workload.Query, engines []engine.Engine, join bool) ([]report.LatencyRow, map[string]float64, error) {
+// this table correspond to the workloads given in Table I".  The cells are
+// independent fixed-rate runs, so they execute on the worker pool.
+func latencyAtPaperRates(o Options, q workload.Query, engines []string, join bool) ([]report.LatencyRow, map[string]float64, error) {
 	rates := PaperRates(join)
-	var rows []report.LatencyRow
-	metrics := map[string]float64{}
-	for _, eng := range engines {
+	type cellSpec struct {
+		engine  string
+		pct     int
+		workers int
+		rate    float64
+	}
+	var specs []cellSpec
+	for _, name := range engines {
 		for _, pct := range []int{100, 90} {
 			for _, w := range ClusterSizes {
-				base, ok := rates[fmt.Sprintf("%s/%d", eng.Name(), w)]
+				base, ok := rates[fmt.Sprintf("%s/%d", name, w)]
 				if !ok {
 					continue
 				}
-				rate := base * float64(pct) / 100
-				res, err := driver.Run(eng, driver.Config{
-					Seed:           o.Seed,
-					Workers:        w,
-					Rate:           generator.ConstantRate(rate),
-					Query:          q,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
-				})
-				if err != nil {
-					return nil, nil, err
-				}
-				s := res.EventLatency.Summarize()
-				rows = append(rows, report.LatencyRow{
-					Engine: eng.Name(), LoadPct: pct, Workers: w, Summary: s,
-				})
-				metrics[fmt.Sprintf("%s/%d/%d/avg", eng.Name(), w, pct)] = s.Avg.Seconds()
-				metrics[fmt.Sprintf("%s/%d/%d/p99", eng.Name(), w, pct)] = s.P99.Seconds()
+				specs = append(specs, cellSpec{engine: name, pct: pct, workers: w, rate: base * float64(pct) / 100})
 			}
 		}
+	}
+	rows := make([]report.LatencyRow, len(specs))
+	tasks := make([]func() error, 0, len(specs))
+	for i, s := range specs {
+		i, s := i, s
+		tasks = append(tasks, func() error {
+			eng, err := EngineByName(s.engine)
+			if err != nil {
+				return err
+			}
+			res, err := driver.Run(eng, driver.Config{
+				Seed:           o.Seed,
+				Workers:        s.workers,
+				Rate:           generator.ConstantRate(s.rate),
+				Query:          q,
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			if err != nil {
+				return err
+			}
+			rows[i] = report.LatencyRow{
+				Engine: s.engine, LoadPct: s.pct, Workers: s.workers,
+				Summary: res.EventLatency.Summarize(),
+			}
+			return nil
+		})
+	}
+	if err := runTasks(tasks); err != nil {
+		return nil, nil, err
+	}
+	metrics := map[string]float64{}
+	for _, r := range rows {
+		metrics[fmt.Sprintf("%s/%d/%d/avg", r.Engine, r.Workers, r.LoadPct)] = r.Summary.Avg.Seconds()
+		metrics[fmt.Sprintf("%s/%d/%d/p99", r.Engine, r.Workers, r.LoadPct)] = r.Summary.P99.Seconds()
 	}
 	return rows, metrics, nil
 }
 
 func runTable2(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
-	rows, m, err := latencyAtPaperRates(o, workload.Default(workload.Aggregation), Engines(), false)
+	rows, m, err := latencyAtPaperRates(o, workload.Default(workload.Aggregation), engineNames, false)
 	if err != nil {
 		return nil, err
 	}
@@ -121,47 +190,50 @@ func runTable2(o Options) (*Outcome, error) {
 func runTable3(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	q := workload.Default(workload.Join)
-	var cells []report.ThroughputCell
-	metrics := map[string]float64{}
-	for _, eng := range Engines() {
-		if eng.Name() == "storm" {
-			continue // handled by the naive-join aside below
-		}
-		for _, w := range ClusterSizes {
-			rate, _, err := driver.FindSustainable(eng, driver.Config{
-				Seed:    o.Seed,
-				Workers: w,
-				Query:   q,
+
+	// The Spark/Flink grid plus the Storm naive-join aside (Experiment 2:
+	// no built-in windowed join; the naive implementation sustains
+	// ~0.14M ev/s on 2 nodes and stalls on larger clusters) form one flat
+	// task list, so a single GOMAXPROCS-bounded pool caps how many
+	// simulations are live at once.
+	gridEngines := []string{"spark", "flink"}
+	grid := make([]searchCell, len(gridEngines)*len(ClusterSizes))
+	var (
+		nRate    float64
+		stallRes *driver.Result
+	)
+	tasks := append(searchGridTasks(o, q, gridEngines, grid),
+		func() error {
+			naive := storm.New(storm.Options{})
+			rate, _, err := driver.FindSustainable(naive, driver.Config{
+				Seed: o.Seed, Workers: 2, Query: q,
 			}, o.searchConfig())
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, report.ThroughputCell{Engine: eng.Name(), Workers: w, RateEvPerSec: rate})
-			metrics[fmt.Sprintf("%s/%d", eng.Name(), w)] = rate
-		}
+			nRate = rate
+			return err
+		},
+		func() error {
+			res, err := driver.Run(storm.New(storm.Options{}), driver.Config{
+				Seed: o.Seed, Workers: 4,
+				Rate:           generator.ConstantRate(0.14e6),
+				Query:          q,
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			stallRes = res
+			return err
+		},
+	)
+	if err := runTasks(tasks); err != nil {
+		return nil, err
 	}
 
-	// The Storm aside (Experiment 2): no built-in windowed join; the
-	// naive implementation sustains ~0.14M ev/s on 2 nodes and stalls on
-	// larger clusters.
-	naive := storm.New(storm.Options{})
-	nRate, _, err := driver.FindSustainable(naive, driver.Config{
-		Seed: o.Seed, Workers: 2, Query: q,
-	}, o.searchConfig())
-	if err != nil {
-		return nil, err
+	var cells []report.ThroughputCell
+	metrics := map[string]float64{}
+	for _, r := range grid {
+		cells = append(cells, r.cell)
+		metrics[fmt.Sprintf("%s/%d", r.cell.Engine, r.cell.Workers)] = r.rate
 	}
 	metrics["storm-naive/2"] = nRate
-	stallRes, err := driver.Run(naive, driver.Config{
-		Seed: o.Seed, Workers: 4,
-		Rate:           generator.ConstantRate(0.14e6),
-		Query:          q,
-		RunFor:         o.runFor(),
-		EventsPerTuple: o.eventsPerTuple(),
-	})
-	if err != nil {
-		return nil, err
-	}
 	note := "no failure observed"
 	if stallRes.Failed {
 		note = stallRes.FailReason
@@ -175,13 +247,7 @@ func runTable3(o Options) (*Outcome, error) {
 
 func runTable4(o Options) (*Outcome, error) {
 	o = o.WithDefaults()
-	var engines []engine.Engine
-	for _, e := range Engines() {
-		if e.Name() != "storm" {
-			engines = append(engines, e)
-		}
-	}
-	rows, m, err := latencyAtPaperRates(o, workload.Default(workload.Join), engines, true)
+	rows, m, err := latencyAtPaperRates(o, workload.Default(workload.Join), []string{"spark", "flink"}, true)
 	if err != nil {
 		return nil, err
 	}

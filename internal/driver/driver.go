@@ -73,7 +73,10 @@ type Config struct {
 	// direct driver queues — the Section III-A design-decision ablation.
 	Broker *broker.Config
 	// EventTap, when non-nil, observes every generated event (used by
-	// correctness tests to build the oracle's ground-truth log).
+	// correctness tests to build the oracle's ground-truth log).  The
+	// pointee lives in a recycled generator batch and is valid only for
+	// the duration of the call — taps that keep events must copy the
+	// value out (`log = append(log, *e)`).
 	EventTap func(*tuple.Event)
 	// OutputTap, when non-nil, observes every SUT output tuple after the
 	// driver has measured it (correctness tests compare these against

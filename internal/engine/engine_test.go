@@ -254,8 +254,8 @@ func TestRuntimePullStampsAndTracks(t *testing.T) {
 	k := sim.NewKernel(1)
 	cfg := testConfig(t).WithDefaults()
 	rt := NewRuntime(k, cfg)
-	cfg.Sources.Queue(0).Push(&tuple.Event{GemPackID: 5, EventTime: time.Second, Weight: 10})
-	cfg.Sources.Queue(1).Push(&tuple.Event{GemPackID: 5, EventTime: 2 * time.Second, Weight: 10})
+	cfg.Sources.Queue(0).Push(tuple.Event{GemPackID: 5, EventTime: time.Second, Weight: 10})
+	cfg.Sources.Queue(1).Push(tuple.Event{GemPackID: 5, EventTime: 2 * time.Second, Weight: 10})
 
 	events, w := rt.Pull(10, 3*time.Second)
 	if len(events) != 2 || w != 20 {

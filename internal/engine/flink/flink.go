@@ -240,8 +240,8 @@ func (j *job) tick(now sim.Time) {
 	events, _ := j.rt.Pull(budget, now)
 
 	if j.agg != nil {
-		for _, e := range events {
-			j.agg.Add(e)
+		for i := range events {
+			j.agg.Add(&events[i])
 		}
 		if j.emissionStalled {
 			return
@@ -255,8 +255,8 @@ func (j *job) tick(now sim.Time) {
 	}
 
 	// Windowed join.
-	for _, e := range events {
-		j.joinBuf.Add(e)
+	for i := range events {
+		j.joinBuf.Add(&events[i])
 	}
 	j.checkJoinSkew(now)
 	if j.emissionStalled {
@@ -271,11 +271,11 @@ func (j *job) tick(now sim.Time) {
 		// pushed to the sink, so emission stretches over a large part
 		// of the window span, proportional to the window's fill level.
 		var fireWeight int64
-		for _, e := range fw.Purchases {
-			fireWeight += e.Weight
+		for i := range fw.Purchases {
+			fireWeight += fw.Purchases[i].Weight
 		}
-		for _, e := range fw.Ads {
-			fireWeight += e.Weight
+		for i := range fw.Ads {
+			fireWeight += fw.Ads[i].Weight
 		}
 		loadFactor := float64(fireWeight) / (j.cpuLaw.Cap(j.rt.Cfg.Cluster.Workers()) * j.rt.Cfg.Query.WindowSize.Seconds())
 		if loadFactor > 1.5 {
@@ -289,6 +289,7 @@ func (j *job) tick(now sim.Time) {
 			delay := time.Duration(0.9 * j.rng.Float64() * span * loadFactor)
 			j.rt.EmitJoin(r, now+delay)
 		}
+		j.joinBuf.Recycle(fw)
 	}
 }
 

@@ -44,17 +44,17 @@ func deploy(t *testing.T, workers int, q workload.Query) *harness {
 
 // feed schedules the event to enter its queue at its event time, as a
 // live generator would.
-func (h *harness) feed(q *queue.Queue, e *tuple.Event) {
+func (h *harness) feed(q *queue.Queue, e tuple.Event) {
 	h.k.At(e.EventTime, func() { q.Push(e) })
 }
 
-func purchase(user, pack, price int64, at time.Duration) *tuple.Event {
-	return &tuple.Event{Stream: tuple.Purchases, UserID: user, GemPackID: pack,
+func purchase(user, pack, price int64, at time.Duration) tuple.Event {
+	return tuple.Event{Stream: tuple.Purchases, UserID: user, GemPackID: pack,
 		Price: price, EventTime: at, Weight: 1}
 }
 
-func ad(user, pack int64, at time.Duration) *tuple.Event {
-	return &tuple.Event{Stream: tuple.Ads, UserID: user, GemPackID: pack,
+func ad(user, pack int64, at time.Duration) tuple.Event {
+	return tuple.Event{Stream: tuple.Ads, UserID: user, GemPackID: pack,
 		EventTime: at, Weight: 1}
 }
 

@@ -83,21 +83,22 @@ func (j *job) tick(now sim.Time) {
 	events, _ := j.rt.Pull(budget, now)
 	wm := j.rt.FireWatermark()
 	if j.agg != nil {
-		for _, e := range events {
-			j.agg.Add(e)
+		for i := range events {
+			j.agg.Add(&events[i])
 		}
 		for _, r := range j.agg.Fire(wm) {
 			j.rt.EmitAgg(r, time.Duration(now))
 		}
 		return
 	}
-	for _, e := range events {
-		j.joinBuf.Add(e)
+	for i := range events {
+		j.joinBuf.Add(&events[i])
 	}
 	for _, fw := range j.joinBuf.Fire(wm) {
 		for _, r := range window.HashJoinWindow(fw.Window, fw.Purchases, fw.Ads) {
 			j.rt.EmitJoin(r, time.Duration(now))
 		}
+		j.joinBuf.Recycle(fw)
 	}
 }
 

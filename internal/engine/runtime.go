@@ -42,6 +42,10 @@ type Runtime struct {
 	// carry holds the fractional tuple budget across ticks.
 	carry float64
 
+	// pullBatch is the reusable slab Pull drains the sources into; its
+	// events are valid until the next Pull.
+	pullBatch *tuple.Batch
+
 	decayEvery int
 	sinceDecay int
 }
@@ -54,6 +58,7 @@ func NewRuntime(k *sim.Kernel, cfg Config) *Runtime {
 		HotKeys:          NewHotKeyTracker(),
 		CPUPerMEvent:     30,
 		NetBytesPerEvent: float64(tuple.WireSizeBytes),
+		pullBatch:        tuple.NewBatch(1024),
 		decayEvery:       1000,
 	}
 }
@@ -101,14 +106,22 @@ func (rt *Runtime) TupleBudget(capEvPerSec float64, weight int64) int {
 	return n
 }
 
-// Pull pops up to n tuples from the sources, stamps their ingestion time,
-// advances the watermark, feeds the hot-key tracker, and charges network
-// bytes for moving them into the cluster.  Returns the pulled events and
-// their total real-event weight.
-func (rt *Runtime) Pull(n int, now sim.Time) ([]*tuple.Event, int64) {
-	events := rt.Cfg.Sources.PopUpTo(n)
+// Pull pops up to n tuples from the sources into the runtime's reusable
+// batch, stamps their ingestion time, advances the watermark, feeds the
+// hot-key tracker, and charges network bytes for moving them into the
+// cluster.  Returns the pulled events and their total real-event weight.
+//
+// The returned slice aliases the runtime's pull batch and is valid only
+// until the next Pull: engines that keep events across ticks (Storm's
+// spout buffer, the window operators' buffered state) must copy the values
+// out, which appending to a []tuple.Event or adding to window state does.
+func (rt *Runtime) Pull(n int, now sim.Time) ([]tuple.Event, int64) {
+	rt.pullBatch.Reset()
+	rt.Cfg.Sources.PopBatch(rt.pullBatch, n)
+	events := rt.pullBatch.Events
 	var weight int64
-	for _, e := range events {
+	for i := range events {
+		e := &events[i]
 		e.IngestTime = now
 		if e.EventTime > rt.Watermark {
 			rt.Watermark = e.EventTime

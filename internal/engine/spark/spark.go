@@ -252,12 +252,12 @@ func (j *job) tick(now sim.Time) {
 	// data comes.  Provenance keeps the true event times.
 	at := time.Duration(now)
 	if j.agg != nil {
-		for _, e := range events {
-			j.agg.AddAt(e, at)
+		for i := range events {
+			j.agg.AddAt(&events[i], at)
 		}
 	} else {
-		for _, e := range events {
-			j.joinBuf.AddAt(e, at)
+		for i := range events {
+			j.joinBuf.AddAt(&events[i], at)
 		}
 	}
 
@@ -287,6 +287,7 @@ func (j *job) submitBatch(now sim.Time) {
 	} else {
 		for _, fw := range j.joinBuf.Fire(deadline) {
 			sj.out.join = append(sj.out.join, window.HashJoinWindow(fw.Window, fw.Purchases, fw.Ads)...)
+			j.joinBuf.Recycle(fw)
 		}
 	}
 

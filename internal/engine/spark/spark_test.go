@@ -43,7 +43,7 @@ func deploy(t *testing.T, workers int, q workload.Query, opts Options) *harness 
 
 func (h *harness) feedSteady(packs int64, price int64) {
 	h.k.Every(10*time.Millisecond, func(now sim.Time) {
-		h.queues.Queue(0).Push(&tuple.Event{
+		h.queues.Queue(0).Push(tuple.Event{
 			Stream: tuple.Purchases, UserID: 1,
 			GemPackID: int64(now/time.Millisecond) % packs,
 			Price:     price, EventTime: now, Weight: 1,
@@ -168,7 +168,7 @@ func TestLateEventsSlideIntoCurrentWindow(t *testing.T) {
 	// One very late straggler: event time 1s, arrives at t=20s with a
 	// unique key so we can find it.
 	h.k.At(20*time.Second, func() {
-		h.queues.Queue(1).Push(&tuple.Event{
+		h.queues.Queue(1).Push(tuple.Event{
 			Stream: tuple.Purchases, UserID: 1, GemPackID: 777,
 			Price: 999, EventTime: time.Second, Weight: 1,
 		})
@@ -196,13 +196,13 @@ func TestLateEventsSlideIntoCurrentWindow(t *testing.T) {
 func TestJoinProducesPairs(t *testing.T) {
 	h := deploy(t, 2, workload.Default(workload.Join), Options{})
 	h.k.Every(10*time.Millisecond, func(now sim.Time) {
-		h.queues.Queue(0).Push(&tuple.Event{Stream: tuple.Purchases, UserID: 3, GemPackID: 4,
+		h.queues.Queue(0).Push(tuple.Event{Stream: tuple.Purchases, UserID: 3, GemPackID: 4,
 			Price: 10, EventTime: now, Weight: 1})
 		if now%50 == 0 {
 		}
 	})
 	h.k.Every(40*time.Millisecond, func(now sim.Time) {
-		h.queues.Queue(1).Push(&tuple.Event{Stream: tuple.Ads, UserID: 3, GemPackID: 4,
+		h.queues.Queue(1).Push(tuple.Event{Stream: tuple.Ads, UserID: 3, GemPackID: 4,
 			EventTime: now, Weight: 1})
 	})
 	h.job.Start()

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/tuple"
 	"repro/internal/window"
@@ -121,12 +122,10 @@ type job struct {
 	// tables.  Computed at deploy from the query's window geometry.
 	capComp float64
 
-	// inflight is the spout-to-bolt buffer in real-event weight; the
-	// bang-bang throttle switches on its level.
-	inflight int64
-	// inflightEvents holds the pulled-but-unprocessed tuples in arrival
-	// order.
-	inflightEvents []*tuple.Event
+	// inflight is the spout-to-bolt buffer: pulled-but-unprocessed tuples
+	// in arrival order.  It reuses the driver-side ring queue (unbounded),
+	// whose weight accounting is what the bang-bang throttle switches on.
+	inflight *queue.Queue
 	// processedWM is the event-time frontier of *processed* tuples; the
 	// trigger fires on it, not on the ingested watermark.
 	processedWM time.Duration
@@ -149,9 +148,10 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 		return nil, err
 	}
 	j := &job{
-		rt:   engine.NewRuntime(k, cfg),
-		opts: e.opts,
-		rng:  k.RNG("storm"),
+		rt:       engine.NewRuntime(k, cfg),
+		opts:     e.opts,
+		rng:      k.RNG("storm"),
+		inflight: queue.New("spout-inflight", 0),
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
 	asg := cfg.Query.Assigner()
@@ -281,15 +281,15 @@ func (j *job) tick(now sim.Time) {
 	}
 	if j.opts.DisableBackpressure {
 		j.pull(now, cap*1.25*dt)
-		if float64(j.inflight) > dropBacklogSeconds*cap && cap > 0 {
+		if float64(j.inflight.Weight()) > dropBacklogSeconds*cap && cap > 0 {
 			j.rt.Fail("dropped connection to generator queue (overload with backpressure disabled)")
 			return
 		}
 	} else {
 		switch {
-		case j.throttled && j.inflight <= lo:
+		case j.throttled && j.inflight.Weight() <= lo:
 			j.throttled = false
-		case !j.throttled && j.inflight >= hi:
+		case !j.throttled && j.inflight.Weight() >= hi:
 			j.throttled = true
 		}
 		if !j.throttled {
@@ -301,12 +301,13 @@ func (j *job) tick(now sim.Time) {
 	// Bolt processing: drain the in-flight buffer at capacity.
 	budget := int64(cap * avail)
 	var processed int64
-	for len(j.inflightEvents) > 0 && processed < budget {
-		e := j.inflightEvents[0]
-		j.inflightEvents = j.inflightEvents[1:]
-		j.inflight -= e.Weight
+	for processed < budget {
+		e, ok := j.inflight.Pop()
+		if !ok {
+			break
+		}
 		processed += e.Weight
-		j.process(e, now)
+		j.process(&e, now)
 	}
 
 	// Trigger: fire windows whose end passed the processed frontier
@@ -315,12 +316,13 @@ func (j *job) tick(now sim.Time) {
 }
 
 // pull ingests up to evBudget real events from the driver queues into the
-// spout buffer.
+// spout buffer (copying them out of the runtime's reused pull batch).
 func (j *job) pull(now sim.Time, evBudget float64) {
 	n := j.rt.TupleBudget(evBudget/j.rt.Cfg.Tick.Seconds(), j.rt.Cfg.EventWeight)
-	events, w := j.rt.Pull(n, now)
-	j.inflightEvents = append(j.inflightEvents, events...)
-	j.inflight += w
+	events, _ := j.rt.Pull(n, now)
+	for i := range events {
+		j.inflight.Push(events[i])
+	}
 }
 
 // process routes one tuple into window state and advances the processed
@@ -367,8 +369,8 @@ func (j *job) fire(now sim.Time, cap float64) {
 	if j.agg != nil {
 		for _, fw := range j.agg.Fire(wm) {
 			var fireWeight int64
-			for _, e := range fw.Events {
-				fireWeight += e.Weight
+			for i := range fw.Events {
+				fireWeight += fw.Events[i].Weight
 			}
 			if cap > 0 {
 				j.debt += fireCostShare * float64(fireWeight) / cap
@@ -377,6 +379,7 @@ func (j *job) fire(now sim.Time, cap float64) {
 			for _, r := range window.AggregateFired(fw) {
 				j.rt.EmitAgg(r, emit)
 			}
+			j.agg.Recycle(fw.Events)
 		}
 		return
 	}
@@ -386,11 +389,11 @@ func (j *job) fire(now sim.Time, cap float64) {
 		// fire debt below (joinFireCostShare of the window weight).
 		results, _ := window.NestedLoopJoinWindow(fw.Window, fw.Purchases, fw.Ads)
 		var fireWeight int64
-		for _, e := range fw.Purchases {
-			fireWeight += e.Weight
+		for i := range fw.Purchases {
+			fireWeight += fw.Purchases[i].Weight
 		}
-		for _, e := range fw.Ads {
-			fireWeight += e.Weight
+		for i := range fw.Ads {
+			fireWeight += fw.Ads[i].Weight
 		}
 		if cap > 0 {
 			j.debt += joinFireCostShare * float64(fireWeight) / cap
@@ -399,6 +402,7 @@ func (j *job) fire(now sim.Time, cap float64) {
 		for _, r := range results {
 			j.rt.EmitJoin(r, emit)
 		}
+		j.joinBuf.Recycle(fw)
 	}
 }
 

@@ -53,7 +53,7 @@ func (h *harness) feed(rate float64, weight int64, key int64) {
 			if k < 0 {
 				k = int64(i % 10)
 			}
-			h.queues.Queue(i % 2).Push(&tuple.Event{
+			h.queues.Queue(i % 2).Push(tuple.Event{
 				Stream: tuple.Purchases, UserID: int64(i), GemPackID: k,
 				Price: 2, EventTime: now, Weight: weight,
 			})
@@ -214,9 +214,9 @@ func TestNaiveJoinStallsOnLargerClusters(t *testing.T) {
 func TestNaiveJoinWorksOnTwoNodes(t *testing.T) {
 	h := deploy(t, 2, workload.Default(workload.Join), Options{})
 	h.k.Every(10*time.Millisecond, func(now sim.Time) {
-		h.queues.Queue(0).Push(&tuple.Event{Stream: tuple.Purchases, UserID: 1, GemPackID: 2,
+		h.queues.Queue(0).Push(tuple.Event{Stream: tuple.Purchases, UserID: 1, GemPackID: 2,
 			Price: 10, EventTime: now, Weight: 100})
-		h.queues.Queue(1).Push(&tuple.Event{Stream: tuple.Ads, UserID: 1, GemPackID: 2,
+		h.queues.Queue(1).Push(tuple.Event{Stream: tuple.Ads, UserID: 1, GemPackID: 2,
 			EventTime: now, Weight: 100})
 	})
 	h.job.Start()

@@ -12,6 +12,7 @@ package generator
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/queue"
@@ -40,21 +41,33 @@ type Step struct {
 
 // StepSchedule changes rate at fixed points: the paper's Experiment 5
 // "start[s] the benchmark with a workload of 0.84M/s then decrease[s] it to
-// 0.28M/s and increase[s] again after a while".
+// 0.28M/s and increase[s] again after a while".  Steps must be ordered by
+// strictly increasing From; Validate enforces this and is called when the
+// schedule enters a generator config.
 type StepSchedule []Step
 
-// RateAt returns the rate of the last step at or before t, or 0 before the
-// first step.
-func (s StepSchedule) RateAt(t time.Duration) float64 {
-	rate := 0.0
-	for _, st := range s {
-		if st.From <= t {
-			rate = st.Rate
-		} else {
-			break
+// Validate checks that the steps are strictly ordered by From, which is
+// what RateAt's binary search relies on.
+func (s StepSchedule) Validate() error {
+	for i := 1; i < len(s); i++ {
+		if s[i].From <= s[i-1].From {
+			return fmt.Errorf("generator: step schedule not strictly ordered: step %d at %v after step %d at %v",
+				i, s[i].From, i-1, s[i-1].From)
 		}
 	}
-	return rate
+	return nil
+}
+
+// RateAt returns the rate of the last step at or before t, or 0 before the
+// first step.  It is called once per generated tick, so it binary-searches
+// the (ordered) steps instead of scanning them.
+func (s StepSchedule) RateAt(t time.Duration) float64 {
+	// First step strictly after t; the one before it governs.
+	i := sort.Search(len(s), func(i int) bool { return s[i].From > t })
+	if i == 0 {
+		return 0
+	}
+	return s[i-1].Rate
 }
 
 // PaperFluctuation is the Experiment 5 schedule scaled over a run of the
@@ -105,22 +118,45 @@ func (d UniformKeys) Next(r *sim.RNG) int64 { return int64(r.Intn(d.N)) }
 func (d UniformKeys) Cardinality() int { return d.N }
 
 // ZipfKeys draws keys Zipf-distributed with exponent S over [0, n).
+//
+// A ZipfKeys literal in a config may be shared by concurrently executing
+// runs; the generator therefore never samples through the shared instance.
+// New calls bound() to give each run its own sampler, initialized
+// explicitly at construction (the sampler itself is a pure function of
+// (N, S) plus the RNG passed per draw, so nothing run-specific leaks
+// between runs).
 type ZipfKeys struct {
 	N int
 	S float64
 	z *sim.Zipf
 }
 
-// Next implements KeyDist.
+// bound returns a per-run copy with its sampler constants precomputed.
+func (d *ZipfKeys) bound() KeyDist {
+	return &ZipfKeys{N: d.N, S: d.S, z: sim.NewZipf(d.N, d.S)}
+}
+
+// Next implements KeyDist.  Direct (non-generator) callers on a fresh
+// literal hit the lazy branch, which only derives pure constants — the
+// random stream always comes from r.
 func (d *ZipfKeys) Next(r *sim.RNG) int64 {
 	if d.z == nil {
-		d.z = sim.NewZipf(r, d.N, d.S)
+		d.z = sim.NewZipf(d.N, d.S)
 	}
-	return int64(d.z.Next())
+	return int64(d.z.Next(r))
 }
 
 // Cardinality implements KeyDist.
 func (d *ZipfKeys) Cardinality() int { return d.N }
+
+// boundKeyDist is the optional KeyDist extension implemented by
+// distributions that carry per-run sampler state.  New rebinds any such
+// distribution, so a config shared by concurrently executing runs never
+// shares sampler state; a new stateful KeyDist only has to implement
+// bound() to get the same protection.
+type boundKeyDist interface {
+	bound() KeyDist
+}
 
 // SingleKey produces only key K: the "extreme skew, namely ... data of a
 // single key" of Experiment 4.
@@ -167,7 +203,9 @@ type Config struct {
 	DisorderMax time.Duration
 	// Tap, when non-nil, observes every generated event just before it
 	// is enqueued.  Tests use it to capture the ground-truth event log
-	// for the oracle.
+	// for the oracle.  The pointee is only valid for the duration of the
+	// call: events are staged in a recycled batch, so observers that keep
+	// events must copy the value out.
 	Tap func(*tuple.Event)
 }
 
@@ -184,6 +222,11 @@ func (c Config) Validate() error {
 	}
 	if c.Rate == nil {
 		return fmt.Errorf("generator: rate schedule is required")
+	}
+	if v, ok := c.Rate.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.Keys == nil {
 		return fmt.Errorf("generator: key distribution is required")
@@ -222,6 +265,11 @@ type Generator struct {
 	recentPurchases []purchaseID
 	reservoirNext   int
 
+	// pool recycles the per-tick staging batch; staging lets the Tap see
+	// the whole tick's events with stable addresses before they are
+	// scattered into the per-instance queues.
+	pool *tuple.BatchPool
+
 	totalWeight int64
 	ticker      *sim.Ticker
 	stopped     bool
@@ -241,12 +289,18 @@ func New(k *sim.Kernel, cfg Config, queues *queue.Group) (*Generator, error) {
 		return nil, fmt.Errorf("generator: %d instances need %d queues, got %d",
 			cfg.Instances, cfg.Instances, queues.Size())
 	}
+	// Stateful key distributions are rebound per run so configs can be
+	// shared by concurrently executing runs without sharing sampler state.
+	if b, ok := cfg.Keys.(boundKeyDist); ok {
+		cfg.Keys = b.bound()
+	}
 	return &Generator{
 		cfg:             cfg,
 		k:               k,
 		queues:          queues,
 		rng:             k.RNG("generator"),
 		recentPurchases: make([]purchaseID, 0, reservoirSize),
+		pool:            tuple.NewBatchPool(1024),
 	}, nil
 }
 
@@ -285,30 +339,41 @@ func (g *Generator) tick(now sim.Time) {
 		return
 	}
 	span := float64(g.cfg.Tick)
+	// Stage the tick's events in a recycled batch, then scatter them
+	// round-robin over the instance queues.  The batch is the only event
+	// storage the generator ever allocates; Push copies values into the
+	// queue rings.
+	batch := g.pool.Get()
 	for i := 0; i < n; i++ {
 		// Event times increase within the tick (per-instance streams
 		// are in order, which keeps watermarks simple, matching the
 		// paper's in-order generation).
 		et := intervalStart + time.Duration((float64(i)+0.5)/float64(n)*span)
-		e := g.makeEvent(et)
-		if g.cfg.Tap != nil {
-			g.cfg.Tap(e)
-		}
-		q := g.queues.Queue(i % g.queues.Size())
-		q.Push(e) // overflow is detected by the driver via q.Overflowed()
-		g.totalWeight += e.Weight
+		batch.Append(g.makeEvent(et))
 	}
+	if g.cfg.Tap != nil {
+		for i := range batch.Events {
+			g.cfg.Tap(&batch.Events[i])
+		}
+	}
+	size := g.queues.Size()
+	for i := range batch.Events {
+		q := g.queues.Queue(i % size)
+		q.Push(batch.Events[i]) // overflow is detected by the driver via q.Overflowed()
+		g.totalWeight += batch.Events[i].Weight
+	}
+	g.pool.Put(batch)
 }
 
 // makeEvent draws one event.
-func (g *Generator) makeEvent(et time.Duration) *tuple.Event {
+func (g *Generator) makeEvent(et time.Duration) tuple.Event {
 	if g.cfg.DisorderProb > 0 && g.rng.Bool(g.cfg.DisorderProb) {
 		et -= time.Duration(g.rng.Float64() * float64(g.cfg.DisorderMax))
 		if et < 0 {
 			et = 0
 		}
 	}
-	e := &tuple.Event{
+	e := tuple.Event{
 		EventTime: et,
 		Weight:    g.cfg.EventsPerTuple,
 	}

@@ -86,8 +86,8 @@ func TestGeneratorEventTimesOrderedPerQueue(t *testing.T) {
 		q := qs.Queue(i)
 		last := time.Duration(-1)
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			if e.EventTime < last {
@@ -111,8 +111,8 @@ func TestGeneratorEventFields(t *testing.T) {
 	n := 0
 	for _, q := range qs.Queues() {
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			n++
@@ -149,12 +149,12 @@ func TestGeneratorAdsShareAndSelectivity(t *testing.T) {
 	k.Run(5 * time.Second)
 
 	purchases := map[int64]bool{}
-	var ads []*tuple.Event
+	var ads []tuple.Event
 	nP, nA := 0, 0
 	for _, q := range qs.Queues() {
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			if e.Stream == tuple.Ads {
@@ -197,8 +197,8 @@ func TestGeneratorSingleKeySkew(t *testing.T) {
 	k.Run(time.Second)
 	for _, q := range qs.Queues() {
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			if e.GemPackID != 42 {
@@ -314,8 +314,8 @@ func TestGeneratorDeterminism(t *testing.T) {
 		var sig int64
 		for _, q := range qs.Queues() {
 			for {
-				e := q.Pop()
-				if e == nil {
+				e, ok := q.Pop()
+				if !ok {
 					break
 				}
 				sig = sig*31 + e.UserID + e.GemPackID*7 + e.Price*13 + int64(e.EventTime)
@@ -343,8 +343,8 @@ func TestGeneratorDisorder(t *testing.T) {
 	for _, q := range qs.Queues() {
 		last := time.Duration(-1)
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			total++
@@ -377,5 +377,123 @@ func TestGeneratorDisorderValidation(t *testing.T) {
 	c.DisorderProb = 0.5 // without DisorderMax
 	if c.Validate() == nil {
 		t.Fatal("disorder without max shift accepted")
+	}
+}
+
+func TestStepScheduleValidate(t *testing.T) {
+	good := StepSchedule{{From: 0, Rate: 1}, {From: time.Second, Rate: 2}, {From: time.Minute, Rate: 3}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("ordered schedule rejected: %v", err)
+	}
+	bad := StepSchedule{{From: time.Second, Rate: 1}, {From: time.Second, Rate: 2}}
+	if bad.Validate() == nil {
+		t.Fatal("duplicate step times accepted")
+	}
+	rev := StepSchedule{{From: time.Minute, Rate: 1}, {From: 0, Rate: 2}}
+	if rev.Validate() == nil {
+		t.Fatal("reversed step order accepted")
+	}
+	// The validation is wired into Config.Validate so a generator can
+	// never be built on an unordered schedule (RateAt binary-searches it).
+	cfg := baseConfig()
+	cfg.Rate = rev
+	if cfg.Validate() == nil {
+		t.Fatal("config with unordered schedule accepted")
+	}
+}
+
+func TestStepScheduleBinarySearchMatchesScan(t *testing.T) {
+	s := StepSchedule{
+		{From: 0, Rate: 10}, {From: 3 * time.Second, Rate: 20},
+		{From: 9 * time.Second, Rate: 5}, {From: 40 * time.Second, Rate: 80},
+	}
+	// Reference: the pre-optimization linear scan.
+	scan := func(t time.Duration) float64 {
+		rate := 0.0
+		for _, st := range s {
+			if st.From <= t {
+				rate = st.Rate
+			} else {
+				break
+			}
+		}
+		return rate
+	}
+	for d := -2 * time.Second; d < time.Minute; d += 250 * time.Millisecond {
+		if got, want := s.RateAt(d), scan(d); got != want {
+			t.Fatalf("RateAt(%v) = %v, scan says %v", d, got, want)
+		}
+	}
+}
+
+// TestZipfKeysPerRunIsolation pins the satellite fix: two generators built
+// from the SAME shared ZipfKeys config value must produce identical key
+// streams for identical seeds — each run binds its own sampler instead of
+// racing to lazily initialize the shared one.
+func TestZipfKeysPerRunIsolation(t *testing.T) {
+	shared := &ZipfKeys{N: 50, S: 1.4}
+	run := func() int64 {
+		k := sim.NewKernel(99)
+		cfg := baseConfig()
+		cfg.Keys = shared
+		qs := queue.NewGroup("g", cfg.Instances, 0)
+		g, err := New(k, cfg, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		k.Run(time.Second)
+		var sig int64
+		for _, q := range qs.Queues() {
+			for {
+				e, ok := q.Pop()
+				if !ok {
+					break
+				}
+				sig = sig*31 + e.GemPackID
+			}
+		}
+		return sig
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if run() != first {
+			t.Fatal("shared ZipfKeys config leaks sampler state between runs")
+		}
+	}
+	if shared.z != nil {
+		t.Fatal("generator must not initialize the shared instance's sampler")
+	}
+}
+
+// BenchmarkGeneratorTick measures the per-tick generation hot path —
+// events drawn, staged in a pooled batch, and scattered into the queue
+// rings — with a consumer draining so the rings stay at steady state.
+// It must report 0 allocs/op once slabs have grown.
+func BenchmarkGeneratorTick(b *testing.B) {
+	k := sim.NewKernel(1)
+	cfg := baseConfig()
+	cfg.Rate = ConstantRate(4_000_000) // 40 tuples per 10ms tick at weight 100
+	qs := queue.NewGroup("g", cfg.Instances, 0)
+	g, err := New(k, cfg, qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drain := tuple.NewBatch(4096)
+	now := sim.Time(0)
+	// Warm the rings and slabs.
+	for i := 0; i < 100; i++ {
+		now += cfg.Tick
+		g.tick(now)
+	}
+	drain.Reset()
+	qs.PopBatch(drain, 1<<30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += cfg.Tick
+		g.tick(now)
+		drain.Reset()
+		qs.PopBatch(drain, 1<<30)
 	}
 }

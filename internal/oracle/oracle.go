@@ -31,14 +31,15 @@ type AggResult struct {
 // Aggregate computes every (key, window) SUM over the full event log for
 // the query's window geometry, by brute force: for each event, for each
 // window containing it, accumulate.  Results are sorted by (window, key).
-func Aggregate(q workload.Query, events []*tuple.Event) []AggResult {
+func Aggregate(q workload.Query, events []tuple.Event) []AggResult {
 	asg := q.Assigner()
 	type kw struct {
 		key int64
 		end time.Duration
 	}
 	acc := map[kw]*AggResult{}
-	for _, e := range events {
+	for i := range events {
+		e := &events[i]
 		if e.Stream != tuple.Purchases {
 			continue
 		}
@@ -71,14 +72,15 @@ func Aggregate(q workload.Query, events []*tuple.Event) []AggResult {
 
 // JoinResultCount returns, per window end, the number of matching
 // (purchase, ad) pairs the join query should produce.
-func JoinResultCount(q workload.Query, events []*tuple.Event) map[time.Duration]int {
+func JoinResultCount(q workload.Query, events []tuple.Event) map[time.Duration]int {
 	asg := q.Assigner()
 	type side struct {
-		purchases []*tuple.Event
-		ads       []*tuple.Event
+		purchases []tuple.Event
+		ads       []tuple.Event
 	}
 	byWindow := map[time.Duration]*side{}
-	for _, e := range events {
+	for i := range events {
+		e := &events[i]
 		for _, w := range asg.Assign(e.EventTime) {
 			s, ok := byWindow[w.End]
 			if !ok {
@@ -86,9 +88,9 @@ func JoinResultCount(q workload.Query, events []*tuple.Event) map[time.Duration]
 				byWindow[w.End] = s
 			}
 			if e.Stream == tuple.Ads {
-				s.ads = append(s.ads, e)
+				s.ads = append(s.ads, *e)
 			} else {
-				s.purchases = append(s.purchases, e)
+				s.purchases = append(s.purchases, *e)
 			}
 		}
 	}

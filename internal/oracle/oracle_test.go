@@ -32,7 +32,7 @@ func runOracleCheck(t *testing.T, eng engine.Engine) {
 	t.Helper()
 	q := workload.Default(workload.Aggregation)
 
-	var log []*tuple.Event
+	var log []tuple.Event
 	var outputs []*tuple.Output
 
 	cfg := driver.Config{
@@ -43,8 +43,7 @@ func runOracleCheck(t *testing.T, eng engine.Engine) {
 		RunFor:         80 * time.Second,
 		EventsPerTuple: 200,
 		EventTap: func(e *tuple.Event) {
-			c := *e
-			log = append(log, &c)
+			log = append(log, *e)
 		},
 		OutputTap: func(o *tuple.Output) {
 			c := *o
@@ -104,7 +103,7 @@ func runOracleCheck(t *testing.T, eng engine.Engine) {
 func TestFlinkJoinCountMatchesOracle(t *testing.T) {
 	q := workload.Default(workload.Join)
 
-	var log []*tuple.Event
+	var log []tuple.Event
 	var outputs []*tuple.Output
 	cfg := driver.Config{
 		Seed:           13,
@@ -113,7 +112,7 @@ func TestFlinkJoinCountMatchesOracle(t *testing.T) {
 		Query:          q,
 		RunFor:         80 * time.Second,
 		EventsPerTuple: 200,
-		EventTap:       func(e *tuple.Event) { c := *e; log = append(log, &c) },
+		EventTap:       func(e *tuple.Event) { log = append(log, *e) },
 		OutputTap:      func(o *tuple.Output) { c := *o; outputs = append(outputs, &c) },
 	}
 	res, err := driver.Run(flink.New(flink.Options{}), cfg)
@@ -146,7 +145,7 @@ func TestFlinkJoinCountMatchesOracle(t *testing.T) {
 // TestOracleUnits sanity-checks the oracle itself on a tiny hand-built log.
 func TestOracleUnits(t *testing.T) {
 	q := workload.Default(workload.Aggregation)
-	log := []*tuple.Event{
+	log := []tuple.Event{
 		{Stream: tuple.Purchases, GemPackID: 1, Price: 10, EventTime: 2 * time.Second, Weight: 1},
 		{Stream: tuple.Purchases, GemPackID: 1, Price: 20, EventTime: 6 * time.Second, Weight: 1},
 		{Stream: tuple.Ads, GemPackID: 1, EventTime: 3 * time.Second, Weight: 1},

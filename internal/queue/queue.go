@@ -9,6 +9,11 @@
 // driver measures throughput.  A SUT that stops draining a queue for too
 // long — Storm dropping connections under overload — is detected here and
 // treated as a failure, exactly as the paper prescribes.
+//
+// Events are stored by value in a power-of-two ring buffer, so the steady
+// state allocates nothing: pushes copy into the ring, pops copy out, and
+// the ring only grows (never shrinks) until it fits the deployment's peak
+// backlog.
 package queue
 
 import (
@@ -17,8 +22,13 @@ import (
 	"repro/internal/tuple"
 )
 
+// minRingSize is the initial ring allocation; must be a power of two.
+const minRingSize = 64
+
 // Queue is a FIFO buffer of events with weight-based capacity accounting.
-// It is not safe for concurrent use; the simulation is single-goroutine.
+// It is not safe for concurrent use; each simulation run is
+// single-goroutine (runs themselves may execute in parallel, each with its
+// own queues).
 type Queue struct {
 	name string
 	// capWeight is the maximum buffered real-event weight; 0 means
@@ -27,8 +37,11 @@ type Queue struct {
 	// buffer and the experiment is halted.
 	capWeight int64
 
-	buf  []*tuple.Event
-	head int
+	// buf is a power-of-two ring; head and tail are free-running
+	// counters masked by len(buf)-1.  tail-head is the live count.
+	buf  []tuple.Event
+	head uint64
+	tail uint64
 
 	weight   int64
 	totalIn  int64 // cumulative real-event weight pushed
@@ -45,53 +58,112 @@ func New(name string, capWeight int64) *Queue {
 // Name returns the queue's name.
 func (q *Queue) Name() string { return q.name }
 
+// grow doubles the ring (or allocates the initial one), relinearising the
+// live events at the front.
+func (q *Queue) grow() {
+	size := 2 * len(q.buf)
+	if size < minRingSize {
+		size = minRingSize
+	}
+	next := make([]tuple.Event, size)
+	n := q.copyOut(next)
+	q.buf = next
+	q.head = 0
+	q.tail = uint64(n)
+}
+
+// copyOut copies the live events in FIFO order into dst and returns how
+// many were copied.
+func (q *Queue) copyOut(dst []tuple.Event) int {
+	n := int(q.tail - q.head)
+	if n == 0 || len(q.buf) == 0 {
+		return 0
+	}
+	mask := uint64(len(q.buf) - 1)
+	h := int(q.head & mask)
+	c := copy(dst, q.buf[h:min(h+n, len(q.buf))])
+	if c < n {
+		c += copy(dst[c:], q.buf[:n-c])
+	}
+	return c
+}
+
 // Push appends an event.  It returns false — and marks the queue
 // overflowed — if the event does not fit; the driver converts that into an
 // experiment failure at the offered rate.
-func (q *Queue) Push(e *tuple.Event) bool {
+func (q *Queue) Push(e tuple.Event) bool {
 	if q.capWeight > 0 && q.weight+e.Weight > q.capWeight {
 		q.overflow = true
 		return false
 	}
-	q.buf = append(q.buf, e)
+	if int(q.tail-q.head) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&uint64(len(q.buf)-1)] = e
+	q.tail++
 	q.weight += e.Weight
 	q.totalIn += e.Weight
 	return true
 }
 
-// Pop removes and returns the oldest event, or nil if empty.
-func (q *Queue) Pop() *tuple.Event {
-	if q.head >= len(q.buf) {
-		return nil
+// PushBatch pushes every event of the slice in order, stopping at the
+// first one that does not fit.  It returns the number pushed; a short
+// return means the queue overflowed, exactly as if the events had been
+// pushed one by one.
+func (q *Queue) PushBatch(events []tuple.Event) int {
+	for i := range events {
+		if !q.Push(events[i]) {
+			return i
+		}
 	}
-	e := q.buf[q.head]
-	q.buf[q.head] = nil
+	return len(events)
+}
+
+// Pop removes and returns the oldest event; ok is false if the queue is
+// empty.
+func (q *Queue) Pop() (e tuple.Event, ok bool) {
+	if q.head == q.tail {
+		return tuple.Event{}, false
+	}
+	e = q.buf[q.head&uint64(len(q.buf)-1)]
 	q.head++
 	q.weight -= e.Weight
 	q.totalOut += e.Weight
-	// Compact once the dead prefix dominates, keeping amortised O(1)
-	// pops without unbounded memory.
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i] = nil
-		}
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
-	return e
+	return e, true
 }
 
-// Peek returns the oldest event without removing it, or nil.
-func (q *Queue) Peek() *tuple.Event {
-	if q.head >= len(q.buf) {
-		return nil
+// PopBatch appends up to max events in FIFO order to dst and returns how
+// many were moved.  The copies in dst are owned by the caller.
+func (q *Queue) PopBatch(dst *tuple.Batch, max int) int {
+	n := int(q.tail - q.head)
+	if n > max {
+		n = max
 	}
-	return q.buf[q.head]
+	if n <= 0 {
+		return 0
+	}
+	mask := uint64(len(q.buf) - 1)
+	for i := 0; i < n; i++ {
+		e := q.buf[(q.head+uint64(i))&mask]
+		dst.Append(e)
+		q.weight -= e.Weight
+		q.totalOut += e.Weight
+	}
+	q.head += uint64(n)
+	return n
+}
+
+// Peek returns a copy of the oldest event without removing it; ok is false
+// if the queue is empty.
+func (q *Queue) Peek() (e tuple.Event, ok bool) {
+	if q.head == q.tail {
+		return tuple.Event{}, false
+	}
+	return q.buf[q.head&uint64(len(q.buf)-1)], true
 }
 
 // Len returns the number of buffered simulated events.
-func (q *Queue) Len() int { return len(q.buf) - q.head }
+func (q *Queue) Len() int { return int(q.tail - q.head) }
 
 // Weight returns the buffered real-event weight (the paper's "maximum
 // number of events ... queued" tolerance is judged on this).
@@ -178,28 +250,25 @@ func (g *Group) Overflowed() bool {
 	return false
 }
 
-// PopUpTo removes up to n events round-robin across the queues, preserving
-// approximate arrival fairness.  It returns fewer than n only when the
-// group is drained.  The round-robin cursor persists across calls so no
-// queue is starved.
-func (g *Group) PopUpTo(n int) []*tuple.Event {
-	if n <= 0 || len(g.queues) == 0 {
-		return nil
+// PopBatch appends up to max events to dst, removed round-robin across the
+// queues one event at a time, preserving approximate arrival fairness.  It
+// moves fewer than max only when the group is drained.  The round-robin
+// cursor persists across calls so no queue is starved.
+func (g *Group) PopBatch(dst *tuple.Batch, max int) int {
+	if max <= 0 || len(g.queues) == 0 {
+		return 0
 	}
-	out := make([]*tuple.Event, 0, n)
-	idle := 0
-	for len(out) < n && idle < len(g.queues) {
+	moved, idle := 0, 0
+	for moved < max && idle < len(g.queues) {
 		q := g.queues[g.next%len(g.queues)]
 		g.next++
-		if e := q.Pop(); e != nil {
-			out = append(out, e)
+		if e, ok := q.Pop(); ok {
+			dst.Append(e)
+			moved++
 			idle = 0
 		} else {
 			idle++
 		}
 	}
-	if len(out) == 0 {
-		return nil
-	}
-	return out
+	return moved
 }

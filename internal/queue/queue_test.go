@@ -8,8 +8,8 @@ import (
 	"repro/internal/tuple"
 )
 
-func mkEvent(i int, weight int64) *tuple.Event {
-	return &tuple.Event{
+func mkEvent(i int, weight int64) tuple.Event {
+	return tuple.Event{
 		UserID: int64(i), GemPackID: int64(i % 10),
 		EventTime: time.Duration(i) * time.Millisecond, Weight: weight,
 	}
@@ -23,13 +23,13 @@ func TestQueueFIFO(t *testing.T) {
 		}
 	}
 	for i := 0; i < 100; i++ {
-		e := q.Pop()
-		if e == nil || e.UserID != int64(i) {
+		e, ok := q.Pop()
+		if !ok || e.UserID != int64(i) {
 			t.Fatalf("FIFO order broken at %d: %+v", i, e)
 		}
 	}
-	if q.Pop() != nil {
-		t.Fatal("empty queue must pop nil")
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue must pop nothing")
 	}
 }
 
@@ -63,38 +63,137 @@ func TestQueueCapacityOverflow(t *testing.T) {
 	}
 }
 
+// TestQueueOverflowAtCapacityParity pins the exact boundary semantics the
+// pre-ring queue had: a push that lands exactly on capWeight is accepted,
+// one real event over is refused, and a refused push does not change any
+// of the counters.
+func TestQueueOverflowAtCapacityParity(t *testing.T) {
+	q := New("q", 1000)
+	if !q.Push(mkEvent(0, 600)) || !q.Push(mkEvent(1, 400)) {
+		t.Fatal("pushes summing exactly to capacity must be accepted")
+	}
+	if q.Overflowed() {
+		t.Fatal("filling to exactly capWeight is not an overflow")
+	}
+	if q.Push(mkEvent(2, 1)) {
+		t.Fatal("one event over capacity must be refused")
+	}
+	if !q.Overflowed() {
+		t.Fatal("the refusal must be recorded")
+	}
+	if q.Weight() != 1000 || q.TotalIn() != 1000 || q.TotalOut() != 0 || q.Len() != 2 {
+		t.Fatalf("refused push must not change accounting: w=%d in=%d out=%d len=%d",
+			q.Weight(), q.TotalIn(), q.TotalOut(), q.Len())
+	}
+	// Draining restores headroom.
+	q.Pop()
+	if !q.Push(mkEvent(3, 600)) {
+		t.Fatal("push that fits after a pop should succeed")
+	}
+}
+
 func TestQueuePeek(t *testing.T) {
 	q := New("q", 0)
-	if q.Peek() != nil {
-		t.Fatal("peek on empty must be nil")
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty must report not-ok")
 	}
 	q.Push(mkEvent(7, 1))
-	if q.Peek().UserID != 7 || q.Len() != 1 {
+	if e, ok := q.Peek(); !ok || e.UserID != 7 || q.Len() != 1 {
 		t.Fatal("peek must not consume")
 	}
 }
 
-func TestQueueCompaction(t *testing.T) {
-	q := New("q", 0)
-	// Interleave pushes and pops to force compaction several times; FIFO
-	// order must survive.
-	next := 0
-	popped := 0
-	for round := 0; round < 50; round++ {
-		for i := 0; i < 100; i++ {
-			q.Push(mkEvent(next, 1))
-			next++
-		}
-		for i := 0; i < 90; i++ {
-			e := q.Pop()
-			if e == nil || e.UserID != int64(popped) {
-				t.Fatalf("order broken after compaction at %d", popped)
+// TestQueueRingWraparound drives the ring through many full revolutions at
+// several fill levels so head/tail wrap the slab repeatedly; FIFO order and
+// accounting must survive every wrap.
+func TestQueueRingWraparound(t *testing.T) {
+	for _, fill := range []int{1, 3, minRingSize - 1, minRingSize, minRingSize + 17} {
+		q := New("q", 0)
+		next, popped := 0, 0
+		for round := 0; round < 300; round++ {
+			for i := 0; i < fill; i++ {
+				q.Push(mkEvent(next, 1))
+				next++
 			}
-			popped++
+			for i := 0; i < fill; i++ {
+				e, ok := q.Pop()
+				if !ok || e.UserID != int64(popped) {
+					t.Fatalf("fill=%d: order broken after wraparound at %d: %+v", fill, popped, e)
+				}
+				popped++
+			}
+		}
+		if q.Len() != 0 || q.Weight() != 0 {
+			t.Fatalf("fill=%d: queue should be drained: len=%d w=%d", fill, q.Len(), q.Weight())
 		}
 	}
-	if q.Len() != next-popped {
-		t.Fatalf("len mismatch: %d vs %d", q.Len(), next-popped)
+}
+
+// TestQueueGrowthRelinearises forces a grow while head sits mid-ring, which
+// exercises the two-segment copy.
+func TestQueueGrowthRelinearises(t *testing.T) {
+	q := New("q", 0)
+	next, popped := 0, 0
+	// Advance head partway, then overfill far beyond one ring size.
+	for i := 0; i < minRingSize; i++ {
+		q.Push(mkEvent(next, 1))
+		next++
+	}
+	for i := 0; i < minRingSize/2; i++ {
+		q.Pop()
+		popped++
+	}
+	for i := 0; i < 5*minRingSize; i++ {
+		q.Push(mkEvent(next, 1))
+		next++
+	}
+	for popped < next {
+		e, ok := q.Pop()
+		if !ok || e.UserID != int64(popped) {
+			t.Fatalf("order broken after growth at %d: %+v", popped, e)
+		}
+		popped++
+	}
+}
+
+func TestQueuePushPopBatch(t *testing.T) {
+	q := New("q", 0)
+	in := make([]tuple.Event, 100)
+	for i := range in {
+		in[i] = mkEvent(i, 2)
+	}
+	if n := q.PushBatch(in); n != 100 {
+		t.Fatalf("unbounded PushBatch moved %d of 100", n)
+	}
+	b := tuple.NewBatch(32)
+	if n := q.PopBatch(b, 30); n != 30 || b.Len() != 30 {
+		t.Fatalf("PopBatch moved %d (batch %d), want 30", n, b.Len())
+	}
+	for i, e := range b.Events {
+		if e.UserID != int64(i) {
+			t.Fatalf("batch order broken at %d: %+v", i, e)
+		}
+	}
+	if q.Len() != 70 || q.Weight() != 140 || q.TotalOut() != 60 {
+		t.Fatalf("accounting after PopBatch: len=%d w=%d out=%d", q.Len(), q.Weight(), q.TotalOut())
+	}
+	// PopBatch appends: a second pop extends the same batch.
+	if n := q.PopBatch(b, 1000); n != 70 || b.Len() != 100 {
+		t.Fatalf("draining PopBatch moved %d (batch %d)", n, b.Len())
+	}
+	if b.Events[99].UserID != 99 {
+		t.Fatalf("appended batch order broken: %+v", b.Events[99])
+	}
+}
+
+func TestQueuePushBatchStopsAtOverflow(t *testing.T) {
+	q := New("q", 5)
+	in := []tuple.Event{mkEvent(0, 2), mkEvent(1, 2), mkEvent(2, 2)}
+	if n := q.PushBatch(in); n != 2 {
+		t.Fatalf("PushBatch should stop at the event that does not fit: moved %d", n)
+	}
+	if !q.Overflowed() || q.Weight() != 4 {
+		t.Fatalf("overflow parity broken: overflowed=%v w=%d", q.Overflowed(), q.Weight())
 	}
 }
 
@@ -135,13 +234,13 @@ func TestGroupRoundRobinFairness(t *testing.T) {
 			g.Queue(i).Push(mkEvent(i*100+j, 1))
 		}
 	}
-	out := g.PopUpTo(8)
-	if len(out) != 8 {
-		t.Fatalf("popped %d", len(out))
+	b := tuple.NewBatch(8)
+	if n := g.PopBatch(b, 8); n != 8 {
+		t.Fatalf("popped %d", n)
 	}
 	// Round-robin: exactly two events from each queue.
 	seen := map[int64]int{}
-	for _, e := range out {
+	for _, e := range b.Events {
 		seen[e.UserID/100]++
 	}
 	for i := int64(0); i < 4; i++ {
@@ -151,21 +250,22 @@ func TestGroupRoundRobinFairness(t *testing.T) {
 	}
 }
 
-func TestGroupPopUpToDrainsUnevenQueues(t *testing.T) {
+func TestGroupPopBatchDrainsUnevenQueues(t *testing.T) {
 	g := NewGroup("gen", 3, 0)
 	// Only queue 1 has events.
 	for j := 0; j < 5; j++ {
 		g.Queue(1).Push(mkEvent(j, 1))
 	}
-	out := g.PopUpTo(10)
-	if len(out) != 5 {
-		t.Fatalf("should drain all 5 available, got %d", len(out))
+	b := tuple.NewBatch(16)
+	if n := g.PopBatch(b, 10); n != 5 {
+		t.Fatalf("should drain all 5 available, got %d", n)
 	}
-	if g.PopUpTo(10) != nil {
-		t.Fatal("drained group should return nil")
+	b.Reset()
+	if g.PopBatch(b, 10) != 0 {
+		t.Fatal("drained group should move nothing")
 	}
-	if g.PopUpTo(0) != nil {
-		t.Fatal("n<=0 should return nil")
+	if g.PopBatch(b, 0) != 0 {
+		t.Fatal("max<=0 should move nothing")
 	}
 }
 
@@ -182,5 +282,48 @@ func TestGroupAggregates(t *testing.T) {
 	g.Queue(1).Push(mkEvent(2, 60)) // exceeds 100 on queue 1
 	if !g.Overflowed() {
 		t.Fatal("group must surface member overflow")
+	}
+}
+
+// BenchmarkQueuePushPop measures the steady-state push/pop hot path; it
+// must report 0 allocs/op once the ring has grown to the working set.
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := New("bench", 0)
+	e := mkEvent(1, 20)
+	// Warm the ring so the one-time grow is not charged to the first
+	// timed iteration (keeps the -benchtime=1x CI smoke at 0 allocs/op).
+	q.Push(e)
+	q.Pop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(e)
+		q.Pop()
+	}
+}
+
+// BenchmarkQueueBatchTransfer measures the batched variant used by the
+// engines' source pull: 256-event batches through a group of 16 queues.
+func BenchmarkQueueBatchTransfer(b *testing.B) {
+	g := NewGroup("bench", 16, 0)
+	in := make([]tuple.Event, 256)
+	for i := range in {
+		in[i] = mkEvent(i, 20)
+	}
+	batch := tuple.NewBatch(256)
+	// Warm the rings and the batch slab before timing.
+	for j := range in {
+		g.Queue(j % 16).Push(in[j])
+	}
+	g.PopBatch(batch, 256)
+	batch.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range in {
+			g.Queue(j % 16).Push(in[j])
+		}
+		batch.Reset()
+		g.PopBatch(batch, 256)
 	}
 }

@@ -130,8 +130,11 @@ func (r *RNG) Perturb(v, rel float64) float64 {
 // Zipf draws from a Zipf distribution over {0, ..., n-1} with exponent s>1
 // being more skewed as s grows.  It uses the rejection-inversion method of
 // Hörmann and Derflinger, which needs no precomputed tables and is exact.
+//
+// A Zipf holds only pure constants derived from (n, s); the random stream
+// is supplied per call to Next, so one sampler can be shared by sequential
+// callers and concurrently executing runs each pass their own RNG.
 type Zipf struct {
-	r                *RNG
 	n                float64
 	s                float64
 	oneMinusS        float64
@@ -143,11 +146,11 @@ type Zipf struct {
 
 // NewZipf constructs a Zipf sampler over n elements with exponent s (> 0,
 // s != 1 handled; s close to 1 is fine).
-func NewZipf(r *RNG, n int, s float64) *Zipf {
+func NewZipf(n int, s float64) *Zipf {
 	if n <= 0 {
 		panic("sim: Zipf requires n > 0")
 	}
-	z := &Zipf{r: r, n: float64(n), s: s, oneMinusS: 1 - s}
+	z := &Zipf{n: float64(n), s: s, oneMinusS: 1 - s}
 	z.hIntegralX1 = z.hIntegral(1.5) - 1
 	z.hIntegralN = z.hIntegral(z.n + 0.5)
 	z.ss = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
@@ -186,10 +189,10 @@ func helper2(x float64) float64 {
 	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
 }
 
-// Next draws the next Zipf-distributed value in [0, n).
-func (z *Zipf) Next() int {
+// Next draws the next Zipf-distributed value in [0, n) from r.
+func (z *Zipf) Next(r *RNG) int {
 	for {
-		u := z.hIntegralN + z.r.Float64()*(z.hIntegralX1-z.hIntegralN)
+		u := z.hIntegralN + r.Float64()*(z.hIntegralX1-z.hIntegralN)
 		x := z.hIntegralInv(u)
 		k := math.Floor(x + 0.5)
 		if k < 1 {

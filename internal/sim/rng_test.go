@@ -114,11 +114,11 @@ func TestBoolProbability(t *testing.T) {
 
 func TestZipfRangeAndSkew(t *testing.T) {
 	r := NewRNG(23, "zipf")
-	z := NewZipf(r, 1000, 1.2)
+	z := NewZipf(1000, 1.2)
 	counts := make(map[int]int)
 	const n = 100000
 	for i := 0; i < n; i++ {
-		v := z.Next()
+		v := z.Next(r)
 		if v < 0 || v >= 1000 {
 			t.Fatalf("Zipf out of range: %d", v)
 		}
@@ -136,9 +136,9 @@ func TestZipfRangeAndSkew(t *testing.T) {
 
 func TestZipfSingleElement(t *testing.T) {
 	r := NewRNG(29, "zipf1")
-	z := NewZipf(r, 1, 1.5)
+	z := NewZipf(1, 1.5)
 	for i := 0; i < 100; i++ {
-		if v := z.Next(); v != 0 {
+		if v := z.Next(r); v != 0 {
 			t.Fatalf("Zipf over 1 element must return 0, got %d", v)
 		}
 	}

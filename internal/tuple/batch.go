@@ -1,0 +1,88 @@
+package tuple
+
+// Batch is a reusable slab of events moved through the driver pipeline by
+// value.  It is the unit of transfer between the generator, the driver
+// queues and the engines' source operators: events are copied into and out
+// of batches instead of being allocated one-by-one on the heap, which keeps
+// the simulation hot path allocation-free after warm-up.
+//
+// Ownership rules (see DESIGN-PERF.md):
+//
+//   - The party that filled a batch owns it until it hands the batch (or
+//     its events) off; receivers that need events beyond the hand-off must
+//     copy the values out.
+//   - Reset does not zero the slab; a recycled batch may expose stale
+//     Event values through re-slicing, so consumers must only read
+//     Events[:Len()].
+type Batch struct {
+	// Events is the slab.  Callers may read and reorder Events freely but
+	// must go through Append/Reset to change its length so capacity is
+	// retained across reuse.
+	Events []Event
+}
+
+// NewBatch returns an empty batch with the given slab capacity.
+func NewBatch(capacity int) *Batch {
+	return &Batch{Events: make([]Event, 0, capacity)}
+}
+
+// Len returns the number of events in the batch.
+func (b *Batch) Len() int { return len(b.Events) }
+
+// Reset empties the batch, retaining the slab for reuse.
+func (b *Batch) Reset() { b.Events = b.Events[:0] }
+
+// Append copies one event into the batch.
+func (b *Batch) Append(e Event) { b.Events = append(b.Events, e) }
+
+// Weight returns the total real-event weight of the batch.
+func (b *Batch) Weight() int64 {
+	var w int64
+	for i := range b.Events {
+		w += b.Events[i].Weight
+	}
+	return w
+}
+
+// BatchPool is a free-list of batches.  It exists so components that stage
+// a transient batch every tick (the generator, external bindings) can
+// recycle slabs instead of growing fresh ones.
+//
+// The pool is intentionally not safe for concurrent use: the simulation is
+// single-goroutine per run, and every run owns its own pool.  Sharing a
+// pool between concurrently executing runs would alias recycled slabs.
+type BatchPool struct {
+	free    []*Batch
+	slabCap int
+}
+
+// NewBatchPool returns a pool whose fresh batches start with the given slab
+// capacity.
+func NewBatchPool(slabCap int) *BatchPool {
+	if slabCap <= 0 {
+		slabCap = 256
+	}
+	return &BatchPool{slabCap: slabCap}
+}
+
+// Get returns an empty batch, recycling a previously Put one when possible.
+func (p *BatchPool) Get() *Batch {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.Reset()
+		return b
+	}
+	return NewBatch(p.slabCap)
+}
+
+// Put returns a batch to the free list.  The caller must not touch the
+// batch afterwards: its slab will be handed to the next Get.
+func (p *BatchPool) Put(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	p.free = append(p.free, b)
+}

@@ -43,10 +43,12 @@ type keyWindow struct {
 // the way Flink's aggregate function does: each arriving event updates the
 // partial result of every window it belongs to, so firing a window is O(1)
 // per key and no raw events are retained.  Memory is proportional to
-// (#live windows × #keys in them), not to the event count.
+// (#live windows × #keys in them), not to the event count.  Partials are
+// stored by value in the map, so the steady state allocates nothing beyond
+// the map's own buckets.
 type IncrementalAggregator struct {
 	asg   Assigner
-	state map[keyWindow]*Agg
+	state map[keyWindow]Agg
 	// ends tracks live window ends so firing scans only windows, not
 	// state entries.
 	ends map[time.Duration]int // end -> number of live keys
@@ -66,12 +68,13 @@ type IncrementalAggregator struct {
 func NewIncrementalAggregator(asg Assigner) *IncrementalAggregator {
 	return &IncrementalAggregator{
 		asg:   asg,
-		state: make(map[keyWindow]*Agg),
+		state: make(map[keyWindow]Agg),
 		ends:  make(map[time.Duration]int),
 	}
 }
 
-// Add folds one event into every not-yet-fired window containing it.
+// Add folds one event into every not-yet-fired window containing it.  The
+// pointee is copied into the partials, not retained.
 func (ia *IncrementalAggregator) Add(e *tuple.Event) {
 	ia.scratch = ia.scratch[:0]
 	ia.asg.AssignTo(e.EventTime, &ia.scratch)
@@ -84,11 +87,10 @@ func (ia *IncrementalAggregator) Add(e *tuple.Event) {
 		kw := keyWindow{key: e.Key(), end: w.End}
 		g, ok := ia.state[kw]
 		if !ok {
-			g = &Agg{}
-			ia.state[kw] = g
 			ia.ends[w.End]++
 		}
 		g.add(e)
+		ia.state[kw] = g
 	}
 }
 
@@ -122,7 +124,7 @@ func (ia *IncrementalAggregator) Fire(watermark time.Duration) []Result {
 	var out []Result
 	for kw, g := range ia.state {
 		if kw.end <= watermark {
-			out = append(out, Result{Key: kw.key, Window: ID{End: kw.end}, Agg: *g})
+			out = append(out, Result{Key: kw.key, Window: ID{End: kw.end}, Agg: g})
 			delete(ia.state, kw)
 		}
 	}

@@ -211,3 +211,70 @@ func TestStateBytesGrowth(t *testing.T) {
 		t.Fatal("state bytes must grow after Add")
 	}
 }
+
+// BenchmarkWindowAggregate measures the incremental-aggregation hot path:
+// Add into the (8s,4s) sliding windows with periodic firing, the exact
+// shape of the Flink model's per-tick work.
+func BenchmarkWindowAggregate(b *testing.B) {
+	asg, err := NewAssigner(8*time.Second, 4*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ia := NewIncrementalAggregator(asg)
+	const keys = 100
+	e := tuple.Event{Stream: tuple.Purchases, Weight: 20, Price: 7}
+	step := func(i int) {
+		e.GemPackID = int64(i % keys)
+		e.EventTime = time.Duration(i) * 100 * time.Microsecond
+		e.IngestTime = e.EventTime + time.Millisecond
+		ia.Add(&e)
+		// Fire every ~40k events (one slide's worth at this event rate).
+		if i%40_000 == 39_999 {
+			ia.Fire(e.EventTime - 8*time.Second)
+		}
+	}
+	// Warm through several complete fire/retire cycles so state-map growth
+	// is not charged to the timed iterations (keeps the -benchtime=1x CI
+	// smoke at 0 allocs/op); the timed loop continues the same stream.
+	const warm = 200_000
+	for i := 0; i < warm; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(warm + i)
+	}
+}
+
+// BenchmarkWindowBufferedAdd measures the buffered (Storm-style) path with
+// slab recycling: every fired window's slab is returned for reuse.
+func BenchmarkWindowBufferedAdd(b *testing.B) {
+	asg, err := NewAssigner(8*time.Second, 4*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := NewBufferedWindows(asg)
+	e := tuple.Event{Stream: tuple.Purchases, Weight: 20, Price: 7}
+	step := func(i int) {
+		e.GemPackID = int64(i % 100)
+		e.EventTime = time.Duration(i) * 100 * time.Microsecond
+		bw.Add(&e)
+		if i%40_000 == 39_999 {
+			for _, fw := range bw.Fire(e.EventTime - 8*time.Second) {
+				bw.Recycle(fw.Events)
+			}
+		}
+	}
+	// Warm through full fire/recycle cycles so slab growth is amortised
+	// out of the timed loop, which continues the same stream.
+	const warm = 200_000
+	for i := 0; i < warm; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(warm + i)
+	}
+}

@@ -13,11 +13,18 @@ import (
 // windowed join input side.  Memory grows with rate × window size — which
 // is exactly why the Storm model hits node memory limits in the paper's
 // large-window experiment while Flink's incremental operator does not.
+//
+// Events are buffered by value: Add copies the event into each window's
+// slab, so callers may pass pointers into reusable pull batches.
 type BufferedWindows struct {
 	asg     Assigner
-	buf     map[ID][]*tuple.Event
+	buf     map[ID][]tuple.Event
 	bytes   int64
 	scratch []ID
+	// free holds recycled window slabs (see Recycle); new windows reuse
+	// them instead of growing fresh ones, so the steady state stops
+	// allocating once slabs have grown to a window's typical fill.
+	free [][]tuple.Event
 	// firedThrough is the firing cursor; late events' contributions to
 	// already-fired windows are lost (allowed lateness zero).
 	firedThrough time.Duration
@@ -35,11 +42,11 @@ const bytesPerBufferedEvent = 120
 
 // NewBufferedWindows builds empty buffered window state.
 func NewBufferedWindows(asg Assigner) *BufferedWindows {
-	return &BufferedWindows{asg: asg, buf: make(map[ID][]*tuple.Event)}
+	return &BufferedWindows{asg: asg, buf: make(map[ID][]tuple.Event)}
 }
 
 // Add buffers the event in every window containing it and returns the
-// bytes of additional state consumed.
+// bytes of additional state consumed.  The pointee is copied, not retained.
 func (bw *BufferedWindows) Add(e *tuple.Event) int64 {
 	return bw.AddAt(e, e.EventTime)
 }
@@ -56,17 +63,43 @@ func (bw *BufferedWindows) AddAt(e *tuple.Event, at time.Duration) int64 {
 			bw.lateDropped++
 			continue
 		}
-		bw.buf[w] = append(bw.buf[w], e)
+		s, ok := bw.buf[w]
+		if !ok {
+			s = bw.takeSlab()
+		}
+		bw.buf[w] = append(s, *e)
 		grew += bytesPerBufferedEvent * e.Weight
 	}
 	bw.bytes += grew
 	return grew
 }
 
-// FiredWindow is a complete window's raw content.
+// takeSlab pops a recycled slab, or returns nil (append grows fresh).
+func (bw *BufferedWindows) takeSlab() []tuple.Event {
+	if n := len(bw.free); n > 0 {
+		s := bw.free[n-1]
+		bw.free[n-1] = nil
+		bw.free = bw.free[:n-1]
+		return s
+	}
+	return nil
+}
+
+// Recycle hands a fired window's slab back for reuse by future windows.
+// Callers must be done reading the events: the next window to buffer will
+// overwrite them.  Engines call this after evaluating a FiredWindow.
+func (bw *BufferedWindows) Recycle(events []tuple.Event) {
+	if cap(events) == 0 {
+		return
+	}
+	bw.free = append(bw.free, events[:0])
+}
+
+// FiredWindow is a complete window's raw content.  The Events slab is
+// owned by the receiver once Fire returns.
 type FiredWindow struct {
 	Window ID
-	Events []*tuple.Event
+	Events []tuple.Event
 }
 
 // Fire removes and returns every window with End <= watermark, ascending.
@@ -78,8 +111,8 @@ func (bw *BufferedWindows) Fire(watermark time.Duration) []FiredWindow {
 	for w, events := range bw.buf {
 		if w.End <= watermark {
 			out = append(out, FiredWindow{Window: w, Events: events})
-			for _, e := range events {
-				bw.bytes -= bytesPerBufferedEvent * e.Weight
+			for i := range events {
+				bw.bytes -= bytesPerBufferedEvent * events[i].Weight
 			}
 			delete(bw.buf, w)
 		}
@@ -98,14 +131,12 @@ func (bw *BufferedWindows) LiveWindows() int { return len(bw.buf) }
 // events — what a Storm bolt does at trigger time.  Results are ordered by
 // key for determinism.
 func AggregateFired(fw FiredWindow) []Result {
-	perKey := make(map[int64]*Agg)
-	for _, e := range fw.Events {
-		g, ok := perKey[e.Key()]
-		if !ok {
-			g = &Agg{}
-			perKey[e.Key()] = g
-		}
+	perKey := make(map[int64]Agg)
+	for i := range fw.Events {
+		e := &fw.Events[i]
+		g := perKey[e.Key()]
 		g.add(e)
+		perKey[e.Key()] = g
 	}
 	keys := make([]int64, 0, len(perKey))
 	for k := range perKey {
@@ -114,7 +145,7 @@ func AggregateFired(fw FiredWindow) []Result {
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]Result, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, Result{Key: k, Window: fw.Window, Agg: *perKey[k]})
+		out = append(out, Result{Key: k, Window: fw.Window, Agg: perKey[k]})
 	}
 	return out
 }

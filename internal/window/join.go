@@ -24,10 +24,10 @@ type JoinResult struct {
 }
 
 // HashJoinWindow performs an in-memory hash equi-join over one fired
-// window's purchases and ads.  The build side is the smaller input.  Cost
-// is O(|P| + |A| + |results|), which is what Flink's and Spark's window
-// joins achieve; contrast NestedLoopJoinWindow below.
-func HashJoinWindow(w ID, purchases, ads []*tuple.Event) []JoinResult {
+// window's purchases and ads.  The build side indexes the ads by join key.
+// Cost is O(|P| + |A| + |results|), which is what Flink's and Spark's
+// window joins achieve; contrast NestedLoopJoinWindow below.
+func HashJoinWindow(w ID, purchases, ads []tuple.Event) []JoinResult {
 	if len(purchases) == 0 || len(ads) == 0 {
 		return nil
 	}
@@ -35,27 +35,31 @@ func HashJoinWindow(w ID, purchases, ads []*tuple.Event) []JoinResult {
 	// maximum event-time of their window, so compute each side's window
 	// maximum first (Figure 2's max_time).
 	var pProv, aProv tuple.Provenance
-	for _, p := range purchases {
-		pProv.Observe(p)
+	for i := range purchases {
+		pProv.Observe(&purchases[i])
 	}
-	for _, a := range ads {
-		aProv.Observe(a)
+	for i := range ads {
+		aProv.Observe(&ads[i])
 	}
 	pairProv := pProv
 	pairProv.Merge(aProv)
 
-	index := make(map[int64][]*tuple.Event, len(ads))
-	for _, a := range ads {
-		index[a.JoinKey()] = append(index[a.JoinKey()], a)
+	// Index ads by join key, as positions into the slice, so the build
+	// side allocates no per-event boxes.
+	index := make(map[int64][]int32, len(ads))
+	for i := range ads {
+		k := ads[i].JoinKey()
+		index[k] = append(index[k], int32(i))
 	}
 	var out []JoinResult
-	for _, p := range purchases {
-		for _, a := range index[p.JoinKey()] {
+	for i := range purchases {
+		p := &purchases[i]
+		for _, ai := range index[p.JoinKey()] {
 			// One simulated pair stands for min(weights) real pairs:
 			// the matched ad and purchase populations pair up 1:1.
 			w8 := p.Weight
-			if a.Weight < w8 {
-				w8 = a.Weight
+			if aw := ads[ai].Weight; aw < w8 {
+				w8 = aw
 			}
 			out = append(out, JoinResult{
 				UserID:    p.UserID,
@@ -76,18 +80,20 @@ func HashJoinWindow(w ID, purchases, ads []*tuple.Event) []JoinResult {
 // identical to HashJoinWindow; only the cost model differs (the Storm
 // engine model charges quadratic CPU for it).  Comparisons is the number
 // of pair comparisons performed, for CPU accounting.
-func NestedLoopJoinWindow(w ID, purchases, ads []*tuple.Event) (out []JoinResult, comparisons int64) {
+func NestedLoopJoinWindow(w ID, purchases, ads []tuple.Event) (out []JoinResult, comparisons int64) {
 	var pProv, aProv tuple.Provenance
-	for _, p := range purchases {
-		pProv.Observe(p)
+	for i := range purchases {
+		pProv.Observe(&purchases[i])
 	}
-	for _, a := range ads {
-		aProv.Observe(a)
+	for i := range ads {
+		aProv.Observe(&ads[i])
 	}
 	pairProv := pProv
 	pairProv.Merge(aProv)
-	for _, p := range purchases {
-		for _, a := range ads {
+	for i := range purchases {
+		p := &purchases[i]
+		for j := range ads {
+			a := &ads[j]
 			comparisons++
 			if p.UserID == a.UserID && p.GemPackID == a.GemPackID {
 				w8 := p.Weight
@@ -138,7 +144,7 @@ func NewTwoStreamBuffer(asg Assigner) *TwoStreamBuffer {
 }
 
 // Add routes the event to its stream's buffer and returns state growth in
-// bytes.
+// bytes.  The pointee is copied, not retained.
 func (tb *TwoStreamBuffer) Add(e *tuple.Event) int64 {
 	return tb.AddAt(e, e.EventTime)
 }
@@ -155,8 +161,8 @@ func (tb *TwoStreamBuffer) AddAt(e *tuple.Event, at time.Duration) int64 {
 // FiredJoinWindow pairs both sides of one fired window.
 type FiredJoinWindow struct {
 	Window    ID
-	Purchases []*tuple.Event
-	Ads       []*tuple.Event
+	Purchases []tuple.Event
+	Ads       []tuple.Event
 }
 
 // Fire returns both sides of every window with End <= watermark, ascending.
@@ -188,4 +194,11 @@ func (tb *TwoStreamBuffer) Fire(watermark time.Duration) []FiredJoinWindow {
 // StateBytes returns total buffered bytes across both sides.
 func (tb *TwoStreamBuffer) StateBytes() int64 {
 	return tb.Purchases.StateBytes() + tb.Ads.StateBytes()
+}
+
+// Recycle hands a fired join window's slabs back to their side's free
+// lists.  Callers must be done reading both sides.
+func (tb *TwoStreamBuffer) Recycle(fw FiredJoinWindow) {
+	tb.Purchases.Recycle(fw.Purchases)
+	tb.Ads.Recycle(fw.Ads)
 }

@@ -14,13 +14,13 @@ func TestHashJoinPaperFigure2(t *testing.T) {
 	// max_time=600; every join output carries time=600, and emitted at
 	// 630 its latency is 30.
 	w := ID{End: 605 * time.Second}
-	ads := []*tuple.Event{
-		ev(tuple.Ads, 1, 2, 0, 500*time.Second),
+	ads := []tuple.Event{
+		*ev(tuple.Ads, 1, 2, 0, 500*time.Second),
 	}
-	purchases := []*tuple.Event{
-		ev(tuple.Purchases, 1, 2, 10, 580*time.Second),
-		ev(tuple.Purchases, 1, 2, 20, 550*time.Second),
-		ev(tuple.Purchases, 1, 2, 30, 600*time.Second),
+	purchases := []tuple.Event{
+		*ev(tuple.Purchases, 1, 2, 10, 580*time.Second),
+		*ev(tuple.Purchases, 1, 2, 20, 550*time.Second),
+		*ev(tuple.Purchases, 1, 2, 30, 600*time.Second),
 	}
 	out := HashJoinWindow(w, purchases, ads)
 	if len(out) != 3 {
@@ -42,8 +42,8 @@ func TestHashJoinPaperFigure2(t *testing.T) {
 
 func TestHashJoinNoMatch(t *testing.T) {
 	w := ID{End: 10 * time.Second}
-	p := []*tuple.Event{ev(tuple.Purchases, 1, 2, 10, time.Second)}
-	a := []*tuple.Event{ev(tuple.Ads, 3, 4, 0, time.Second)}
+	p := []tuple.Event{*ev(tuple.Purchases, 1, 2, 10, time.Second)}
+	a := []tuple.Event{*ev(tuple.Ads, 3, 4, 0, time.Second)}
 	if out := HashJoinWindow(w, p, a); out != nil {
 		t.Fatalf("disjoint keys must not join: %+v", out)
 	}
@@ -58,14 +58,14 @@ func TestNestedLoopMatchesHashJoinProperty(t *testing.T) {
 	f := func(seed uint16, np, na uint8) bool {
 		r := sim.NewRNG(uint64(seed), "join")
 		w := ID{End: 10 * time.Second}
-		var purchases, ads []*tuple.Event
+		var purchases, ads []tuple.Event
 		for i := 0; i < int(np%20)+1; i++ {
-			purchases = append(purchases, ev(tuple.Purchases,
+			purchases = append(purchases, *ev(tuple.Purchases,
 				int64(r.Intn(5)), int64(r.Intn(5)), int64(r.Intn(50)),
 				time.Duration(r.Intn(9000))*time.Millisecond))
 		}
 		for i := 0; i < int(na%20)+1; i++ {
-			ads = append(ads, ev(tuple.Ads,
+			ads = append(ads, *ev(tuple.Ads,
 				int64(r.Intn(5)), int64(r.Intn(5)), 0,
 				time.Duration(r.Intn(9000))*time.Millisecond))
 		}
@@ -95,7 +95,7 @@ func TestJoinWeightIsMinOfPair(t *testing.T) {
 	p.Weight = 100
 	a := ev(tuple.Ads, 1, 2, 0, time.Second)
 	a.Weight = 40
-	out := HashJoinWindow(w, []*tuple.Event{p}, []*tuple.Event{a})
+	out := HashJoinWindow(w, []tuple.Event{*p}, []tuple.Event{*a})
 	if len(out) != 1 || out[0].Weight != 40 {
 		t.Fatalf("pair weight should be min(100,40)=40: %+v", out)
 	}
@@ -183,5 +183,42 @@ func TestBufferedStateAccountingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBufferedWindowsRecycleNoAliasing pins the slab-recycling ownership
+// rule: recycling a fired window's slab must not corrupt results computed
+// from it before the hand-back, and the recycled slab must actually be
+// reused by a later window.
+func TestBufferedWindowsRecycleNoAliasing(t *testing.T) {
+	asg := mustAssigner(t, 4*time.Second, 4*time.Second)
+	bw := NewBufferedWindows(asg)
+	bw.Add(ev(tuple.Purchases, 1, 5, 10, time.Second))
+	bw.Add(ev(tuple.Purchases, 2, 5, 20, 2*time.Second))
+	fired := bw.Fire(4 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("one window should fire: %d", len(fired))
+	}
+	res := AggregateFired(fired[0])
+	slab := fired[0].Events
+	bw.Recycle(slab)
+
+	// The next window reuses the slab and overwrites its contents.
+	bw.Add(ev(tuple.Purchases, 9, 9, 999, 5*time.Second))
+	bw.Add(ev(tuple.Purchases, 9, 9, 999, 6*time.Second))
+	fired2 := bw.Fire(8 * time.Second)
+	if len(fired2) != 1 {
+		t.Fatalf("second window should fire: %d", len(fired2))
+	}
+	if &fired2[0].Events[0] != &slab[:1][0] {
+		t.Fatal("recycled slab was not reused")
+	}
+	// Results computed before the recycle are value copies: untouched.
+	if len(res) != 1 || res[0].Agg.Sum != 30 || res[0].Key != 5 {
+		t.Fatalf("pre-recycle aggregate corrupted: %+v", res)
+	}
+	res2 := AggregateFired(fired2[0])
+	if len(res2) != 1 || res2[0].Agg.Sum != 1998 || res2[0].Key != 9 {
+		t.Fatalf("post-recycle aggregate wrong: %+v", res2)
 	}
 }

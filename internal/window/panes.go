@@ -19,7 +19,7 @@ import (
 // Its equivalence to IncrementalAggregator is property-tested.
 type PaneAggregator struct {
 	asg   Assigner
-	panes map[keyWindow]*Agg // key × pane-end -> pane partial
+	panes map[keyWindow]Agg // key × pane-end -> pane partial
 	ends  map[time.Duration]int
 	// firedThrough is the watermark cursor: every window with
 	// End <= firedThrough has already fired.  Panes outlive the windows
@@ -41,7 +41,7 @@ func (pa *PaneAggregator) LateDropped() int64 { return pa.lateDropped }
 func NewPaneAggregator(asg Assigner) *PaneAggregator {
 	return &PaneAggregator{
 		asg:   asg,
-		panes: make(map[keyWindow]*Agg),
+		panes: make(map[keyWindow]Agg),
 		ends:  make(map[time.Duration]int),
 	}
 }
@@ -71,14 +71,13 @@ func (pa *PaneAggregator) AddAt(e *tuple.Event, at time.Duration) {
 	kw := keyWindow{key: e.Key(), end: p.End}
 	g, ok := pa.panes[kw]
 	if !ok {
-		g = &Agg{}
-		pa.panes[kw] = g
 		pa.ends[p.End]++
 		if p.End > pa.maxEnd {
 			pa.maxEnd = p.End
 		}
 	}
 	g.add(e)
+	pa.panes[kw] = g
 }
 
 // Fire assembles and returns the aggregate of every window with
@@ -99,21 +98,18 @@ func (pa *PaneAggregator) Fire(watermark time.Duration) []Result {
 	var out []Result
 	for end := first; end <= limit; end += pa.asg.Slide {
 		w := ID{End: end}
-		perKey := make(map[int64]*Agg)
+		perKey := make(map[int64]Agg)
 		for _, pane := range pa.asg.PanesOf(w) {
 			for kw, g := range pa.panes {
 				if kw.end == pane.End {
-					acc, ok := perKey[kw.key]
-					if !ok {
-						acc = &Agg{}
-						perKey[kw.key] = acc
-					}
-					acc.merge(*g)
+					acc := perKey[kw.key]
+					acc.merge(g)
+					perKey[kw.key] = acc
 				}
 			}
 		}
 		for key, g := range perKey {
-			out = append(out, Result{Key: key, Window: w, Agg: *g})
+			out = append(out, Result{Key: key, Window: w, Agg: g})
 		}
 	}
 	pa.firedThrough = watermark
