@@ -1,12 +1,15 @@
 # Repro build/test entry points.  `make ci` is the gate every change must
-# pass: static checks, a full build, the test suite, and a bench smoke
-# that keeps the zero-allocation hot-path benchmarks compiling and honest.
+# pass: static checks, a full build, the test suite, a race pass over the
+# concurrent executor and control-plane paths, and a bench smoke that keeps
+# the zero-allocation hot-path benchmarks compiling and honest.
+# `make smoke` boots the distributed controller (sdpsd + 2 agents) and
+# byte-compares its table1 artifact against a direct sdpsbench run.
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench race
+.PHONY: ci vet build test bench-smoke bench race smoke
 
-ci: vet build test bench-smoke
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +30,14 @@ bench-smoke:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
-# Race-check the parallel experiment executor paths.
+# Race-check the parallel experiment executor and the coordinator/agent
+# control plane (ctl runs -short: the synthetic lease/failover tests cover
+# the concurrency; the byte-identity integration tests run in `test`).
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestTable1Shape|TestReplicate|TestExp4Shape'
+	$(GO) test -race -short ./internal/ctl/
+
+# End-to-end controller smoke: sdpsd + 2 in-process agents run table1 at
+# quick scale; the fetched artifact must be byte-identical to sdpsbench's.
+smoke:
+	scripts/smoke-ctl.sh

@@ -6,15 +6,25 @@
 //
 //	sdpsbench -list
 //	sdpsbench -exp table1
+//	sdpsbench -exp table1 -json            # canonical artifact encoding
 //	sdpsbench -exp fig9 -scale full -csv out/
 //	sdpsbench -all -scale quick
+//
+// -json prints the same canonical artifact bytes the distributed
+// controller (sdpsd/sdpsctl) stores and serves, so
+// `sdpsbench -exp table1 -json` and `sdpsctl fetch <run>` of an equivalent
+// run compare byte-for-byte.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -22,14 +32,16 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment in paper order")
-		scale = flag.String("scale", "quick", "fidelity: quick | full")
-		seed  = flag.Uint64("seed", 42, "simulation seed (same seed, same artefact)")
-		csv   = flag.String("csv", "", "directory to write figure series CSVs into")
-		svg   = flag.String("svg", "", "directory to write figure SVGs into")
-		reps  = flag.Int("replicate", 0, "run the experiment N times with different seeds and report cross-seed spread")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment in paper order")
+		scale   = flag.String("scale", "quick", "fidelity: quick | full")
+		seed    = flag.Uint64("seed", 42, "simulation seed (same seed, same artefact)")
+		csv     = flag.String("csv", "", "directory to write figure series CSVs into")
+		svg     = flag.String("svg", "", "directory to write figure SVGs into")
+		reps    = flag.Int("replicate", 0, "run the experiment N times with different seeds and report cross-seed spread")
+		asJSON  = flag.Bool("json", false, "print the canonical machine-readable artifact instead of text")
+		verbose = flag.Bool("v", false, "report each finished experiment cell on stderr")
 	)
 	flag.Parse()
 
@@ -40,14 +52,16 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the in-flight cells (the executor pool stops claiming
+	// work and the driver halts mid-simulation) instead of leaving worker
+	// goroutines running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := core.Options{Seed: *seed}
-	switch *scale {
-	case "quick":
-		opts.Scale = core.Quick
-	case "full":
-		opts.Scale = core.Full
-	default:
-		fatalf("unknown -scale %q (quick | full)", *scale)
+	var err error
+	if opts.Scale, err = core.ParseScale(*scale); err != nil {
+		fatalf("%v", err)
 	}
 
 	var ids []string
@@ -64,7 +78,7 @@ func main() {
 
 	if *reps > 0 {
 		for _, id := range ids {
-			rep, err := core.Replicate(id, opts, *reps)
+			rep, err := core.ReplicateContext(ctx, id, opts, *reps)
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -73,17 +87,40 @@ func main() {
 		return
 	}
 
+	var progress core.Progress
+	if *verbose {
+		progress = func(ev core.CellEvent) {
+			status := "done"
+			if ev.Err != nil {
+				status = "error: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "sdpsbench: %s cell %s [%d/%d] %s\n",
+				ev.Experiment, ev.Cell, ev.Index+1, ev.Total, status)
+		}
+	}
+
 	for _, id := range ids {
 		e, err := core.Lookup(id)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		start := time.Now()
-		out, err := e.Run(opts)
+		out, err := e.RunContext(ctx, opts, progress)
+		if errors.Is(err, context.Canceled) {
+			fatalf("%s: interrupted", id)
+		}
 		if err != nil {
 			fatalf("%s: %v", id, err)
 		}
-		fmt.Printf("== %s (%s, %v)\n%s\n", e.Title, *scale, time.Since(start).Round(time.Millisecond), out.Text)
+		if *asJSON {
+			data, err := core.NewArtifact(e, opts, out).Encode()
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			os.Stdout.Write(data)
+		} else {
+			fmt.Printf("== %s (%s, %v)\n%s\n", e.Title, *scale, time.Since(start).Round(time.Millisecond), out.Text)
+		}
 		if *csv != "" && out.CSV != "" {
 			if err := os.MkdirAll(*csv, 0o755); err != nil {
 				fatalf("mkdir %s: %v", *csv, err)
@@ -92,7 +129,9 @@ func main() {
 			if err := os.WriteFile(path, []byte(out.CSV), 0o644); err != nil {
 				fatalf("write %s: %v", path, err)
 			}
-			fmt.Printf("   series written to %s\n\n", path)
+			if !*asJSON {
+				fmt.Printf("   series written to %s\n\n", path)
+			}
 		}
 		if *svg != "" {
 			if doc := out.SVG(); doc != "" {
@@ -103,7 +142,9 @@ func main() {
 				if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 					fatalf("write %s: %v", path, err)
 				}
-				fmt.Printf("   figure written to %s\n\n", path)
+				if !*asJSON {
+					fmt.Printf("   figure written to %s\n\n", path)
+				}
 			}
 		}
 	}

@@ -1,0 +1,81 @@
+// Command sdpsd is the experiment coordinator daemon: it owns the job
+// queue, the run registry and the content-addressed artifact store, serves
+// the control REST API (see internal/ctl), and optionally hosts in-process
+// agents so a single machine is a complete deployment.
+//
+// Usage:
+//
+//	sdpsd -listen 127.0.0.1:8372 -data ./sdpsd-data -agents 2
+//
+// Remote agents join with `sdpsctl agent -coord http://host:8372`; clients
+// submit and fetch runs with `sdpsctl submit/status/watch/fetch`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctl"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8372", "address to serve the control API on")
+		data        = flag.String("data", "./sdpsd-data", "artifact/run store directory")
+		agents      = flag.Int("agents", 0, "number of in-process agents to host")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "cell lease TTL; an agent silent this long forfeits its leases")
+		maxAttempts = flag.Int("max-attempts", 3, "executions per cell (failures + expiries) before the run fails")
+	)
+	flag.Parse()
+
+	store, err := ctl.NewStore(*data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	coord, err := ctl.NewCoordinator(store, ctl.CoordinatorOptions{
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	coord.Start(ctx)
+
+	for i := 0; i < *agents; i++ {
+		a := &ctl.Agent{Name: fmt.Sprintf("local-%d", i), API: coord}
+		go func() {
+			if err := a.Run(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "sdpsd: agent %s: %v\n", a.Name, err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: ctl.NewHandler(coord)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sdpsd: listening on %s, store %s, %d in-process agent(s)\n",
+		*listen, *data, *agents)
+
+	select {
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdpsd: "+format+"\n", args...)
+	os.Exit(1)
+}

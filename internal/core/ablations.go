@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -23,23 +24,28 @@ func init() {
 		ID:          "ablation-broker",
 		Title:       "Ablation: on-the-fly generation vs message broker (Section III-A)",
 		Description: "Interpose a Kafka-style broker between generators and SUT and measure what it does to Flink's sustainable throughput and latency floor — the bottleneck argument of Section III-A and of the Yahoo-benchmark postmortem.",
-		Run:         runAblationBroker,
+		Cells:       runAblationBrokerCells,
+		Assemble:    runAblationBrokerAssemble,
 	})
 	register(Experiment{
 		ID:          "ablation-guarantees",
 		Title:       "Ablation: processing guarantees vs performance (future work)",
 		Description: "Storm with and without acking (at-least-once vs at-most-once) and Flink with and without exactly-once checkpointing: the guarantee/throughput trade-off the paper proposes to study.",
-		Run:         runAblationGuarantees,
+		Cells:       runAblationGuaranteesCells,
+		Assemble:    runAblationGuaranteesAssemble,
 	})
 	register(Experiment{
 		ID:          "ablation-disorder",
 		Title:       "Ablation: out-of-order input and watermark slack (future work)",
 		Description: "Inject bounded event-time disorder and sweep the engines' watermark slack: small slack drops late events, large slack inflates latency.",
-		Run:         runAblationDisorder,
+		Cells:       runAblationDisorderCells,
+		Assemble:    runAblationDisorderAssemble,
 	})
 }
 
-func runAblationBroker(o Options) (*Outcome, error) {
+var runAblationBrokerCells, runAblationBrokerAssemble = singleCell(runAblationBroker)
+
+func runAblationBroker(ctx context.Context, o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	var b strings.Builder
 	metrics := map[string]float64{}
@@ -60,7 +66,7 @@ func runAblationBroker(o Options) (*Outcome, error) {
 			base.WatermarkSlack = bcfg.FlushInterval + 2*bcfg.FetchBatch
 			label = "broker"
 		}
-		rate, _, err := driver.FindSustainable(flink.New(flink.Options{}), base, o.searchConfig())
+		rate, _, err := driver.FindSustainableContext(ctx, flink.New(flink.Options{}), base, o.searchConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +75,7 @@ func runAblationBroker(o Options) (*Outcome, error) {
 		cfg.Rate = generator.ConstantRate(0.5e6)
 		cfg.RunFor = o.runFor()
 		cfg.EventsPerTuple = o.eventsPerTuple()
-		res, err := driver.Run(flink.New(flink.Options{}), cfg)
+		res, err := driver.RunContext(ctx, flink.New(flink.Options{}), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +91,9 @@ func runAblationBroker(o Options) (*Outcome, error) {
 	return &Outcome{Text: b.String(), Metrics: metrics}, nil
 }
 
-func runAblationGuarantees(o Options) (*Outcome, error) {
+var runAblationGuaranteesCells, runAblationGuaranteesAssemble = singleCell(runAblationGuarantees)
+
+func runAblationGuarantees(ctx context.Context, o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	var b strings.Builder
 	metrics := map[string]float64{}
@@ -97,7 +105,7 @@ func runAblationGuarantees(o Options) (*Outcome, error) {
 	// at-most-once (acking disabled).
 	for _, acked := range []bool{true, false} {
 		eng := storm.New(storm.Options{DisableAcking: !acked})
-		rate, last, err := driver.FindSustainable(eng, driver.Config{
+		rate, last, err := driver.FindSustainableContext(ctx, eng, driver.Config{
 			Seed: o.Seed, Workers: 4, Query: q,
 		}, o.searchConfig())
 		if err != nil {
@@ -115,7 +123,7 @@ func runAblationGuarantees(o Options) (*Outcome, error) {
 	// Flink: at-least-once (1.1 default) vs exactly-once checkpoints.
 	for _, exactly := range []bool{false, true} {
 		eng := flink.New(flink.Options{ExactlyOnce: exactly, CheckpointInterval: 10 * time.Second})
-		rate, last, err := driver.FindSustainable(eng, driver.Config{
+		rate, last, err := driver.FindSustainableContext(ctx, eng, driver.Config{
 			Seed: o.Seed, Workers: 4, Query: q,
 		}, o.searchConfig())
 		if err != nil {
@@ -135,7 +143,9 @@ func runAblationGuarantees(o Options) (*Outcome, error) {
 	return &Outcome{Text: b.String(), Metrics: metrics}, nil
 }
 
-func runAblationDisorder(o Options) (*Outcome, error) {
+var runAblationDisorderCells, runAblationDisorderAssemble = singleCell(runAblationDisorder)
+
+func runAblationDisorder(ctx context.Context, o Options) (*Outcome, error) {
 	o = o.WithDefaults()
 	var b strings.Builder
 	metrics := map[string]float64{}
@@ -156,7 +166,7 @@ func runAblationDisorder(o Options) (*Outcome, error) {
 			DisorderMax:    2 * time.Second,
 			WatermarkSlack: slack,
 		}
-		res, err := driver.Run(flink.New(flink.Options{}), cfg)
+		res, err := driver.RunContext(ctx, flink.New(flink.Options{}), cfg)
 		if err != nil {
 			return nil, err
 		}

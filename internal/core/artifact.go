@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Artifact is the canonical machine-readable encoding of one experiment
+// run: what `sdpsbench -json` prints, what the controller stores in its
+// content-addressed artifact store, and what `sdpsctl fetch` returns.
+// Because the encoding is deterministic (sorted map keys, shortest
+// round-tripping floats), two runs with the same spec produce byte-equal
+// artifacts regardless of where their cells executed.
+type Artifact struct {
+	Experiment string               `json:"experiment"`
+	Title      string               `json:"title"`
+	Seed       uint64               `json:"seed"`
+	Scale      string               `json:"scale"`
+	Text       string               `json:"text"`
+	CSV        string               `json:"csv,omitempty"`
+	Panels     []report.FigurePanel `json:"panels,omitempty"`
+	Metrics    map[string]float64   `json:"metrics,omitempty"`
+}
+
+// NewArtifact wraps an outcome with its provenance.
+func NewArtifact(e Experiment, o Options, out *Outcome) Artifact {
+	o = o.WithDefaults()
+	return Artifact{
+		Experiment: e.ID,
+		Title:      e.Title,
+		Seed:       o.Seed,
+		Scale:      o.Scale.String(),
+		Text:       out.Text,
+		CSV:        out.CSV,
+		Panels:     out.Panels,
+		Metrics:    out.Metrics,
+	}
+}
+
+// Encode renders the artifact's canonical bytes (indented JSON plus a
+// trailing newline, so artifacts are also pleasant to read and diff).
+func (a Artifact) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("core: encode artifact: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeArtifact parses canonical artifact bytes.
+func DecodeArtifact(b []byte) (Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return a, fmt.Errorf("core: decode artifact: %w", err)
+	}
+	return a, nil
+}

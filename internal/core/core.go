@@ -52,6 +52,26 @@ func (o Options) WithDefaults() Options {
 	return o
 }
 
+// String renders the scale the way the CLIs spell it.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// ParseScale parses the CLI/wire spelling of a scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick", "":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("core: unknown scale %q (quick | full)", s)
+	}
+}
+
 // runFor returns the measured virtual duration per run.
 func (o Options) runFor() time.Duration {
 	if o.Scale == Full {
@@ -116,12 +136,20 @@ func (o *Outcome) SVG() string {
 	return plot.Grid(series, cols, plot.Options{})
 }
 
-// Experiment is one registered, runnable artefact.
+// Experiment is one registered, runnable artefact.  Its work is exposed as
+// independent cells (see cells.go) so the local runner and the distributed
+// controller share one execution model; Run/RunContext execute it
+// in-process.
 type Experiment struct {
 	ID          string
 	Title       string
 	Description string
-	Run         func(Options) (*Outcome, error)
+	// Cells enumerates the experiment's schedulable units for the given
+	// (defaulted) options, in a deterministic order.
+	Cells func(o Options) []Cell
+	// Assemble folds the cells' canonically-encoded results (indexed as
+	// enumerated by Cells) into the final artefact.
+	Assemble func(o Options, results [][]byte) (*Outcome, error)
 }
 
 // registry holds all experiments, populated by the experiment files' init

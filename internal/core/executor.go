@@ -1,11 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/driver"
 )
 
 // The experiment layer runs independent simulation cells — one engine ×
@@ -32,12 +31,17 @@ func maxParallel(n int) int {
 }
 
 // runTasks executes the tasks concurrently on the worker pool and returns
-// the first error in task order (all tasks run to completion either way,
-// which keeps result slices fully populated for the caller to inspect).
-func runTasks(tasks []func() error) error {
+// the first error in task order.  A task error does not stop the other
+// tasks (so result slices stay fully populated for the caller to inspect),
+// but a cancelled ctx does: workers stop claiming tasks, and the error is
+// the first task error if any task failed, else ctx.Err().
+func runTasks(ctx context.Context, tasks []func() error) error {
 	n := len(tasks)
 	if n == 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if w := maxParallel(n); w > 1 {
 		errs := make([]error, n)
@@ -47,7 +51,7 @@ func runTasks(tasks []func() error) error {
 		for i := 0; i < w; i++ {
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					t := int(next.Add(1)) - 1
 					if t >= n {
 						return
@@ -62,35 +66,19 @@ func runTasks(tasks []func() error) error {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	var firstErr error
 	for _, t := range tasks {
+		if ctx.Err() != nil {
+			break
+		}
 		if err := t(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
-}
-
-// runEnginesParallel executes one benchmark run per engine name on the
-// worker pool and returns the results in input order.
-func runEnginesParallel(names []string, run func(name string) (*driver.Result, error)) ([]*driver.Result, error) {
-	results := make([]*driver.Result, len(names))
-	tasks := make([]func() error, 0, len(names))
-	for i, name := range names {
-		i, name := i, name
-		tasks = append(tasks, func() error {
-			res, err := run(name)
-			if err != nil {
-				return err
-			}
-			results[i] = res
-			return nil
-		})
-	}
-	if err := runTasks(tasks); err != nil {
-		return nil, err
-	}
-	return results, nil
 }

@@ -1,12 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
-
-	"repro/internal/driver"
 )
 
 func TestRunTasksRunsAllAndPreservesSlots(t *testing.T) {
@@ -20,7 +19,7 @@ func TestRunTasksRunsAllAndPreservesSlots(t *testing.T) {
 			return nil
 		})
 	}
-	if err := runTasks(tasks); err != nil {
+	if err := runTasks(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range results {
@@ -40,7 +39,7 @@ func TestRunTasksReturnsFirstErrorByOrder(t *testing.T) {
 		func() error { ran.Add(1); return errB },
 		func() error { ran.Add(1); return nil },
 	}
-	err := runTasks(tasks)
+	err := runTasks(context.Background(), tasks)
 	if !errors.Is(err, errA) {
 		t.Fatalf("want first error by task order, got %v", err)
 	}
@@ -50,8 +49,51 @@ func TestRunTasksReturnsFirstErrorByOrder(t *testing.T) {
 }
 
 func TestRunTasksEmpty(t *testing.T) {
-	if err := runTasks(nil); err != nil {
+	if err := runTasks(context.Background(), nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTasksNilContext(t *testing.T) {
+	ran := false
+	if err := runTasks(nil, []func() error{func() error { ran = true; return nil }}); err != nil || !ran {
+		t.Fatalf("nil ctx must behave as Background: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestRunTasksCancellation pins that a cancelled context stops workers from
+// claiming further tasks and surfaces ctx.Err().
+func TestRunTasksCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 64
+	var ran atomic.Int32
+	tasks := make([]func() error, 0, n)
+	for i := 0; i < n; i++ {
+		tasks = append(tasks, func() error {
+			// The first task to run cancels everyone; tasks already
+			// claimed still finish (a cell is never half-recorded).
+			cancel()
+			ran.Add(1)
+			return nil
+		})
+	}
+	err := runTasks(ctx, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ran.Load(); got < 1 || got > int32(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("cancelled pool should stop claiming tasks: %d ran", got)
+	}
+}
+
+func TestRunTasksPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	tasks := []func() error{func() error { ran.Add(1); return nil }}
+	if err := runTasks(ctx, tasks); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
@@ -64,31 +106,5 @@ func TestMaxParallelGating(t *testing.T) {
 	}
 	if got := maxParallel(1); got != 1 {
 		t.Fatalf("one task needs one worker: %d", got)
-	}
-}
-
-// TestRunEnginesParallelOrder pins that results come back in input order
-// regardless of completion order.
-func TestRunEnginesParallelOrder(t *testing.T) {
-	names := []string{"storm", "spark", "flink"}
-	results, err := runEnginesParallel(names, func(name string) (*driver.Result, error) {
-		return &driver.Result{Engine: name}, nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, name := range names {
-		if results[i].Engine != name {
-			t.Fatalf("slot %d holds %q, want %q", i, results[i].Engine, name)
-		}
-	}
-	wantErr := errors.New("boom")
-	if _, err := runEnginesParallel(names, func(name string) (*driver.Result, error) {
-		if name == "spark" {
-			return nil, wantErr
-		}
-		return &driver.Result{Engine: name}, nil
-	}); !errors.Is(err, wantErr) {
-		t.Fatalf("error not surfaced: %v", err)
 	}
 }

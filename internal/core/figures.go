@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/driver"
 	"repro/internal/generator"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -14,57 +16,79 @@ func init() {
 		ID:          "fig4",
 		Title:       "Figure 4: windowed aggregation latency distributions in time series",
 		Description: "Event-time latency over time for every engine × cluster size at max and 90% workloads (18 panels).",
-		Run:         runFig4,
+		Cells:       fig4Cells,
+		Assemble:    assembleFig4,
 	})
 	register(Experiment{
 		ID:          "fig5",
 		Title:       "Figure 5: windowed join latency distributions in time series",
 		Description: "Event-time latency over time for Spark and Flink at max and 90% join workloads (12 panels).",
-		Run:         runFig5,
+		Cells:       fig5Cells,
+		Assemble:    assembleFig5,
 	})
 	register(Experiment{
 		ID:          "fig6",
 		Title:       "Figure 6 / Experiment 5: fluctuating workloads",
 		Description: "Event-time latency under a 0.84M -> 0.28M -> 0.84M ev/s arrival-rate schedule, aggregation for all engines and join for Spark/Flink.",
-		Run:         runFig6,
+		Cells:       fig6Cells,
+		Assemble:    assembleFig6,
 	})
 	register(Experiment{
 		ID:          "fig7",
 		Title:       "Figure 7: event vs processing-time latency under unsustainable load (Spark)",
 		Description: "Spark on 2 nodes at ~1.6x its sustainable aggregation rate: processing-time latency stays flat while event-time latency diverges — the coordinated-omission illustration.",
-		Run:         runFig7,
+		Cells:       fig7Cells,
+		Assemble:    assembleFig7,
 	})
 	register(Experiment{
 		ID:          "fig8",
 		Title:       "Figure 8 / Experiment 6: event-time vs processing-time latency",
 		Description: "Both latency definitions side by side for each engine, aggregation (8s,4s) on 2 nodes at the sustainable rate.",
-		Run:         runFig8,
+		Cells:       fig8Cells,
+		Assemble:    assembleFig8,
 	})
 	register(Experiment{
 		ID:          "fig9",
 		Title:       "Figure 9 / Experiment 8: throughput (pull rate) over time",
 		Description: "SUT ingestion rate measured at the driver queues at the maximum sustainable aggregation workload; Storm fluctuates strongly, Spark moderately, Flink barely.",
-		Run:         runFig9,
+		Cells:       fig9Cells,
+		Assemble:    assembleFig9,
 	})
 	register(Experiment{
 		ID:          "fig10",
 		Title:       "Figure 10: network and CPU usage (4-node aggregation)",
 		Description: "Per-node network MB and CPU load while running the aggregation query at the sustainable rate; Flink uses the least CPU (network-bound).",
-		Run:         runFig10,
+		Cells:       fig10Cells,
+		Assemble:    assembleFig10,
 	})
 	register(Experiment{
 		ID:          "fig11",
 		Title:       "Figure 11: scheduler delay vs throughput in Spark",
 		Description: "Spark at the onset of overload: scheduler-delay spikes coincide with ingestion-rate dips.",
-		Run:         runFig11,
+		Cells:       fig11Cells,
+		Assemble:    assembleFig11,
 	})
 }
 
-// latencySeriesPanels runs engine × workers × {100%, 90%} and collects the
-// per-second mean event-time latency panels.  The up-to-18 fixed-rate runs
-// are independent simulations, so they execute on the worker pool with
-// panels assembled in presentation order.
-func latencySeriesPanels(o Options, q workload.Query, engines []string, join bool) ([]report.FigurePanel, map[string]float64, error) {
+// panelCellResult is the wire shape of one figure panel: a titled series.
+type panelCellResult struct {
+	Title  string
+	Series *metrics.Series
+}
+
+// latencyPanelResult is the wire shape of one fig4/fig5 cell: the panel
+// plus the grid coordinates its metric key is built from (carried in the
+// result so assembly never re-derives the enumeration).
+type latencyPanelResult struct {
+	Engine  string
+	Workers int
+	Pct     int
+	Series  *metrics.Series
+}
+
+// latencySeriesCells runs engine × workers × {100%, 90%} and collects the
+// per-second mean event-time latency panels, one cell per fixed-rate run.
+func latencySeriesCells(q workload.Query, engines []string, join bool) []Cell {
 	rates := PaperRates(join)
 	type panelSpec struct {
 		engine  string
@@ -84,46 +108,60 @@ func latencySeriesPanels(o Options, q workload.Query, engines []string, join boo
 			}
 		}
 	}
-	panels := make([]report.FigurePanel, len(specs))
-	means := make([]float64, len(specs))
-	tasks := make([]func() error, 0, len(specs))
-	for i, s := range specs {
-		i, s := i, s
-		tasks = append(tasks, func() error {
-			eng, err := EngineByName(s.engine)
-			if err != nil {
-				return err
-			}
-			res, err := driver.Run(eng, driver.Config{
-				Seed:           o.Seed,
-				Workers:        s.workers,
-				Rate:           generator.ConstantRate(s.rate),
-				Query:          q,
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
-			})
-			if err != nil {
-				return err
-			}
-			title := fmt.Sprintf("%s, %d-node, %d%% throughput", s.engine, s.workers, s.pct)
-			panels[i] = report.FigurePanel{Title: title, Series: res.EventLatencySeries, Unit: "s"}
-			means[i] = res.EventLatencySeries.Mean()
-			return nil
+	cells := make([]Cell, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		cells = append(cells, Cell{
+			ID: fmt.Sprintf("%s/%d/%d", s.engine, s.workers, s.pct),
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(s.engine)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        s.workers,
+					Rate:           generator.ConstantRate(s.rate),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return latencyPanelResult{
+					Engine: s.engine, Workers: s.workers, Pct: s.pct,
+					Series: res.EventLatencySeries,
+				}, nil
+			},
 		})
 	}
-	if err := runTasks(tasks); err != nil {
-		return nil, nil, err
-	}
-	metrics := map[string]float64{}
-	for i, s := range specs {
-		metrics[fmt.Sprintf("%s/%d/%d/mean", s.engine, s.workers, s.pct)] = means[i]
-	}
-	return panels, metrics, nil
+	return cells
 }
 
-func runFig4(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Aggregation), engineNames, false)
+// assembleLatencySeries folds panel cells into figure panels plus the
+// "<engine>/<workers>/<pct>/mean" metrics.
+func assembleLatencySeries(raws [][]byte) ([]report.FigurePanel, map[string]float64, error) {
+	results, err := decodeCells[latencyPanelResult](raws)
+	if err != nil {
+		return nil, nil, err
+	}
+	panels := make([]report.FigurePanel, len(results))
+	metricsOut := map[string]float64{}
+	for i, r := range results {
+		title := fmt.Sprintf("%s, %d-node, %d%% throughput", r.Engine, r.Workers, r.Pct)
+		panels[i] = report.FigurePanel{Title: title, Series: r.Series, Unit: "s"}
+		metricsOut[fmt.Sprintf("%s/%d/%d/mean", r.Engine, r.Workers, r.Pct)] = r.Series.Mean()
+	}
+	return panels, metricsOut, nil
+}
+
+func fig4Cells(Options) []Cell {
+	return latencySeriesCells(workload.Default(workload.Aggregation), engineNames, false)
+}
+
+func assembleFig4(o Options, raws [][]byte) (*Outcome, error) {
+	panels, m, err := assembleLatencySeries(raws)
 	if err != nil {
 		return nil, err
 	}
@@ -135,9 +173,12 @@ func runFig4(o Options) (*Outcome, error) {
 	}, nil
 }
 
-func runFig5(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	panels, m, err := latencySeriesPanels(o, workload.Default(workload.Join), []string{"spark", "flink"}, true)
+func fig5Cells(Options) []Cell {
+	return latencySeriesCells(workload.Default(workload.Join), []string{"spark", "flink"}, true)
+}
+
+func assembleFig5(o Options, raws [][]byte) (*Outcome, error) {
+	panels, m, err := assembleLatencySeries(raws)
 	if err != nil {
 		return nil, err
 	}
@@ -149,93 +190,120 @@ func runFig5(o Options) (*Outcome, error) {
 	}, nil
 }
 
-func runFig6(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
+func fig6Cells(Options) []Cell {
 	const workers = 8 // every engine sustains the 0.84M ev/s peak on 8 nodes
-	schedule := generator.PaperFluctuation(o.runFor(), 0.84e6, 0.28e6)
-
-	agg := workload.Default(workload.Aggregation)
-	join := workload.Default(workload.Join)
 	type spec struct {
 		engine string
-		q      workload.Query
+		join   bool
 		label  string
 	}
 	var specs []spec
 	for _, name := range engineNames {
-		specs = append(specs, spec{engine: name, q: agg, label: name + " aggregation"})
+		specs = append(specs, spec{engine: name, label: name + " aggregation"})
 	}
 	for _, name := range []string{"spark", "flink"} {
-		specs = append(specs, spec{engine: name, q: join, label: name + " join"})
+		specs = append(specs, spec{engine: name, join: true, label: name + " join"})
 	}
-
-	panels := make([]report.FigurePanel, len(specs))
-	maxes := make([]float64, len(specs))
-	means := make([]float64, len(specs))
-	tasks := make([]func() error, 0, len(specs))
-	for i, s := range specs {
-		i, s := i, s
-		tasks = append(tasks, func() error {
-			eng, err := EngineByName(s.engine)
-			if err != nil {
-				return err
-			}
-			res, err := driver.Run(eng, driver.Config{
-				Seed:           o.Seed,
-				Workers:        workers,
-				Rate:           schedule,
-				Query:          s.q,
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
-			})
-			if err != nil {
-				return err
-			}
-			panels[i] = report.FigurePanel{Title: s.label, Series: res.EventLatencySeries, Unit: "s"}
-			maxes[i] = res.EventLatencySeries.Max()
-			means[i] = res.EventLatencySeries.Mean()
-			return nil
+	cells := make([]Cell, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		q := workload.Default(workload.Aggregation)
+		kind := "agg"
+		if s.join {
+			q = workload.Default(workload.Join)
+			kind = "join"
+		}
+		cells = append(cells, Cell{
+			ID: fmt.Sprintf("%s/%s", kind, s.engine),
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(s.engine)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        workers,
+					Rate:           generator.PaperFluctuation(o.runFor(), 0.84e6, 0.28e6),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return panelCellResult{Title: s.label, Series: res.EventLatencySeries}, nil
+			},
 		})
 	}
-	if err := runTasks(tasks); err != nil {
+	return cells
+}
+
+func assembleFig6(o Options, raws [][]byte) (*Outcome, error) {
+	results, err := decodeCells[panelCellResult](raws)
+	if err != nil {
 		return nil, err
 	}
-	metrics := map[string]float64{}
-	for i, s := range specs {
-		metrics[s.label+"/max"] = maxes[i]
-		metrics[s.label+"/mean"] = means[i]
+	panels := make([]report.FigurePanel, len(results))
+	metricsOut := map[string]float64{}
+	for i, r := range results {
+		panels[i] = report.FigurePanel{Title: r.Title, Series: r.Series, Unit: "s"}
+		metricsOut[r.Title+"/max"] = r.Series.Max()
+		metricsOut[r.Title+"/mean"] = r.Series.Mean()
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 6: event-time latency under fluctuating arrival rate (0.84M -> 0.28M -> 0.84M ev/s, 8 nodes)", panels),
 		CSV:     report.CSV(panels),
 		Panels:  panels,
-		Metrics: metrics,
+		Metrics: metricsOut,
 	}, nil
 }
 
-func runFig7(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	eng, _ := EngineByName("spark")
-	res, err := driver.Run(eng, driver.Config{
-		Seed:    o.Seed,
-		Workers: 2,
-		// ~1.6x the sustainable 0.38M ev/s: clearly unsustainable.
-		Rate:           generator.ConstantRate(0.6e6),
-		Query:          workload.Default(workload.Aggregation),
-		RunFor:         o.runFor(),
-		EventsPerTuple: o.eventsPerTuple(),
-	})
+// fig7Result is the wire shape of the single overload run of Figure 7.
+type fig7Result struct {
+	Event       *metrics.Series
+	Proc        *metrics.Series
+	Sustainable bool
+}
+
+func fig7Cells(Options) []Cell {
+	return []Cell{{
+		ID: "spark/overload",
+		Run: func(ctx context.Context, o Options) (any, error) {
+			eng, _ := EngineByName("spark")
+			res, err := driver.RunContext(ctx, eng, driver.Config{
+				Seed:    o.Seed,
+				Workers: 2,
+				// ~1.6x the sustainable 0.38M ev/s: clearly unsustainable.
+				Rate:           generator.ConstantRate(0.6e6),
+				Query:          workload.Default(workload.Aggregation),
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return fig7Result{
+				Event:       res.EventLatencySeries,
+				Proc:        res.ProcLatencySeries,
+				Sustainable: res.Verdict.Sustainable,
+			}, nil
+		},
+	}}
+}
+
+func assembleFig7(o Options, raws [][]byte) (*Outcome, error) {
+	r, err := decodeCell[fig7Result](raws[0])
 	if err != nil {
 		return nil, err
 	}
 	panels := []report.FigurePanel{
-		{Title: "event-time latency (diverges)", Series: res.EventLatencySeries, Unit: "s"},
-		{Title: "processing-time latency (stays flat)", Series: res.ProcLatencySeries, Unit: "s"},
+		{Title: "event-time latency (diverges)", Series: r.Event, Unit: "s"},
+		{Title: "processing-time latency (stays flat)", Series: r.Proc, Unit: "s"},
 	}
 	m := map[string]float64{
-		"event_slope": res.EventLatencySeries.Slope(),
-		"proc_slope":  res.ProcLatencySeries.Slope(),
-		"sustainable": boolAsFloat(res.Verdict.Sustainable),
+		"event_slope": r.Event.Slope(),
+		"proc_slope":  r.Proc.Slope(),
+		"sustainable": boolAsFloat(r.Sustainable),
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 7: Spark, 2 nodes, offered 0.6M ev/s (unsustainable)", panels),
@@ -245,155 +313,237 @@ func runFig7(o Options) (*Outcome, error) {
 	}, nil
 }
 
-func runFig8(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
+// latencyPairResult is the wire shape of one Figure 8 run: both latency
+// definitions for one engine.
+type latencyPairResult struct {
+	Event *metrics.Series
+	Proc  *metrics.Series
+}
+
+func fig8Cells(Options) []Cell {
 	rates := PaperRates(false)
-	results, err := runEnginesParallel(engineNames, func(name string) (*driver.Result, error) {
-		eng, err := EngineByName(name)
-		if err != nil {
-			return nil, err
-		}
-		return driver.Run(eng, driver.Config{
-			Seed:           o.Seed,
-			Workers:        2,
-			Rate:           generator.ConstantRate(rates[name+"/2"]),
-			Query:          workload.Default(workload.Aggregation),
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
+	cells := make([]Cell, 0, len(engineNames))
+	for _, name := range engineNames {
+		name := name
+		cells = append(cells, Cell{
+			ID: name,
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        2,
+					Rate:           generator.ConstantRate(rates[name+"/2"]),
+					Query:          workload.Default(workload.Aggregation),
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return latencyPairResult{Event: res.EventLatencySeries, Proc: res.ProcLatencySeries}, nil
+			},
 		})
-	})
+	}
+	return cells
+}
+
+func assembleFig8(o Options, raws [][]byte) (*Outcome, error) {
+	results, err := decodeCells[latencyPairResult](raws)
 	if err != nil {
 		return nil, err
 	}
 	var panels []report.FigurePanel
-	metrics := map[string]float64{}
+	metricsOut := map[string]float64{}
 	for i, name := range engineNames {
-		res := results[i]
+		r := results[i]
 		panels = append(panels,
-			report.FigurePanel{Title: name + " event-time", Series: res.EventLatencySeries, Unit: "s"},
-			report.FigurePanel{Title: name + " processing-time", Series: res.ProcLatencySeries, Unit: "s"},
+			report.FigurePanel{Title: name + " event-time", Series: r.Event, Unit: "s"},
+			report.FigurePanel{Title: name + " processing-time", Series: r.Proc, Unit: "s"},
 		)
-		metrics[name+"/event_mean"] = res.EventLatencySeries.Mean()
-		metrics[name+"/proc_mean"] = res.ProcLatencySeries.Mean()
+		metricsOut[name+"/event_mean"] = r.Event.Mean()
+		metricsOut[name+"/proc_mean"] = r.Proc.Mean()
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 8: event-time vs processing-time latency (aggregation, 2 nodes, sustainable rate)", panels),
 		CSV:     report.CSV(panels),
 		Panels:  panels,
-		Metrics: metrics,
+		Metrics: metricsOut,
 	}, nil
 }
 
-func runFig9(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
+// throughputSeriesResult is the wire shape of one Figure 9 run.
+type throughputSeriesResult struct {
+	Throughput *metrics.Series
+}
+
+func fig9Cells(Options) []Cell {
 	const workers = 4
 	rates := PaperRates(false)
-	results, err := runEnginesParallel(engineNames, func(name string) (*driver.Result, error) {
-		eng, err := EngineByName(name)
-		if err != nil {
-			return nil, err
-		}
-		return driver.Run(eng, driver.Config{
-			Seed:           o.Seed,
-			Workers:        workers,
-			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
-			Query:          workload.Default(workload.Aggregation),
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
+	cells := make([]Cell, 0, len(engineNames))
+	for _, name := range engineNames {
+		name := name
+		cells = append(cells, Cell{
+			ID: name,
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        workers,
+					Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
+					Query:          workload.Default(workload.Aggregation),
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return throughputSeriesResult{Throughput: res.ThroughputSeries}, nil
+			},
 		})
-	})
+	}
+	return cells
+}
+
+func assembleFig9(o Options, raws [][]byte) (*Outcome, error) {
+	results, err := decodeCells[throughputSeriesResult](raws)
 	if err != nil {
 		return nil, err
 	}
 	var panels []report.FigurePanel
-	metrics := map[string]float64{}
+	metricsOut := map[string]float64{}
 	for i, name := range engineNames {
-		s := results[i].ThroughputSeries
+		s := results[i].Throughput
 		panels = append(panels, report.FigurePanel{Title: name + " pull rate", Series: s, Unit: " ev/s"})
-		metrics[name+"/cv"] = s.Tail(o.runFor() / 4).CoefficientOfVariation()
+		metricsOut[name+"/cv"] = s.Tail(o.runFor() / 4).CoefficientOfVariation()
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 9: SUT ingestion rate over time (aggregation, 4 nodes, max sustainable)", panels),
 		CSV:     report.CSV(panels),
 		Panels:  panels,
-		Metrics: metrics,
+		Metrics: metricsOut,
 	}, nil
 }
 
-func runFig10(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
+// resourceUsageResult is the wire shape of one Figure 10 run: per-node CPU
+// and network series for one engine.
+type resourceUsageResult struct {
+	CPU []*metrics.Series
+	Net []*metrics.Series
+}
+
+func fig10Cells(Options) []Cell {
 	const workers = 4
 	rates := PaperRates(false)
-	results, err := runEnginesParallel(engineNames, func(name string) (*driver.Result, error) {
-		eng, err := EngineByName(name)
-		if err != nil {
-			return nil, err
-		}
-		return driver.Run(eng, driver.Config{
-			Seed:           o.Seed,
-			Workers:        workers,
-			Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
-			Query:          workload.Default(workload.Aggregation),
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
+	cells := make([]Cell, 0, len(engineNames))
+	for _, name := range engineNames {
+		name := name
+		cells = append(cells, Cell{
+			ID: name,
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        workers,
+					Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
+					Query:          workload.Default(workload.Aggregation),
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return resourceUsageResult{CPU: res.CPU, Net: res.Net}, nil
+			},
 		})
-	})
+	}
+	return cells
+}
+
+func assembleFig10(o Options, raws [][]byte) (*Outcome, error) {
+	results, err := decodeCells[resourceUsageResult](raws)
 	if err != nil {
 		return nil, err
 	}
 	var panels []report.FigurePanel
-	metrics := map[string]float64{}
+	metricsOut := map[string]float64{}
 	for ei, name := range engineNames {
-		res := results[ei]
+		r := results[ei]
 		meanCPU := 0.0
-		for i, cs := range res.CPU {
+		for i, cs := range r.CPU {
 			panels = append(panels, report.FigurePanel{
 				Title: fmt.Sprintf("%s node-%d CPU load", name, i+1), Series: cs, Unit: "%"})
 			meanCPU += cs.Mean()
 		}
-		meanCPU /= float64(len(res.CPU))
-		for i, ns := range res.Net {
+		meanCPU /= float64(len(r.CPU))
+		for i, ns := range r.Net {
 			panels = append(panels, report.FigurePanel{
 				Title: fmt.Sprintf("%s node-%d network", name, i+1), Series: ns, Unit: "MB"})
 		}
-		metrics[name+"/cpu_mean"] = meanCPU
+		metricsOut[name+"/cpu_mean"] = meanCPU
 	}
 	return &Outcome{
 		Text:    report.Figure("Figure 10: per-node network (MB/interval) and CPU load (aggregation, 4 nodes)", panels),
 		CSV:     report.CSV(panels),
 		Panels:  panels,
-		Metrics: metrics,
+		Metrics: metricsOut,
 	}, nil
 }
 
-func runFig11(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	eng, _ := EngineByName("spark")
-	// Slightly above the 4-node sustainable rate: overload onset.
-	res, err := driver.Run(eng, driver.Config{
-		Seed:           o.Seed,
-		Workers:        4,
-		Rate:           generator.ConstantRate(0.70e6),
-		Query:          workload.Default(workload.Aggregation),
-		RunFor:         o.runFor(),
-		EventsPerTuple: o.eventsPerTuple(),
-	})
+// fig11Result is the wire shape of the single overload-onset run of
+// Figure 11.
+type fig11Result struct {
+	Throughput *metrics.Series
+	Sched      *metrics.Series
+}
+
+func fig11Cells(Options) []Cell {
+	return []Cell{{
+		ID: "spark/onset",
+		Run: func(ctx context.Context, o Options) (any, error) {
+			eng, _ := EngineByName("spark")
+			// Slightly above the 4-node sustainable rate: overload onset.
+			res, err := driver.RunContext(ctx, eng, driver.Config{
+				Seed:           o.Seed,
+				Workers:        4,
+				Rate:           generator.ConstantRate(0.70e6),
+				Query:          workload.Default(workload.Aggregation),
+				RunFor:         o.runFor(),
+				EventsPerTuple: o.eventsPerTuple(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return fig11Result{Throughput: res.ThroughputSeries, Sched: res.Extra["scheduler_delay"]}, nil
+		},
+	}}
+}
+
+func assembleFig11(o Options, raws [][]byte) (*Outcome, error) {
+	r, err := decodeCell[fig11Result](raws[0])
 	if err != nil {
 		return nil, err
 	}
-	sched := res.Extra["scheduler_delay"]
 	panels := []report.FigurePanel{
-		{Title: "throughput (pull rate)", Series: res.ThroughputSeries, Unit: " ev/s"},
-		{Title: "scheduler delay", Series: sched, Unit: "s"},
+		{Title: "throughput (pull rate)", Series: r.Throughput, Unit: " ev/s"},
+		{Title: "scheduler delay", Series: r.Sched, Unit: "s"},
 	}
 	return &Outcome{
 		Text:   report.Figure("Figure 11: Spark scheduler delay vs throughput (aggregation, 4 nodes, overload onset)", panels),
 		CSV:    report.CSV(panels),
 		Panels: panels,
 		Metrics: map[string]float64{
-			"sched_delay_max":  sched.Max(),
-			"sched_delay_mean": sched.Mean(),
-			"throughput_cv":    res.ThroughputSeries.Tail(o.runFor() / 4).CoefficientOfVariation(),
+			"sched_delay_max":  r.Sched.Max(),
+			"sched_delay_mean": r.Sched.Mean(),
+			"throughput_cv":    r.Throughput.Tail(o.runFor() / 4).CoefficientOfVariation(),
 		},
 	}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -38,6 +39,13 @@ func (s ReplicaStat) RelSpread() float64 {
 // are folded in seed order, making the aggregate identical to a sequential
 // replication.
 func Replicate(id string, opts Options, runs int) (*Replication, error) {
+	return ReplicateContext(context.Background(), id, opts, runs)
+}
+
+// ReplicateContext is Replicate with cancellation: a cancelled ctx aborts
+// the in-flight replicas (each replica's cells check it) and returns
+// without a replication.
+func ReplicateContext(ctx context.Context, id string, opts Options, runs int) (*Replication, error) {
 	if runs <= 0 {
 		runs = 3
 	}
@@ -56,7 +64,7 @@ func Replicate(id string, opts Options, runs int) (*Replication, error) {
 		tasks = append(tasks, func() error {
 			o := opts
 			o.Seed = seed
-			out, err := exp.Run(o)
+			out, err := exp.RunContext(ctx, o, nil)
 			if err != nil {
 				return fmt.Errorf("core: replicate %s seed %d: %w", id, seed, err)
 			}
@@ -64,7 +72,7 @@ func Replicate(id string, opts Options, runs int) (*Replication, error) {
 			return nil
 		})
 	}
-	if err := runTasks(tasks); err != nil {
+	if err := runTasks(ctx, tasks); err != nil {
 		return nil, err
 	}
 	samples := map[string][]float64{}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,193 +18,296 @@ func init() {
 		ID:          "exp3",
 		Title:       "Experiment 3: queries with large windows",
 		Description: "Aggregation with a (60s,60s) window: Spark's cached-window strategy vs recompute vs inverse-reduce; Storm's OOM without spillable state; Flink's incremental aggregation unaffected.",
-		Run:         runExp3,
+		Cells:       exp3Cells,
+		Assemble:    assembleExp3,
 	})
 	register(Experiment{
 		ID:          "exp4",
 		Title:       "Experiment 4: data skew",
 		Description: "Single-key stream: Storm/Flink pin at one slot's capacity regardless of scale; Spark's tree aggregate keeps scaling and wins on >=4 nodes; the skewed join breaks both Spark and Flink.",
-		Run:         runExp4,
+		Cells:       exp4Cells,
+		Assemble:    assembleExp4,
 	})
 }
 
-func runExp3(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	var b strings.Builder
-	metrics := map[string]float64{}
-	largeWin, err := workload.NewAggregation(60e9, 60e9) // 60s tumbling
-	if err != nil {
-		return nil, err
-	}
-	smallWin := workload.Default(workload.Aggregation)
+// exp3Strategies is the presentation order of Spark's sliding/large-window
+// strategies.
+var exp3Strategies = []workload.SlidingStrategy{
+	workload.StrategyDefault, workload.StrategyRecompute, workload.StrategyInverseReduce,
+}
 
-	b.WriteString("Experiment 3: large windows — aggregation (60s, 60s) vs (8s, 4s), 2 workers\n\n")
+// exp3CellResult is the wire shape of every Experiment 3 cell; each cell
+// kind fills the fields it measures.
+type exp3CellResult struct {
+	Rate        float64
+	AvgLatency  float64
+	Sustainable bool
+	Failed      bool
+	FailReason  string
+}
 
-	// --- Spark: three sliding/large-window strategies. ---
-	for _, strat := range []workload.SlidingStrategy{
-		workload.StrategyDefault, workload.StrategyRecompute, workload.StrategyInverseReduce,
-	} {
-		q := largeWin
-		q.Strategy = strat
-		rate, _, err := driver.FindSustainable(spark.New(spark.Options{}), driver.Config{
-			Seed: o.Seed, Workers: 2, Query: q,
-		}, o.searchConfig())
-		if err != nil {
-			return nil, err
-		}
-		// Latency at half the small-window sustainable rate (0.19M), the
-		// regime where the paper observed the 10x latency blow-up for
-		// the caching strategy.
-		res, err := driver.Run(spark.New(spark.Options{}), driver.Config{
-			Seed: o.Seed, Workers: 2,
-			Rate:           generator.ConstantRate(0.19e6),
-			Query:          q,
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
+// exp3LargeWindow returns the (60s, 60s) tumbling aggregation query.
+func exp3LargeWindow() (workload.Query, error) {
+	return workload.NewAggregation(60e9, 60e9)
+}
+
+func exp3Cells(Options) []Cell {
+	var cells []Cell
+	// Spark: three sliding/large-window strategies, each bisected and then
+	// measured at half the small-window sustainable rate (0.19M) — the
+	// regime where the paper observed the 10x latency blow-up for the
+	// caching strategy.
+	for _, strat := range exp3Strategies {
+		strat := strat
+		cells = append(cells, Cell{
+			ID: "spark/" + strat.String(),
+			Run: func(ctx context.Context, o Options) (any, error) {
+				q, err := exp3LargeWindow()
+				if err != nil {
+					return nil, err
+				}
+				q.Strategy = strat
+				rate, _, err := driver.FindSustainableContext(ctx, spark.New(spark.Options{}), driver.Config{
+					Seed: o.Seed, Workers: 2, Query: q,
+				}, o.searchConfig())
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, spark.New(spark.Options{}), driver.Config{
+					Seed: o.Seed, Workers: 2,
+					Rate:           generator.ConstantRate(0.19e6),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return exp3CellResult{
+					Rate:        rate,
+					AvgLatency:  res.EventLatency.Mean().Seconds(),
+					Sustainable: res.Verdict.Sustainable,
+				}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		avg := res.EventLatency.Mean().Seconds()
-		fmt.Fprintf(&b, "spark strategy=%-15s sustainable=%.2f M/s  avg latency @0.19M ev/s = %.1f s (sustainable there: %v)\n",
-			strat, rate/1e6, avg, res.Verdict.Sustainable)
-		metrics["spark/"+strat.String()+"/rate"] = rate
-		metrics["spark/"+strat.String()+"/avg_latency"] = avg
 	}
 	// Reference: small-window Spark sustainable rate on the same cluster.
-	smallRate, _, err := driver.FindSustainable(spark.New(spark.Options{}), driver.Config{
-		Seed: o.Seed, Workers: 2, Query: smallWin,
-	}, o.searchConfig())
-	if err != nil {
-		return nil, err
-	}
-	metrics["spark/smallwindow/rate"] = smallRate
-	fmt.Fprintf(&b, "spark reference (8s,4s) window: sustainable=%.2f M/s\n\n", smallRate/1e6)
-
-	// --- Storm: buffered window state vs the worker heap. ---
-	for _, spill := range []bool{false, true} {
-		res, err := driver.Run(storm.New(storm.Options{SpillableState: spill}), driver.Config{
-			Seed: o.Seed, Workers: 2,
-			Rate:           generator.ConstantRate(0.40e6),
-			Query:          largeWin,
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		status := "ok"
-		if res.Failed {
-			status = "FAILED: " + res.FailReason
-		}
-		fmt.Fprintf(&b, "storm spillable-state=%-5v @0.40M ev/s: %s\n", spill, status)
-		metrics[fmt.Sprintf("storm/spill=%v/failed", spill)] = boolAsFloat(res.Failed)
-	}
-
-	// --- Flink: incremental aggregation, window size barely matters. ---
-	res, err := driver.Run(flink.New(flink.Options{}), driver.Config{
-		Seed: o.Seed, Workers: 2,
-		Rate:           generator.ConstantRate(1.2e6),
-		Query:          largeWin,
-		RunFor:         o.runFor(),
-		EventsPerTuple: o.eventsPerTuple(),
+	cells = append(cells, Cell{
+		ID: "spark/smallwindow",
+		Run: func(ctx context.Context, o Options) (any, error) {
+			rate, _, err := driver.FindSustainableContext(ctx, spark.New(spark.Options{}), driver.Config{
+				Seed: o.Seed, Workers: 2, Query: workload.Default(workload.Aggregation),
+			}, o.searchConfig())
+			if err != nil {
+				return nil, err
+			}
+			return exp3CellResult{Rate: rate}, nil
+		},
 	})
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(&b, "flink @1.20M ev/s (network bound): sustainable=%v, avg latency %.1f s (on-the-fly aggregates: no per-event buffering)\n",
-		res.Verdict.Sustainable, res.EventLatency.Mean().Seconds())
-	metrics["flink/large/sustainable"] = boolAsFloat(res.Verdict.Sustainable)
-
-	return &Outcome{Text: b.String(), Metrics: metrics}, nil
-}
-
-func runExp4(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	var b strings.Builder
-	metrics := map[string]float64{}
-	agg := workload.Default(workload.Aggregation)
-	join := workload.Default(workload.Join)
-	skew := generator.SingleKey{K: 1}
-
-	b.WriteString("Experiment 4: extreme data skew (all events share one key)\n\n")
-	b.WriteString("Aggregation, sustainable throughput under single-key input:\n")
-
-	// The 9-cell skewed-aggregation grid and the two skewed-join runs are
-	// all independent simulations; run them on the worker pool and render
-	// in presentation order afterwards.
-	type aggCell struct {
-		name string
-		w    int
-	}
-	var aggCells []aggCell
-	for _, w := range ClusterSizes {
-		for _, name := range engineNames {
-			aggCells = append(aggCells, aggCell{name: name, w: w})
-		}
-	}
-	aggRates := make([]float64, len(aggCells))
-	joinNames := []string{"spark", "flink"}
-	joinResults := make([]*driver.Result, len(joinNames))
-
-	var tasks []func() error
-	for i, c := range aggCells {
-		i, c := i, c
-		tasks = append(tasks, func() error {
-			eng, err := EngineByName(c.name)
-			if err != nil {
-				return err
-			}
-			cfg := driver.Config{Seed: o.Seed, Workers: c.w, Query: agg, Keys: skew}
-			rate, _, err := driver.FindSustainable(eng, cfg, o.searchConfig())
-			if err != nil {
-				return err
-			}
-			aggRates[i] = rate
-			return nil
+	// Storm: buffered window state vs the worker heap.
+	for _, spill := range []bool{false, true} {
+		spill := spill
+		cells = append(cells, Cell{
+			ID: fmt.Sprintf("storm/spill=%v", spill),
+			Run: func(ctx context.Context, o Options) (any, error) {
+				q, err := exp3LargeWindow()
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, storm.New(storm.Options{SpillableState: spill}), driver.Config{
+					Seed: o.Seed, Workers: 2,
+					Rate:           generator.ConstantRate(0.40e6),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return exp3CellResult{Failed: res.Failed, FailReason: res.FailReason}, nil
+			},
 		})
 	}
-	for i, name := range joinNames {
-		i, name := i, name
-		tasks = append(tasks, func() error {
-			eng, err := EngineByName(name)
+	// Flink: incremental aggregation, window size barely matters.
+	cells = append(cells, Cell{
+		ID: "flink/large",
+		Run: func(ctx context.Context, o Options) (any, error) {
+			q, err := exp3LargeWindow()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			res, err := driver.Run(eng, driver.Config{
-				Seed: o.Seed, Workers: 4,
-				Rate:           generator.ConstantRate(0.3e6),
-				Query:          join,
-				Keys:           skew,
+			res, err := driver.RunContext(ctx, flink.New(flink.Options{}), driver.Config{
+				Seed: o.Seed, Workers: 2,
+				Rate:           generator.ConstantRate(1.2e6),
+				Query:          q,
 				RunFor:         o.runFor(),
 				EventsPerTuple: o.eventsPerTuple(),
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
-			joinResults[i] = res
-			return nil
+			return exp3CellResult{
+				Sustainable: res.Verdict.Sustainable,
+				AvgLatency:  res.EventLatency.Mean().Seconds(),
+			}, nil
+		},
+	})
+	return cells
+}
+
+func assembleExp3(o Options, raws [][]byte) (*Outcome, error) {
+	results, err := decodeCells[exp3CellResult](raws)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	metrics := map[string]float64{}
+	b.WriteString("Experiment 3: large windows — aggregation (60s, 60s) vs (8s, 4s), 2 workers\n\n")
+
+	i := 0
+	for _, strat := range exp3Strategies {
+		r := results[i]
+		i++
+		fmt.Fprintf(&b, "spark strategy=%-15s sustainable=%.2f M/s  avg latency @0.19M ev/s = %.1f s (sustainable there: %v)\n",
+			strat, r.Rate/1e6, r.AvgLatency, r.Sustainable)
+		metrics["spark/"+strat.String()+"/rate"] = r.Rate
+		metrics["spark/"+strat.String()+"/avg_latency"] = r.AvgLatency
+	}
+	small := results[i]
+	i++
+	metrics["spark/smallwindow/rate"] = small.Rate
+	fmt.Fprintf(&b, "spark reference (8s,4s) window: sustainable=%.2f M/s\n\n", small.Rate/1e6)
+
+	for _, spill := range []bool{false, true} {
+		r := results[i]
+		i++
+		status := "ok"
+		if r.Failed {
+			status = "FAILED: " + r.FailReason
+		}
+		fmt.Fprintf(&b, "storm spillable-state=%-5v @0.40M ev/s: %s\n", spill, status)
+		metrics[fmt.Sprintf("storm/spill=%v/failed", spill)] = boolAsFloat(r.Failed)
+	}
+
+	fl := results[i]
+	fmt.Fprintf(&b, "flink @1.20M ev/s (network bound): sustainable=%v, avg latency %.1f s (on-the-fly aggregates: no per-event buffering)\n",
+		fl.Sustainable, fl.AvgLatency)
+	metrics["flink/large/sustainable"] = boolAsFloat(fl.Sustainable)
+
+	return &Outcome{Text: b.String(), Metrics: metrics}, nil
+}
+
+// exp4AggResult / exp4JoinResult are the wire shapes of the skew cells.
+type exp4AggResult struct {
+	Rate float64
+}
+
+type exp4JoinResult struct {
+	Failed      bool
+	FailReason  string
+	AvgLatency  float64
+	Sustainable bool
+}
+
+// exp4JoinEngines are the engines subjected to the skewed join.
+var exp4JoinEngines = []string{"spark", "flink"}
+
+func exp4Cells(Options) []Cell {
+	agg := workload.Default(workload.Aggregation)
+	join := workload.Default(workload.Join)
+	skew := generator.SingleKey{K: 1}
+
+	var cells []Cell
+	// The 9-cell skewed-aggregation grid, in (workers, engine)
+	// presentation order.
+	for _, w := range ClusterSizes {
+		for _, name := range engineNames {
+			name, w := name, w
+			cells = append(cells, Cell{
+				ID: fmt.Sprintf("agg/%s/%d", name, w),
+				Run: func(ctx context.Context, o Options) (any, error) {
+					eng, err := EngineByName(name)
+					if err != nil {
+						return nil, err
+					}
+					rate, _, err := driver.FindSustainableContext(ctx, eng, driver.Config{
+						Seed: o.Seed, Workers: w, Query: agg, Keys: skew,
+					}, o.searchConfig())
+					if err != nil {
+						return nil, err
+					}
+					return exp4AggResult{Rate: rate}, nil
+				},
+			})
+		}
+	}
+	for _, name := range exp4JoinEngines {
+		name := name
+		cells = append(cells, Cell{
+			ID: "join/" + name,
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(name)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed: o.Seed, Workers: 4,
+					Rate:           generator.ConstantRate(0.3e6),
+					Query:          join,
+					Keys:           skew,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return exp4JoinResult{
+					Failed:      res.Failed,
+					FailReason:  res.FailReason,
+					AvgLatency:  res.EventLatency.Mean().Seconds(),
+					Sustainable: res.Verdict.Sustainable,
+				}, nil
+			},
 		})
 	}
-	if err := runTasks(tasks); err != nil {
+	return cells
+}
+
+func assembleExp4(o Options, raws [][]byte) (*Outcome, error) {
+	nAgg := len(ClusterSizes) * len(engineNames)
+	aggResults, err := decodeCells[exp4AggResult](raws[:nAgg])
+	if err != nil {
+		return nil, err
+	}
+	joinResults, err := decodeCells[exp4JoinResult](raws[nAgg:])
+	if err != nil {
 		return nil, err
 	}
 
-	for i, c := range aggCells {
-		fmt.Fprintf(&b, "  %-6s %d-node: %.2f M/s\n", c.name, c.w, aggRates[i]/1e6)
-		metrics[fmt.Sprintf("%s/%d", c.name, c.w)] = aggRates[i]
+	var b strings.Builder
+	metrics := map[string]float64{}
+	b.WriteString("Experiment 4: extreme data skew (all events share one key)\n\n")
+	b.WriteString("Aggregation, sustainable throughput under single-key input:\n")
+	i := 0
+	for _, w := range ClusterSizes {
+		for _, name := range engineNames {
+			r := aggResults[i]
+			i++
+			fmt.Fprintf(&b, "  %-6s %d-node: %.2f M/s\n", name, w, r.Rate/1e6)
+			metrics[fmt.Sprintf("%s/%d", name, w)] = r.Rate
+		}
 	}
 	b.WriteString("\nJoin under single-key input (0.30M ev/s offered, 4 nodes):\n")
-	for i, name := range joinNames {
-		res := joinResults[i]
+	for i, name := range exp4JoinEngines {
+		r := joinResults[i]
 		switch {
-		case res.Failed:
-			fmt.Fprintf(&b, "  %-6s FAILED: %s\n", name, res.FailReason)
+		case r.Failed:
+			fmt.Fprintf(&b, "  %-6s FAILED: %s\n", name, r.FailReason)
 			metrics[name+"/join_failed"] = 1
 		default:
 			fmt.Fprintf(&b, "  %-6s avg event-time latency %.1f s (sustainable=%v)\n",
-				name, res.EventLatency.Mean().Seconds(), res.Verdict.Sustainable)
-			metrics[name+"/join_avg_latency"] = res.EventLatency.Mean().Seconds()
+				name, r.AvgLatency, r.Sustainable)
+			metrics[name+"/join_avg_latency"] = r.AvgLatency
 		}
 	}
 	return &Outcome{Text: b.String(), Metrics: metrics}, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/driver"
@@ -15,97 +16,99 @@ func init() {
 		ID:          "table1",
 		Title:       "Table I: sustainable throughput for windowed aggregations",
 		Description: "Bisect the maximum sustainable rate (Definition 5) of the aggregation query (8s,4s) for Storm, Spark and Flink on 2/4/8 workers.",
-		Run:         runTable1,
+		Cells:       table1Cells,
+		Assemble:    assembleTable1,
 	})
 	register(Experiment{
 		ID:          "table2",
 		Title:       "Table II: latency statistics for windowed aggregations",
 		Description: "Event-time latency avg/min/max/quantiles at the Table I workloads and at 90% of them.",
-		Run:         runTable2,
+		Cells:       table2Cells,
+		Assemble:    assembleTable2,
 	})
 	register(Experiment{
 		ID:          "table3",
 		Title:       "Table III: sustainable throughput for windowed joins",
 		Description: "Bisect the maximum sustainable rate of the join query (8s,4s) for Spark and Flink; includes the Storm naive-join aside.",
-		Run:         runTable3,
+		Cells:       table3Cells,
+		Assemble:    assembleTable3,
 	})
 	register(Experiment{
 		ID:          "table4",
 		Title:       "Table IV: latency statistics for windowed joins",
 		Description: "Event-time latency statistics at the Table III workloads and at 90% of them.",
-		Run:         runTable4,
+		Cells:       table4Cells,
+		Assemble:    assembleTable4,
 	})
 }
 
 // engineNames is the paper's presentation order for the engine models.
 var engineNames = []string{"storm", "spark", "flink"}
 
-// searchCell is one (engine, workers) cell of a sustainable-throughput
-// grid, bisected independently of the other cells.
-type searchCell struct {
-	cell report.ThroughputCell
-	rate float64
+// searchCellResult is the wire shape of one (engine, workers) bisection.
+type searchCellResult struct {
+	Cell report.ThroughputCell
+	Rate float64
 }
 
-// searchGridTasks returns one bisection task per engine × cluster-size
-// cell, each writing its slot of results (len(engines)×len(ClusterSizes),
-// (engine, workers) presentation order).  Callers fold the tasks into a
-// single runTasks call so the whole experiment shares one
-// GOMAXPROCS-bounded pool.
-func searchGridTasks(o Options, q workload.Query, engines []string, results []searchCell) []func() error {
-	tasks := make([]func() error, 0, len(engines)*len(ClusterSizes))
-	for ei, name := range engines {
-		for wi, w := range ClusterSizes {
-			slot := ei*len(ClusterSizes) + wi
+// searchGridCells returns one bisection cell per engine × cluster-size
+// grid slot, in (engine, workers) presentation order.
+func searchGridCells(q workload.Query, engines []string) []Cell {
+	cells := make([]Cell, 0, len(engines)*len(ClusterSizes))
+	for _, name := range engines {
+		for _, w := range ClusterSizes {
 			name, w := name, w
-			tasks = append(tasks, func() error {
-				eng, err := EngineByName(name)
-				if err != nil {
-					return err
-				}
-				rate, res, err := driver.FindSustainable(eng, driver.Config{
-					Seed:    o.Seed,
-					Workers: w,
-					Query:   q,
-				}, o.searchConfig())
-				if err != nil {
-					return err
-				}
-				cell := report.ThroughputCell{Engine: name, Workers: w, RateEvPerSec: rate}
-				if res != nil && !res.Verdict.Sustainable && rate == 0 {
-					cell.RateEvPerSec = -1
-					cell.Note = res.FailReason
-				}
-				results[slot] = searchCell{cell: cell, rate: rate}
-				return nil
+			cells = append(cells, Cell{
+				ID: fmt.Sprintf("%s/%d", name, w),
+				Run: func(ctx context.Context, o Options) (any, error) {
+					eng, err := EngineByName(name)
+					if err != nil {
+						return nil, err
+					}
+					rate, res, err := driver.FindSustainableContext(ctx, eng, driver.Config{
+						Seed:    o.Seed,
+						Workers: w,
+						Query:   q,
+					}, o.searchConfig())
+					if err != nil {
+						return nil, err
+					}
+					cell := report.ThroughputCell{Engine: name, Workers: w, RateEvPerSec: rate}
+					if res != nil && !res.Verdict.Sustainable && rate == 0 {
+						cell.RateEvPerSec = -1
+						cell.Note = res.FailReason
+					}
+					return searchCellResult{Cell: cell, Rate: rate}, nil
+				},
 			})
 		}
 	}
-	return tasks
+	return cells
 }
 
-// searchGrid bisects every engine × cluster-size cell concurrently (each
-// cell is an isolated simulation; see executor.go) and returns the cells
-// in (engine, workers) presentation order.
-func searchGrid(o Options, q workload.Query, engines []string) ([]searchCell, error) {
-	results := make([]searchCell, len(engines)*len(ClusterSizes))
-	if err := runTasks(searchGridTasks(o, q, engines, results)); err != nil {
-		return nil, err
-	}
-	return results, nil
-}
-
-func runTable1(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	results, err := searchGrid(o, workload.Default(workload.Aggregation), engineNames)
+// assembleSearchGrid folds searchCellResults into table cells + metrics.
+func assembleSearchGrid(raws [][]byte) ([]report.ThroughputCell, map[string]float64, error) {
+	results, err := decodeCells[searchCellResult](raws)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var cells []report.ThroughputCell
 	metrics := map[string]float64{}
 	for _, r := range results {
-		cells = append(cells, r.cell)
-		metrics[fmt.Sprintf("%s/%d", r.cell.Engine, r.cell.Workers)] = r.rate
+		cells = append(cells, r.Cell)
+		metrics[fmt.Sprintf("%s/%d", r.Cell.Engine, r.Cell.Workers)] = r.Rate
+	}
+	return cells, metrics, nil
+}
+
+func table1Cells(Options) []Cell {
+	return searchGridCells(workload.Default(workload.Aggregation), engineNames)
+}
+
+func assembleTable1(o Options, raws [][]byte) (*Outcome, error) {
+	cells, metrics, err := assembleSearchGrid(raws)
+	if err != nil {
+		return nil, err
 	}
 	return &Outcome{
 		Text:    report.ThroughputTable("Table I: sustainable throughput, windowed aggregation (8s, 4s)", cells),
@@ -113,19 +116,20 @@ func runTable1(o Options) (*Outcome, error) {
 	}, nil
 }
 
-// latencyAtPaperRates measures latency statistics at the published
-// sustainable rates and 90% of them — the paper's "The latencies shown in
-// this table correspond to the workloads given in Table I".  The cells are
-// independent fixed-rate runs, so they execute on the worker pool.
-func latencyAtPaperRates(o Options, q workload.Query, engines []string, join bool) ([]report.LatencyRow, map[string]float64, error) {
+// latencySpec is one fixed-rate latency cell of Tables II/IV: an engine at
+// a percentage of its published sustainable rate on a cluster size.
+type latencySpec struct {
+	engine  string
+	pct     int
+	workers int
+	rate    float64
+}
+
+// latencySpecs enumerates the paper's "workloads given in Table I/III"
+// grid in presentation order (engine, then 100%/90%, then cluster size).
+func latencySpecs(engines []string, join bool) []latencySpec {
 	rates := PaperRates(join)
-	type cellSpec struct {
-		engine  string
-		pct     int
-		workers int
-		rate    float64
-	}
-	var specs []cellSpec
+	var specs []latencySpec
 	for _, name := range engines {
 		for _, pct := range []int{100, 90} {
 			for _, w := range ClusterSizes {
@@ -133,51 +137,75 @@ func latencyAtPaperRates(o Options, q workload.Query, engines []string, join boo
 				if !ok {
 					continue
 				}
-				specs = append(specs, cellSpec{engine: name, pct: pct, workers: w, rate: base * float64(pct) / 100})
+				specs = append(specs, latencySpec{engine: name, pct: pct, workers: w, rate: base * float64(pct) / 100})
 			}
 		}
 	}
-	rows := make([]report.LatencyRow, len(specs))
-	tasks := make([]func() error, 0, len(specs))
-	for i, s := range specs {
-		i, s := i, s
-		tasks = append(tasks, func() error {
-			eng, err := EngineByName(s.engine)
-			if err != nil {
-				return err
-			}
-			res, err := driver.Run(eng, driver.Config{
-				Seed:           o.Seed,
-				Workers:        s.workers,
-				Rate:           generator.ConstantRate(s.rate),
-				Query:          q,
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
-			})
-			if err != nil {
-				return err
-			}
-			rows[i] = report.LatencyRow{
-				Engine: s.engine, LoadPct: s.pct, Workers: s.workers,
-				Summary: res.EventLatency.Summarize(),
-			}
-			return nil
+	return specs
+}
+
+// latencyCellResult is the wire shape of one fixed-rate latency run.
+type latencyCellResult struct {
+	Row report.LatencyRow
+}
+
+// latencyGridCells measures latency statistics at the published
+// sustainable rates and 90% of them — the paper's "The latencies shown in
+// this table correspond to the workloads given in Table I".
+func latencyGridCells(q workload.Query, engines []string, join bool) []Cell {
+	specs := latencySpecs(engines, join)
+	cells := make([]Cell, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		cells = append(cells, Cell{
+			ID: fmt.Sprintf("%s/%d/%d", s.engine, s.workers, s.pct),
+			Run: func(ctx context.Context, o Options) (any, error) {
+				eng, err := EngineByName(s.engine)
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, eng, driver.Config{
+					Seed:           o.Seed,
+					Workers:        s.workers,
+					Rate:           generator.ConstantRate(s.rate),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return latencyCellResult{Row: report.LatencyRow{
+					Engine: s.engine, LoadPct: s.pct, Workers: s.workers,
+					Summary: res.EventLatency.Summarize(),
+				}}, nil
+			},
 		})
 	}
-	if err := runTasks(tasks); err != nil {
+	return cells
+}
+
+func assembleLatencyGrid(raws [][]byte) ([]report.LatencyRow, map[string]float64, error) {
+	results, err := decodeCells[latencyCellResult](raws)
+	if err != nil {
 		return nil, nil, err
 	}
+	rows := make([]report.LatencyRow, len(results))
 	metrics := map[string]float64{}
-	for _, r := range rows {
-		metrics[fmt.Sprintf("%s/%d/%d/avg", r.Engine, r.Workers, r.LoadPct)] = r.Summary.Avg.Seconds()
-		metrics[fmt.Sprintf("%s/%d/%d/p99", r.Engine, r.Workers, r.LoadPct)] = r.Summary.P99.Seconds()
+	for i, r := range results {
+		rows[i] = r.Row
+		metrics[fmt.Sprintf("%s/%d/%d/avg", r.Row.Engine, r.Row.Workers, r.Row.LoadPct)] = r.Row.Summary.Avg.Seconds()
+		metrics[fmt.Sprintf("%s/%d/%d/p99", r.Row.Engine, r.Row.Workers, r.Row.LoadPct)] = r.Row.Summary.P99.Seconds()
 	}
 	return rows, metrics, nil
 }
 
-func runTable2(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	rows, m, err := latencyAtPaperRates(o, workload.Default(workload.Aggregation), engineNames, false)
+func table2Cells(Options) []Cell {
+	return latencyGridCells(workload.Default(workload.Aggregation), engineNames, false)
+}
+
+func assembleTable2(o Options, raws [][]byte) (*Outcome, error) {
+	rows, m, err := assembleLatencyGrid(raws)
 	if err != nil {
 		return nil, err
 	}
@@ -187,67 +215,88 @@ func runTable2(o Options) (*Outcome, error) {
 	}, nil
 }
 
-func runTable3(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	q := workload.Default(workload.Join)
+// naiveJoinRateResult / naiveJoinStallResult are the wire shapes of the
+// Storm naive-join aside of Table III (Experiment 2: no built-in windowed
+// join; the naive implementation sustains ~0.14M ev/s on 2 nodes and
+// stalls on larger clusters).
+type naiveJoinRateResult struct {
+	Rate float64
+}
 
-	// The Spark/Flink grid plus the Storm naive-join aside (Experiment 2:
-	// no built-in windowed join; the naive implementation sustains
-	// ~0.14M ev/s on 2 nodes and stalls on larger clusters) form one flat
-	// task list, so a single GOMAXPROCS-bounded pool caps how many
-	// simulations are live at once.
-	gridEngines := []string{"spark", "flink"}
-	grid := make([]searchCell, len(gridEngines)*len(ClusterSizes))
-	var (
-		nRate    float64
-		stallRes *driver.Result
-	)
-	tasks := append(searchGridTasks(o, q, gridEngines, grid),
-		func() error {
-			naive := storm.New(storm.Options{})
-			rate, _, err := driver.FindSustainable(naive, driver.Config{
-				Seed: o.Seed, Workers: 2, Query: q,
-			}, o.searchConfig())
-			nRate = rate
-			return err
+type naiveJoinStallResult struct {
+	Failed     bool
+	FailReason string
+}
+
+func table3Cells(Options) []Cell {
+	q := workload.Default(workload.Join)
+	cells := searchGridCells(q, []string{"spark", "flink"})
+	cells = append(cells,
+		Cell{
+			ID: "storm-naive/2",
+			Run: func(ctx context.Context, o Options) (any, error) {
+				naive := storm.New(storm.Options{})
+				rate, _, err := driver.FindSustainableContext(ctx, naive, driver.Config{
+					Seed: o.Seed, Workers: 2, Query: q,
+				}, o.searchConfig())
+				if err != nil {
+					return nil, err
+				}
+				return naiveJoinRateResult{Rate: rate}, nil
+			},
 		},
-		func() error {
-			res, err := driver.Run(storm.New(storm.Options{}), driver.Config{
-				Seed: o.Seed, Workers: 4,
-				Rate:           generator.ConstantRate(0.14e6),
-				Query:          q,
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
-			})
-			stallRes = res
-			return err
+		Cell{
+			ID: "storm-naive/4",
+			Run: func(ctx context.Context, o Options) (any, error) {
+				res, err := driver.RunContext(ctx, storm.New(storm.Options{}), driver.Config{
+					Seed: o.Seed, Workers: 4,
+					Rate:           generator.ConstantRate(0.14e6),
+					Query:          q,
+					RunFor:         o.runFor(),
+					EventsPerTuple: o.eventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return naiveJoinStallResult{Failed: res.Failed, FailReason: res.FailReason}, nil
+			},
 		},
 	)
-	if err := runTasks(tasks); err != nil {
+	return cells
+}
+
+func assembleTable3(o Options, raws [][]byte) (*Outcome, error) {
+	n := len(raws)
+	cells, metrics, err := assembleSearchGrid(raws[:n-2])
+	if err != nil {
 		return nil, err
 	}
-
-	var cells []report.ThroughputCell
-	metrics := map[string]float64{}
-	for _, r := range grid {
-		cells = append(cells, r.cell)
-		metrics[fmt.Sprintf("%s/%d", r.cell.Engine, r.cell.Workers)] = r.rate
+	naive, err := decodeCell[naiveJoinRateResult](raws[n-2])
+	if err != nil {
+		return nil, err
 	}
-	metrics["storm-naive/2"] = nRate
+	stall, err := decodeCell[naiveJoinStallResult](raws[n-1])
+	if err != nil {
+		return nil, err
+	}
+	metrics["storm-naive/2"] = naive.Rate
 	note := "no failure observed"
-	if stallRes.Failed {
-		note = stallRes.FailReason
+	if stall.Failed {
+		note = stall.FailReason
 		metrics["storm-naive/4/failed"] = 1
 	}
 	text := report.ThroughputTable("Table III: sustainable throughput, windowed join (8s, 4s)", cells)
 	text += fmt.Sprintf("Storm aside (naive join, no built-in windowed join): %.2f M/s on 2 nodes; on 4 nodes: %s\n",
-		nRate/1e6, note)
+		naive.Rate/1e6, note)
 	return &Outcome{Text: text, Metrics: metrics}, nil
 }
 
-func runTable4(o Options) (*Outcome, error) {
-	o = o.WithDefaults()
-	rows, m, err := latencyAtPaperRates(o, workload.Default(workload.Join), []string{"spark", "flink"}, true)
+func table4Cells(Options) []Cell {
+	return latencyGridCells(workload.Default(workload.Join), []string{"spark", "flink"}, true)
+}
+
+func assembleTable4(o Options, raws [][]byte) (*Outcome, error) {
+	rows, m, err := assembleLatencyGrid(raws)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,120 @@
+package ctl
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Agent executes leased cells.  The same loop serves both deployments:
+// in-process (API = *Coordinator, used by sdpsd's built-in workers and by
+// tests) and remote (API = *Client over HTTP+JSON).
+type Agent struct {
+	// Name is advisory, for status displays ("local-0", hostname, ...).
+	Name string
+	// API is the coordinator surface.
+	API AgentAPI
+	// Poll is the idle re-poll interval (default 50ms).
+	Poll time.Duration
+	// Resolve maps experiment IDs to experiments (default core.Lookup).
+	Resolve func(id string) (core.Experiment, error)
+}
+
+// Run registers the agent and processes leases until ctx is done.  A
+// cancelled ctx models agent death: the in-flight cell is abandoned
+// without a Fail call, exactly like a crashed process, and the
+// coordinator's lease TTL re-queues it.
+func (a *Agent) Run(ctx context.Context) error {
+	poll := a.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	id, err := a.API.Register(a.Name)
+	if err != nil {
+		return fmt.Errorf("ctl: agent %s register: %w", a.Name, err)
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		task, err := a.API.Lease(id)
+		if err != nil || task == nil {
+			// Transient coordinator errors and an empty queue are the
+			// same from here: back off and re-poll.
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		a.execute(ctx, id, task)
+	}
+}
+
+// execute runs one leased cell, heartbeating while it computes.
+func (a *Agent) execute(ctx context.Context, agentID string, task *LeaseTask) {
+	// Heartbeat at the poll cadence so the lease outlives cells that take
+	// many TTLs, and stop the moment the cell finishes.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(maxDuration(a.Poll, 50*time.Millisecond))
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				_ = a.API.Heartbeat(agentID)
+			}
+		}
+	}()
+
+	result, err := ExecuteCell(ctx, a.Resolve, task)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Killed mid-cell: vanish like a dead process and let the
+			// lease expire, instead of reporting a spurious failure.
+			return
+		}
+		_ = a.API.Fail(task.LeaseID, err.Error())
+		return
+	}
+	_ = a.API.Complete(task.LeaseID, result)
+}
+
+// ExecuteCell resolves and runs one cell of a lease task, returning the
+// canonical result encoding the coordinator folds into the artifact.
+func ExecuteCell(ctx context.Context, resolve func(string) (core.Experiment, error), task *LeaseTask) ([]byte, error) {
+	if resolve == nil {
+		resolve = core.Lookup
+	}
+	exp, o, err := validateSpec(resolve, task.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cells := exp.Cells(o)
+	if task.CellIndex < 0 || task.CellIndex >= len(cells) {
+		return nil, fmt.Errorf("ctl: %s has no cell %d (%d cells)", task.Spec.Experiment, task.CellIndex, len(cells))
+	}
+	cell := cells[task.CellIndex]
+	if task.CellID != "" && cell.ID != task.CellID {
+		return nil, fmt.Errorf("ctl: cell %d of %s is %q here, coordinator says %q (version skew?)",
+			task.CellIndex, task.Spec.Experiment, cell.ID, task.CellID)
+	}
+	v, err := cell.Run(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeCellResult(v)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package ctl
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a coordinator's REST API.  It implements AgentAPI, so a
+// remote Agent is just `(&Agent{API: NewClient(url)}).Run(ctx)`.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for a coordinator at base
+// (e.g. "http://127.0.0.1:8372").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// do issues a request and decodes a JSON response into out (unless out is
+// nil or the status is 204).
+func (c *Client) do(method, path string, body any, out any) error {
+	var rdr io.Reader
+	if raw, ok := body.([]byte); ok {
+		rdr = bytes.NewReader(raw)
+	} else if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw, err = io.ReadAll(resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError maps an error response back onto the package sentinels, so
+// remote and in-process agents handle stale leases identically.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrStaleLease, msg)
+	default:
+		return fmt.Errorf("ctl: coordinator: %s", msg)
+	}
+}
+
+// Submit queues a run.
+func (c *Client) Submit(spec RunSpec) (RunInfo, error) {
+	var info RunInfo
+	err := c.do("POST", "/api/v1/runs", spec, &info)
+	return info, err
+}
+
+// Runs lists all runs.
+func (c *Client) Runs() ([]RunInfo, error) {
+	var out []RunInfo
+	err := c.do("GET", "/api/v1/runs", nil, &out)
+	return out, err
+}
+
+// Run fetches one run with per-cell detail.
+func (c *Client) Run(id string) (RunInfo, error) {
+	var info RunInfo
+	err := c.do("GET", "/api/v1/runs/"+id, nil, &info)
+	return info, err
+}
+
+// Artifact fetches a finished run's canonical artifact bytes.
+func (c *Client) Artifact(id string) ([]byte, error) {
+	var data []byte
+	err := c.do("GET", "/api/v1/runs/"+id+"/artifact", nil, &data)
+	return data, err
+}
+
+// Watch streams a run's progress events into fn until the run reaches a
+// terminal status (returning nil) or ctx is cancelled (returning its
+// error).
+func (c *Client) Watch(ctx context.Context, id string, fn func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/api/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return fmt.Errorf("ctl: bad event: %w", err)
+		}
+		fn(ev)
+		if ev.Type == "run" && ev.Status.Terminal() {
+			return nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("ctl: event stream ended before the run did")
+}
+
+// Register implements AgentAPI.
+func (c *Client) Register(name string) (string, error) {
+	var out struct {
+		AgentID string `json:"agent_id"`
+	}
+	err := c.do("POST", "/api/v1/agents", map[string]string{"name": name}, &out)
+	return out.AgentID, err
+}
+
+// Heartbeat implements AgentAPI.
+func (c *Client) Heartbeat(agentID string) error {
+	return c.do("POST", "/api/v1/agents/"+agentID+"/heartbeat", nil, nil)
+}
+
+// Lease implements AgentAPI; a nil task means no work is queued.
+func (c *Client) Lease(agentID string) (*LeaseTask, error) {
+	req, err := http.NewRequest("POST", c.base+"/api/v1/agents/"+agentID+"/lease", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return nil, nil
+	case resp.StatusCode >= 400:
+		return nil, apiError(resp)
+	}
+	var task LeaseTask
+	if err := json.NewDecoder(resp.Body).Decode(&task); err != nil {
+		return nil, err
+	}
+	return &task, nil
+}
+
+// Complete implements AgentAPI.
+func (c *Client) Complete(leaseID string, result []byte) error {
+	return c.do("POST", "/api/v1/leases/"+leaseID+"/complete", result, nil)
+}
+
+// Fail implements AgentAPI.
+func (c *Client) Fail(leaseID string, reason string) error {
+	return c.do("POST", "/api/v1/leases/"+leaseID+"/fail", map[string]string{"reason": reason}, nil)
+}

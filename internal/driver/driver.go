@@ -12,6 +12,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -196,6 +197,17 @@ func (r *Result) OfferedRate() float64 {
 
 // Run executes one benchmark run of the query on the engine.
 func Run(eng engine.Engine, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), eng, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the simulation
+// halts at the next sample tick and ctx.Err() is returned instead of a
+// result.  Cancellation never yields a partial Result, so it cannot
+// perturb determinism of completed runs.
+func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -322,6 +334,12 @@ func Run(eng engine.Engine, cfg Config) (*Result, error) {
 		if failed, _ := job.Failed(); failed {
 			k.Halt()
 		}
+		// Cancellation: virtual sample ticks pass every few wall-clock
+		// microseconds, so this bounds the abort latency tightly without
+		// touching the per-event hot path.
+		if ctx.Err() != nil {
+			k.Halt()
+		}
 	})
 	cl.StartRecorder(k, cfg.SampleEvery)
 
@@ -336,6 +354,10 @@ func Run(eng engine.Engine, cfg Config) (*Result, error) {
 		brk.Stop()
 	}
 	gen.Stop()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res.Generated = gen.TotalWeight()
 	res.Ingested = sources.TotalOut()
@@ -422,6 +444,12 @@ func (s SearchConfig) WithDefaults() SearchConfig {
 // ignored; each probe runs at a constant candidate rate.  It returns the
 // highest rate judged sustainable and that rate's full Result.
 func FindSustainable(eng engine.Engine, base Config, scfg SearchConfig) (float64, *Result, error) {
+	return FindSustainableContext(context.Background(), eng, base, scfg)
+}
+
+// FindSustainableContext is FindSustainable with cancellation; a cancelled
+// ctx aborts the bisection mid-probe.
+func FindSustainableContext(ctx context.Context, eng engine.Engine, base Config, scfg SearchConfig) (float64, *Result, error) {
 	scfg = scfg.WithDefaults()
 	base = base.WithDefaults()
 	if scfg.ProbeRunFor > 0 {
@@ -444,7 +472,7 @@ func FindSustainable(eng engine.Engine, base Config, scfg SearchConfig) (float64
 		// (or hit) the exact same episodes.
 		cfg.Seed = base.Seed + probeN*1_000_003
 		probeN++
-		return Run(eng, cfg)
+		return RunContext(ctx, eng, cfg)
 	}
 
 	lo, hi := scfg.Lo, scfg.Hi
