@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench race smoke
+.PHONY: ci vet build test bench-smoke bench race smoke scenario-validate
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke scenario-validate
 
 vet:
 	$(GO) vet ./...
@@ -34,10 +34,16 @@ bench:
 # control plane (ctl runs -short: the synthetic lease/failover tests cover
 # the concurrency; the byte-identity integration tests run in `test`).
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestTable1Shape|TestReplicate|TestExp4Shape'
+	GOMAXPROCS=4 $(GO) test -race ./internal/scenario/ -run 'TestTable1Shape'
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestReplicate|TestExp4Shape'
 	$(GO) test -race -short ./internal/ctl/
 
-# End-to-end controller smoke: sdpsd + 2 in-process agents run table1 at
-# quick scale; the fetched artifact must be byte-identical to sdpsbench's.
+# Every shipped scenario spec must parse, validate and compile.
+scenario-validate:
+	$(GO) run ./cmd/sdpsbench -scenario-validate examples/scenarios/*.json
+
+# End-to-end controller smoke: sdpsd + 2 in-process agents run table1 and a
+# scenario spec at quick scale; each fetched artifact must be byte-identical
+# to the corresponding direct sdpsbench run.
 smoke:
 	scripts/smoke-ctl.sh

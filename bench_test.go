@@ -20,6 +20,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	// Registers the grid experiments declared as scenario specs.
+	_ "repro/internal/scenario"
 )
 
 func benchScale() core.Scale {

@@ -9,11 +9,15 @@
 //	sdpsbench -exp table1 -json            # canonical artifact encoding
 //	sdpsbench -exp fig9 -scale full -csv out/
 //	sdpsbench -all -scale quick
+//	sdpsbench -scenario examples/scenarios/skew-sweep.json
+//	sdpsbench -scenario-validate examples/scenarios/*.json
 //
 // -json prints the same canonical artifact bytes the distributed
 // controller (sdpsd/sdpsctl) stores and serves, so
 // `sdpsbench -exp table1 -json` and `sdpsctl fetch <run>` of an equivalent
-// run compare byte-for-byte.
+// run compare byte-for-byte.  The same holds for -scenario: a scenario
+// spec runs locally here or distributed via `sdpsctl submit -scenario`,
+// with byte-identical artifacts.
 package main
 
 import (
@@ -28,26 +32,49 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		exp     = flag.String("exp", "", "experiment id to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment in paper order")
-		scale   = flag.String("scale", "quick", "fidelity: quick | full")
-		seed    = flag.Uint64("seed", 42, "simulation seed (same seed, same artefact)")
-		csv     = flag.String("csv", "", "directory to write figure series CSVs into")
-		svg     = flag.String("svg", "", "directory to write figure SVGs into")
-		reps    = flag.Int("replicate", 0, "run the experiment N times with different seeds and report cross-seed spread")
-		asJSON  = flag.Bool("json", false, "print the canonical machine-readable artifact instead of text")
-		verbose = flag.Bool("v", false, "report each finished experiment cell on stderr")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		scenFile = flag.String("scenario", "", "run a declarative scenario spec from this JSON file")
+		validate = flag.Bool("scenario-validate", false, "validate the scenario spec files given as arguments and exit")
+		scale    = flag.String("scale", "quick", "fidelity: quick | full")
+		seed     = flag.Uint64("seed", 42, "simulation seed (same seed, same artefact)")
+		csv      = flag.String("csv", "", "directory to write figure series CSVs into")
+		svg      = flag.String("svg", "", "directory to write figure SVGs into")
+		reps     = flag.Int("replicate", 0, "run the experiment N times with different seeds and report cross-seed spread")
+		asJSON   = flag.Bool("json", false, "print the canonical machine-readable artifact instead of text")
+		verbose  = flag.Bool("v", false, "report each finished experiment cell on stderr")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-8s %s\n         %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	if *validate {
+		files := flag.Args()
+		if len(files) == 0 {
+			fatalf("-scenario-validate needs spec files as arguments")
+		}
+		for _, f := range files {
+			s, err := scenario.LoadFile(f)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			e, err := scenario.Compile(s)
+			if err != nil {
+				fatalf("%s: %v", f, err)
+			}
+			fmt.Printf("%s: ok — %s, %d cells, %d seed(s)\n",
+				f, s.Name, len(e.Cells(core.Options{}.WithDefaults())), s.Seeds)
 		}
 		return
 	}
@@ -64,25 +91,49 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var ids []string
+	// Resolve what to run: experiments by registry ID, or one compiled
+	// scenario spec — both are core.Experiments from here on.
+	var exps []core.Experiment
 	switch {
-	case *all:
-		for _, e := range core.Experiments() {
-			ids = append(ids, e.ID)
+	case *scenFile != "":
+		if *exp != "" || *all {
+			fatalf("-scenario is exclusive with -exp/-all")
 		}
+		s, err := scenario.LoadFile(*scenFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *reps > 0 && s.Seeds > 1 {
+			fatalf("scenario %s already declares %d replication seeds; drop -replicate", s.Name, s.Seeds)
+		}
+		e, err := scenario.Compile(s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		exps = []core.Experiment{e}
+	case *all:
+		exps = core.Experiments()
 	case *exp != "":
-		ids = []string{*exp}
+		e, err := core.Lookup(*exp)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		exps = []core.Experiment{e}
 	default:
-		fatalf("nothing to do: pass -exp <id>, -all, or -list")
+		fatalf("nothing to do: pass -exp <id>, -all, -scenario <file>, or -list")
 	}
 
 	if *reps > 0 {
-		for _, id := range ids {
-			rep, err := core.ReplicateContext(ctx, id, opts, *reps)
+		for _, e := range exps {
+			// Replicated's artefact text is the cross-seed spread table.
+			out, err := core.Replicated(e, *reps).RunContext(ctx, opts, nil)
+			if errors.Is(err, context.Canceled) {
+				fatalf("%s: interrupted", e.ID)
+			}
 			if err != nil {
 				fatalf("%v", err)
 			}
-			fmt.Println(rep.Text())
+			fmt.Println(out.Text)
 		}
 		return
 	}
@@ -99,11 +150,8 @@ func main() {
 		}
 	}
 
-	for _, id := range ids {
-		e, err := core.Lookup(id)
-		if err != nil {
-			fatalf("%v", err)
-		}
+	for _, e := range exps {
+		id := e.ID
 		start := time.Now()
 		out, err := e.RunContext(ctx, opts, progress)
 		if errors.Is(err, context.Canceled) {

@@ -5,15 +5,20 @@
 // Usage:
 //
 //	sdpsctl submit table1 --scale quick --seed 42 --watch
+//	sdpsctl submit --scenario examples/scenarios/skew-sweep.json --watch
+//	sdpsctl submit table1 --replicate 5
 //	sdpsctl status [run-0001]
 //	sdpsctl watch run-0001
+//	sdpsctl abort run-0001 --reason "wrong scale"
 //	sdpsctl fetch run-0001 -o table1.json
 //	sdpsctl agent --name worker-a --workers 2
 //
 // Every subcommand accepts -coord (default http://127.0.0.1:8372, or
 // $SDPSD_COORD).  `fetch` prints the canonical artifact bytes, which are
 // byte-identical to `sdpsbench -json` with the same experiment, seed and
-// scale no matter how many agents executed the run.
+// scale no matter how many agents executed the run — including runs
+// submitted as scenario specs, which travel inside the wire format and
+// need no registration on the agents.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"syscall"
 
 	"repro/internal/ctl"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -47,6 +53,8 @@ func main() {
 		cmdStatus(pos, args)
 	case "watch":
 		cmdWatch(pos, args)
+	case "abort":
+		cmdAbort(pos, args)
 	case "fetch":
 		cmdFetch(pos, args)
 	case "agent":
@@ -59,11 +67,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sdpsctl <command> [args]
 
-  submit <experiment> [--scale quick|full] [--seed N] [--watch] [-q]
+  submit <experiment> [--scale quick|full] [--seed N] [--replicate N] [--watch] [-q]
+  submit --scenario file.json [--scale quick|full] [--seed N] [--watch] [-q]
   status [run-id]
   watch  <run-id>
+  abort  <run-id> [--reason TEXT]
   fetch  <run-id> [-o file]
-  agent  [--name NAME] [--workers N]
+  agent  [--name NAME] [--workers N] [--cell-cache N]
 
 All commands accept --coord URL (default $SDPSD_COORD or
 http://127.0.0.1:8372).`)
@@ -85,14 +95,29 @@ func cmdSubmit(pos, args []string) {
 	fs, coord := newFlagSet("submit")
 	scale := fs.String("scale", "quick", "fidelity: quick | full")
 	seed := fs.Uint64("seed", 42, "simulation seed (same seed, same artifact)")
+	scenFile := fs.String("scenario", "", "submit a declarative scenario spec from this JSON file")
+	replicate := fs.Int("replicate", 0, "run N replication seeds, scheduled as one cell per (seed, cell)")
 	watch := fs.Bool("watch", false, "stream progress until the run finishes")
 	quiet := fs.Bool("q", false, "print only the run ID")
 	fs.Parse(args)
-	if len(pos) != 1 {
-		fatalf("submit needs exactly one experiment id (see `sdpsbench -list`)")
+	spec := ctl.RunSpec{Seed: *seed, Scale: *scale, Replicate: *replicate}
+	switch {
+	case *scenFile != "":
+		if len(pos) != 0 {
+			fatalf("submit takes either an experiment id or --scenario, not both")
+		}
+		s, err := scenario.LoadFile(*scenFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Scenario = &s
+	case len(pos) == 1:
+		spec.Experiment = pos[0]
+	default:
+		fatalf("submit needs exactly one experiment id (see `sdpsbench -list`) or --scenario file.json")
 	}
 	cl := ctl.NewClient(*coord)
-	info, err := cl.Submit(ctl.RunSpec{Experiment: pos[0], Seed: *seed, Scale: *scale})
+	info, err := cl.Submit(spec)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -105,6 +130,21 @@ func cmdSubmit(pos, args []string) {
 	if *watch {
 		watchRun(cl, info.ID, *quiet)
 	}
+}
+
+func cmdAbort(pos, args []string) {
+	fs, coord := newFlagSet("abort")
+	reason := fs.String("reason", "", "recorded as the run's failure reason")
+	fs.Parse(args)
+	if len(pos) != 1 {
+		fatalf("abort needs exactly one run id")
+	}
+	info, err := ctl.NewClient(*coord).Abort(pos[0], *reason)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s aborted (%d/%d cells were done): %s\n",
+		info.ID, info.CellsDone, info.CellsTotal, info.Error)
 }
 
 func cmdStatus(pos, args []string) {
@@ -223,6 +263,7 @@ func cmdAgent(pos, args []string) {
 	fs, coord := newFlagSet("agent")
 	name := fs.String("name", "", "agent name shown in status output (default: hostname)")
 	workers := fs.Int("workers", 1, "concurrent cell executors to run")
+	cacheSize := fs.Int("cell-cache", 4096, "finished-cell result cache entries, shared by this process's workers (0 disables)")
 	fs.Parse(args)
 	if len(pos) != 0 {
 		fatalf("agent takes no positional arguments")
@@ -234,11 +275,15 @@ func cmdAgent(pos, args []string) {
 		}
 		*name = host
 	}
+	var cache *ctl.ResultCache
+	if *cacheSize > 0 {
+		cache = ctl.NewResultCache(*cacheSize)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var wg sync.WaitGroup
 	for i := 0; i < *workers; i++ {
-		a := &ctl.Agent{Name: fmt.Sprintf("%s-%d", *name, i), API: ctl.NewClient(*coord)}
+		a := &ctl.Agent{Name: fmt.Sprintf("%s-%d", *name, i), API: ctl.NewClient(*coord), Cache: cache}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -31,6 +31,7 @@ func main() {
 		agents      = flag.Int("agents", 0, "number of in-process agents to host")
 		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "cell lease TTL; an agent silent this long forfeits its leases")
 		maxAttempts = flag.Int("max-attempts", 3, "executions per cell (failures + expiries) before the run fails")
+		cacheSize   = flag.Int("cell-cache", 4096, "finished-cell result cache entries shared by the in-process agents (0 disables)")
 	)
 	flag.Parse()
 
@@ -50,8 +51,12 @@ func main() {
 	defer stop()
 	coord.Start(ctx)
 
+	var cache *ctl.ResultCache
+	if *cacheSize > 0 {
+		cache = ctl.NewResultCache(*cacheSize)
+	}
 	for i := 0; i < *agents; i++ {
-		a := &ctl.Agent{Name: fmt.Sprintf("local-%d", i), API: coord}
+		a := &ctl.Agent{Name: fmt.Sprintf("local-%d", i), API: coord, Cache: cache}
 		go func() {
 			if err := a.Run(ctx); err != nil {
 				fmt.Fprintf(os.Stderr, "sdpsd: agent %s: %v\n", a.Name, err)

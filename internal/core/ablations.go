@@ -20,21 +20,21 @@ import (
 // out-of-order data).  They are part of this reproduction's deliverable,
 // not of the original evaluation, and EXPERIMENTS.md marks them as such.
 func init() {
-	register(Experiment{
+	Register(Experiment{
 		ID:          "ablation-broker",
 		Title:       "Ablation: on-the-fly generation vs message broker (Section III-A)",
 		Description: "Interpose a Kafka-style broker between generators and SUT and measure what it does to Flink's sustainable throughput and latency floor — the bottleneck argument of Section III-A and of the Yahoo-benchmark postmortem.",
 		Cells:       runAblationBrokerCells,
 		Assemble:    runAblationBrokerAssemble,
 	})
-	register(Experiment{
+	Register(Experiment{
 		ID:          "ablation-guarantees",
 		Title:       "Ablation: processing guarantees vs performance (future work)",
 		Description: "Storm with and without acking (at-least-once vs at-most-once) and Flink with and without exactly-once checkpointing: the guarantee/throughput trade-off the paper proposes to study.",
 		Cells:       runAblationGuaranteesCells,
 		Assemble:    runAblationGuaranteesAssemble,
 	})
-	register(Experiment{
+	Register(Experiment{
 		ID:          "ablation-disorder",
 		Title:       "Ablation: out-of-order input and watermark slack (future work)",
 		Description: "Inject bounded event-time disorder and sweep the engines' watermark slack: small slack drops late events, large slack inflates latency.",
@@ -66,15 +66,15 @@ func runAblationBroker(ctx context.Context, o Options) (*Outcome, error) {
 			base.WatermarkSlack = bcfg.FlushInterval + 2*bcfg.FetchBatch
 			label = "broker"
 		}
-		rate, _, err := driver.FindSustainableContext(ctx, flink.New(flink.Options{}), base, o.searchConfig())
+		rate, _, err := driver.FindSustainableContext(ctx, flink.New(flink.Options{}), base, o.SearchConfig())
 		if err != nil {
 			return nil, err
 		}
 		// Latency at a rate both deployments can sustain.
 		cfg := base
 		cfg.Rate = generator.ConstantRate(0.5e6)
-		cfg.RunFor = o.runFor()
-		cfg.EventsPerTuple = o.eventsPerTuple()
+		cfg.RunFor = o.RunFor()
+		cfg.EventsPerTuple = o.EventsPerTuple()
 		res, err := driver.RunContext(ctx, flink.New(flink.Options{}), cfg)
 		if err != nil {
 			return nil, err
@@ -107,7 +107,7 @@ func runAblationGuarantees(ctx context.Context, o Options) (*Outcome, error) {
 		eng := storm.New(storm.Options{DisableAcking: !acked})
 		rate, last, err := driver.FindSustainableContext(ctx, eng, driver.Config{
 			Seed: o.Seed, Workers: 4, Query: q,
-		}, o.searchConfig())
+		}, o.SearchConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +125,7 @@ func runAblationGuarantees(ctx context.Context, o Options) (*Outcome, error) {
 		eng := flink.New(flink.Options{ExactlyOnce: exactly, CheckpointInterval: 10 * time.Second})
 		rate, last, err := driver.FindSustainableContext(ctx, eng, driver.Config{
 			Seed: o.Seed, Workers: 4, Query: q,
-		}, o.searchConfig())
+		}, o.SearchConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -160,8 +160,8 @@ func runAblationDisorder(ctx context.Context, o Options) (*Outcome, error) {
 			Workers:        4,
 			Rate:           generator.ConstantRate(0.8e6),
 			Query:          q,
-			RunFor:         o.runFor(),
-			EventsPerTuple: o.eventsPerTuple(),
+			RunFor:         o.RunFor(),
+			EventsPerTuple: o.EventsPerTuple(),
 			DisorderProb:   0.3,
 			DisorderMax:    2 * time.Second,
 			WatermarkSlack: slack,

@@ -27,6 +27,14 @@ type Cell struct {
 	// (e.g. "storm/2"); the controller uses it to address and display the
 	// cell.
 	ID string
+	// Key, when non-empty, is a content hash of everything the cell's
+	// result depends on (engine, cluster size, query, load, seed, scale,
+	// ...).  Two cells with equal keys compute the same result even when
+	// they belong to different experiments, which is what lets agents
+	// reuse finished cells across overlapping scenario submissions.
+	// Empty means "no content identity known"; caches then fall back to
+	// addressing by (spec, cell ID).
+	Key string
 	// Run executes the cell.  The returned value must round-trip through
 	// EncodeCellResult/JSON unchanged (exported fields, no NaN/Inf).
 	Run func(ctx context.Context, o Options) (any, error)
@@ -93,6 +101,16 @@ func (e Experiment) Run(o Options) (*Outcome, error) {
 // distributed controller.
 func (e Experiment) RunContext(ctx context.Context, o Options, progress Progress) (*Outcome, error) {
 	o = o.WithDefaults()
+	results, err := e.runCells(ctx, o, progress)
+	if err != nil {
+		return nil, err
+	}
+	return e.Assemble(o, results)
+}
+
+// runCells executes every cell on the worker pool and returns the
+// canonical encodings in enumeration order.  o must already be defaulted.
+func (e Experiment) runCells(ctx context.Context, o Options, progress Progress) ([][]byte, error) {
 	cells := e.Cells(o)
 	results := make([][]byte, len(cells))
 	tasks := make([]func() error, len(cells))
@@ -115,7 +133,7 @@ func (e Experiment) RunContext(ctx context.Context, o Options, progress Progress
 	if err := runTasks(ctx, tasks); err != nil {
 		return nil, err
 	}
-	return e.Assemble(o, results)
+	return results, nil
 }
 
 // singleCell adapts a monolithic experiment body to the cell model: one

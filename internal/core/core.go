@@ -72,26 +72,26 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
-// runFor returns the measured virtual duration per run.
-func (o Options) runFor() time.Duration {
+// RunFor returns the measured virtual duration per run.
+func (o Options) RunFor() time.Duration {
 	if o.Scale == Full {
 		return 4 * time.Minute
 	}
 	return 75 * time.Second
 }
 
-// eventsPerTuple returns the simulation event scale.
-func (o Options) eventsPerTuple() int64 {
+// EventsPerTuple returns the simulation event scale.
+func (o Options) EventsPerTuple() int64 {
 	if o.Scale == Full {
 		return 20
 	}
 	return 100
 }
 
-// searchConfig returns the sustainable-throughput search settings.  The
+// SearchConfig returns the sustainable-throughput search settings.  The
 // search itself always uses a coarse event scale — queue divergence does
 // not need fine-grained latency fidelity.
-func (o Options) searchConfig() driver.SearchConfig {
+func (o Options) SearchConfig() driver.SearchConfig {
 	sc := driver.SearchConfig{Lo: 0.05e6, Hi: 1.6e6}
 	if o.Scale == Full {
 		sc.Resolution = 0.02
@@ -153,10 +153,14 @@ type Experiment struct {
 }
 
 // registry holds all experiments, populated by the experiment files' init
-// functions via register.
+// functions and by internal/scenario's builtin specs via Register.
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+// Register adds an experiment to the registry.  The paper's built-in
+// experiments register themselves from init functions (here and in
+// internal/scenario); additional experiments may be registered before the
+// registry is first consulted.
+func Register(e Experiment) { registry = append(registry, e) }
 
 // Experiments returns all registered experiments sorted by ID in the
 // paper's order (tables first, then experiments, then figures).
@@ -190,6 +194,9 @@ func Lookup(id string) (Experiment, error) {
 	}
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q (run `sdpsbench -list`)", id)
 }
+
+// engineNames is the paper's presentation order for the engine models.
+var engineNames = []string{"storm", "spark", "flink"}
 
 // Engines returns fresh instances of the three engine models in the
 // paper's order.

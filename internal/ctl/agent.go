@@ -20,6 +20,10 @@ type Agent struct {
 	Poll time.Duration
 	// Resolve maps experiment IDs to experiments (default core.Lookup).
 	Resolve func(id string) (core.Experiment, error)
+	// Cache, when non-nil, reuses finished cell results across runs keyed
+	// by cell content hash (see ResultCache); typically shared by every
+	// agent worker in a process.
+	Cache *ResultCache
 }
 
 // Run registers the agent and processes leases until ctx is done.  A
@@ -73,7 +77,7 @@ func (a *Agent) execute(ctx context.Context, agentID string, task *LeaseTask) {
 		}
 	}()
 
-	result, err := ExecuteCell(ctx, a.Resolve, task)
+	result, err := a.executeCached(ctx, task)
 	if err != nil {
 		if ctx.Err() != nil {
 			// Killed mid-cell: vanish like a dead process and let the
@@ -86,24 +90,60 @@ func (a *Agent) execute(ctx context.Context, agentID string, task *LeaseTask) {
 	_ = a.API.Complete(task.LeaseID, result)
 }
 
-// ExecuteCell resolves and runs one cell of a lease task, returning the
-// canonical result encoding the coordinator folds into the artifact.
-func ExecuteCell(ctx context.Context, resolve func(string) (core.Experiment, error), task *LeaseTask) ([]byte, error) {
+// executeCached runs one leased cell, serving it from the result cache
+// when an earlier run — possibly of a different but overlapping scenario —
+// already computed a cell with the same content identity.
+func (a *Agent) executeCached(ctx context.Context, task *LeaseTask) ([]byte, error) {
+	cell, o, err := resolveCell(a.Resolve, task)
+	if err != nil {
+		return nil, err
+	}
+	key := cellCacheKey(task, cell)
+	if result, ok := a.Cache.Get(key); ok {
+		return result, nil
+	}
+	v, err := cell.Run(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	result, err := core.EncodeCellResult(v)
+	if err != nil {
+		return nil, err
+	}
+	if a.Cache != nil {
+		a.Cache.Put(key, result)
+	}
+	return result, nil
+}
+
+// resolveCell resolves a lease task to its cell and options, checking the
+// enumeration agrees with the coordinator's.
+func resolveCell(resolve func(string) (core.Experiment, error), task *LeaseTask) (core.Cell, core.Options, error) {
 	if resolve == nil {
 		resolve = core.Lookup
 	}
 	exp, o, err := validateSpec(resolve, task.Spec)
 	if err != nil {
-		return nil, err
+		return core.Cell{}, core.Options{}, err
 	}
 	cells := exp.Cells(o)
 	if task.CellIndex < 0 || task.CellIndex >= len(cells) {
-		return nil, fmt.Errorf("ctl: %s has no cell %d (%d cells)", task.Spec.Experiment, task.CellIndex, len(cells))
+		return core.Cell{}, core.Options{}, fmt.Errorf("ctl: %s has no cell %d (%d cells)", task.Spec.Experiment, task.CellIndex, len(cells))
 	}
 	cell := cells[task.CellIndex]
 	if task.CellID != "" && cell.ID != task.CellID {
-		return nil, fmt.Errorf("ctl: cell %d of %s is %q here, coordinator says %q (version skew?)",
+		return core.Cell{}, core.Options{}, fmt.Errorf("ctl: cell %d of %s is %q here, coordinator says %q (version skew?)",
 			task.CellIndex, task.Spec.Experiment, cell.ID, task.CellID)
+	}
+	return cell, o, nil
+}
+
+// ExecuteCell resolves and runs one cell of a lease task, returning the
+// canonical result encoding the coordinator folds into the artifact.
+func ExecuteCell(ctx context.Context, resolve func(string) (core.Experiment, error), task *LeaseTask) ([]byte, error) {
+	cell, o, err := resolveCell(resolve, task)
+	if err != nil {
+		return nil, err
 	}
 	v, err := cell.Run(ctx, o)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 //	GET  /api/v1/runs/{id}                one run, with per-cell detail
 //	GET  /api/v1/runs/{id}/artifact       canonical artifact bytes
 //	GET  /api/v1/runs/{id}/events         SSE progress stream
+//	POST /api/v1/runs/{id}/abort          {"reason"} -> RunInfo (run fails, nothing re-queues)
 //	POST /api/v1/agents                   {"name"} -> {"agent_id"}
 //	POST /api/v1/agents/{id}/heartbeat
 //	POST /api/v1/agents/{id}/lease        -> LeaseTask, or 204 if idle
@@ -68,6 +69,22 @@ func NewHandler(c *Coordinator) http.Handler {
 
 	mux.HandleFunc("GET /api/v1/runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(c, w, r)
+	})
+
+	mux.HandleFunc("POST /api/v1/runs/{id}/abort", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Reason string `json:"reason"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := c.Abort(r.PathValue("id"), req.Reason)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 
 	mux.HandleFunc("POST /api/v1/agents", func(w http.ResponseWriter, r *http.Request) {
@@ -202,7 +219,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrStaleLease):
+	case errors.Is(err, ErrStaleLease), errors.Is(err, ErrConflict):
 		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError

@@ -69,11 +69,24 @@ func apiError(resp *http.Response) error {
 	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 		msg = e.Error
 	}
+	// wrap ties the transported message back to a package sentinel without
+	// stuttering when the message already carries the sentinel's text.
+	wrap := func(sentinel error) error {
+		if rest, ok := strings.CutPrefix(msg, sentinel.Error()); ok {
+			return fmt.Errorf("%w%s", sentinel, rest)
+		}
+		return fmt.Errorf("%w: %s", sentinel, msg)
+	}
 	switch resp.StatusCode {
 	case http.StatusNotFound:
-		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+		return wrap(ErrNotFound)
 	case http.StatusConflict:
-		return fmt.Errorf("%w: %s", ErrStaleLease, msg)
+		// 409 carries two sentinels; the body says which.  Agents only
+		// ever see stale leases, clients mostly see state conflicts.
+		if strings.Contains(msg, "stale lease") {
+			return wrap(ErrStaleLease)
+		}
+		return wrap(ErrConflict)
 	default:
 		return fmt.Errorf("ctl: coordinator: %s", msg)
 	}
@@ -105,6 +118,14 @@ func (c *Client) Artifact(id string) ([]byte, error) {
 	var data []byte
 	err := c.do("GET", "/api/v1/runs/"+id+"/artifact", nil, &data)
 	return data, err
+}
+
+// Abort cancels a queued or running run; the run fails with the reason and
+// nothing is re-queued.
+func (c *Client) Abort(id, reason string) (RunInfo, error) {
+	var info RunInfo
+	err := c.do("POST", "/api/v1/runs/"+id+"/abort", map[string]string{"reason": reason}, &info)
+	return info, err
 }
 
 // Watch streams a run's progress events into fn until the run reaches a

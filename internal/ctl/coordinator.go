@@ -288,6 +288,35 @@ func (c *Coordinator) Artifact(id string) ([]byte, error) {
 	return c.store.GetObject(sha)
 }
 
+// Abort cancels a run: queued cells are dropped, live leases are revoked
+// (their late Complete/Fail calls get ErrStaleLease, so nothing is
+// re-queued) and the run moves to RunFailed with an "aborted" reason.
+// Aborting a terminal run is a conflict.
+func (c *Coordinator) Abort(id, reason string) (RunInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[id]
+	if !ok {
+		return RunInfo{}, fmt.Errorf("%w: run %s", ErrNotFound, id)
+	}
+	if r.m.Status.Terminal() {
+		return RunInfo{}, fmt.Errorf("%w: run %s is already %s", ErrConflict, id, r.m.Status)
+	}
+	msg := "aborted"
+	if reason != "" {
+		msg += ": " + reason
+	}
+	for lid, l := range c.leases {
+		if l.runID == id {
+			delete(c.leases, lid)
+		}
+	}
+	if err := c.failLocked(r, msg); err != nil {
+		return RunInfo{}, err
+	}
+	return c.infoLocked(r, true), nil
+}
+
 // Register implements AgentAPI.
 func (c *Coordinator) Register(name string) (string, error) {
 	c.mu.Lock()

@@ -22,14 +22,27 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 // RunSpec is what a client submits: which experiment, at which seed and
 // scale.  It is also the provenance half of the artifact encoding.
+//
+// Experiment names a registered experiment; alternatively Scenario carries
+// a full declarative scenario spec inline, so user-defined scenarios
+// travel over the wire and run distributed without being registered
+// anywhere.  Replicate > 1 expands the run to one cell per
+// (seed, experiment cell), scheduling replications across agents.
 type RunSpec struct {
 	Experiment string `json:"experiment"`
 	Seed       uint64 `json:"seed,omitempty"`
 	Scale      string `json:"scale,omitempty"`
+	// Scenario, when non-nil, is compiled with internal/scenario instead
+	// of resolving Experiment against the registry; Experiment is then
+	// display-only (the scenario's name).
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	// Replicate is the number of replication seeds (0 or 1 = single run).
+	Replicate int `json:"replicate,omitempty"`
 }
 
 // Options resolves the spec into defaulted core options.
@@ -50,6 +63,22 @@ func (s RunSpec) Normalize() (RunSpec, error) {
 	}
 	s.Seed = o.Seed
 	s.Scale = o.Scale.String()
+	if s.Replicate < 0 {
+		return s, fmt.Errorf("ctl: replicate must be >= 0, got %d", s.Replicate)
+	}
+	if s.Replicate == 1 {
+		s.Replicate = 0 // one seed is a plain run
+	}
+	if s.Scenario != nil {
+		if err := s.Scenario.Validate(); err != nil {
+			return s, err
+		}
+		if s.Replicate > 1 && s.Scenario.Seeds > 1 {
+			return s, fmt.Errorf("ctl: scenario %s already declares %d replication seeds; drop the replicate flag",
+				s.Scenario.Name, s.Scenario.Seeds)
+		}
+		s.Experiment = s.Scenario.Name
+	}
 	return s, nil
 }
 
@@ -153,6 +182,10 @@ var ErrStaleLease = errors.New("ctl: stale lease")
 // ErrNotFound is returned for unknown run, agent or lease IDs.
 var ErrNotFound = errors.New("ctl: not found")
 
+// ErrConflict is returned when an operation does not apply to the target's
+// current state (e.g. aborting a run that already finished).
+var ErrConflict = errors.New("ctl: conflict")
+
 // AgentAPI is the coordinator surface an agent needs.  *Coordinator
 // implements it for in-process agents; *Client implements it over
 // HTTP+JSON for remote ones.
@@ -169,15 +202,29 @@ type AgentAPI interface {
 	Fail(leaseID string, reason string) error
 }
 
-// validateSpec resolves the spec against the experiment registry.
+// validateSpec resolves the spec into a runnable experiment: an inline
+// scenario compiles through internal/scenario, anything else resolves
+// against the experiment registry, and a replication request wraps the
+// result in core.Replicated (one cell per seed).  Coordinator and agents
+// share this one resolution path, which is what guarantees they agree on
+// the cell enumeration for any spec that travels the wire.
 func validateSpec(resolve func(string) (core.Experiment, error), spec RunSpec) (core.Experiment, core.Options, error) {
-	exp, err := resolve(spec.Experiment)
+	var exp core.Experiment
+	var err error
+	if spec.Scenario != nil {
+		exp, err = scenario.Compile(*spec.Scenario)
+	} else {
+		exp, err = resolve(spec.Experiment)
+	}
 	if err != nil {
 		return core.Experiment{}, core.Options{}, err
 	}
 	o, err := spec.Options()
 	if err != nil {
 		return core.Experiment{}, core.Options{}, err
+	}
+	if spec.Replicate > 1 {
+		exp = core.Replicated(exp, spec.Replicate)
 	}
 	return exp, o, nil
 }

@@ -1,0 +1,144 @@
+package scenario
+
+import "repro/internal/core"
+
+// The paper's regular evaluation grids, re-expressed as scenario specs and
+// registered through the same Compile path user scenarios take.  Their
+// artifacts are byte-identical to the hand-written cell enumerations they
+// replaced (golden_test.go pins this against the pre-refactor output).
+//
+// The experiments that are not grids — a single engineered overload run
+// (fig7, fig11), the per-node resource fan-out (fig10), the mixed
+// strategy/failure narratives (exp3, exp4) and the ablations — remain
+// code-registered in internal/core; see DESIGN-SCENARIO.md for the line
+// between the two.
+func init() {
+	for _, s := range Builtin() {
+		core.Register(MustCompile(s))
+	}
+}
+
+// Builtin returns the paper experiments that are pure parameter grids, as
+// specs.  Only the top-level slice is freshly allocated — the specs share
+// engine-list and load sub-slices, so derive variants by building new
+// Spec values (or marshalling through JSON), not by mutating elements in
+// place.
+func Builtin() []Spec {
+	all := []string{"storm", "spark", "flink"}
+	joiners := []string{"spark", "flink"}
+	agg := Query{Kind: "aggregation"}
+	join := Query{Kind: "join"}
+	fluct := Load{Kind: LoadFluctuation, HighEvPerSec: 0.84e6, LowEvPerSec: 0.28e6}
+	return []Spec{
+		{
+			Name:        "table1",
+			Title:       "Table I: sustainable throughput for windowed aggregations",
+			Description: "Bisect the maximum sustainable rate (Definition 5) of the aggregation query (8s,4s) for Storm, Spark and Flink on 2/4/8 workers.",
+			Heading:     "Table I: sustainable throughput, windowed aggregation (8s, 4s)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureSustainable},
+			Sweeps: []Sweep{
+				{Engines: all, Workers: []int{2, 4, 8}, Query: agg},
+			},
+		},
+		{
+			Name:        "table2",
+			Title:       "Table II: latency statistics for windowed aggregations",
+			Description: "Event-time latency avg/min/max/quantiles at the Table I workloads and at 90% of them.",
+			Heading:     "Table II: event-time latency, windowed aggregation (8s, 4s)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureLatency},
+			Sweeps: []Sweep{
+				{Engines: all, Workers: []int{2, 4, 8}, Query: agg,
+					Load: Load{Kind: LoadTableRates, Pcts: []int{100, 90}}},
+			},
+		},
+		{
+			Name:        "table3",
+			Title:       "Table III: sustainable throughput for windowed joins",
+			Description: "Bisect the maximum sustainable rate of the join query (8s,4s) for Spark and Flink; includes the Storm naive-join aside.",
+			Heading:     "Table III: sustainable throughput, windowed join (8s, 4s)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureSustainable, Aside: AsideStormNaiveJoin},
+			Sweeps: []Sweep{
+				{Engines: joiners, Workers: []int{2, 4, 8}, Query: join},
+			},
+		},
+		{
+			Name:        "table4",
+			Title:       "Table IV: latency statistics for windowed joins",
+			Description: "Event-time latency statistics at the Table III workloads and at 90% of them.",
+			Heading:     "Table IV: event-time latency, windowed join (8s, 4s)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureLatency},
+			Sweeps: []Sweep{
+				{Engines: joiners, Workers: []int{2, 4, 8}, Query: join,
+					Load: Load{Kind: LoadTableRates, Pcts: []int{100, 90}}},
+			},
+		},
+		{
+			Name:        "fig4",
+			Title:       "Figure 4: windowed aggregation latency distributions in time series",
+			Description: "Event-time latency over time for every engine × cluster size at max and 90% workloads (18 panels).",
+			Heading:     "Figure 4: windowed aggregation latency over time",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureLatencySeries},
+			Sweeps: []Sweep{
+				{Engines: all, Workers: []int{2, 4, 8}, Query: agg,
+					Load: Load{Kind: LoadTableRates, Pcts: []int{100, 90}}},
+			},
+		},
+		{
+			Name:        "fig5",
+			Title:       "Figure 5: windowed join latency distributions in time series",
+			Description: "Event-time latency over time for Spark and Flink at max and 90% join workloads (12 panels).",
+			Heading:     "Figure 5: windowed join latency over time",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureLatencySeries},
+			Sweeps: []Sweep{
+				{Engines: joiners, Workers: []int{2, 4, 8}, Query: join,
+					Load: Load{Kind: LoadTableRates, Pcts: []int{100, 90}}},
+			},
+		},
+		{
+			Name:        "fig6",
+			Title:       "Figure 6 / Experiment 5: fluctuating workloads",
+			Description: "Event-time latency under a 0.84M -> 0.28M -> 0.84M ev/s arrival-rate schedule, aggregation for all engines and join for Spark/Flink.",
+			Heading:     "Figure 6: event-time latency under fluctuating arrival rate (0.84M -> 0.28M -> 0.84M ev/s, 8 nodes)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureLatencySeries, SeriesStats: []string{"max", "mean"}},
+			Sweeps: []Sweep{
+				// Every engine sustains the 0.84M ev/s peak on 8 nodes.
+				{Prefix: "agg", Engines: all, Workers: []int{8}, Query: agg, Load: fluct,
+					Label: "{engine} aggregation", MetricKey: "{engine} aggregation"},
+				{Prefix: "join", Engines: joiners, Workers: []int{8}, Query: join, Load: fluct,
+					Label: "{engine} join", MetricKey: "{engine} join"},
+			},
+		},
+		{
+			Name:        "fig8",
+			Title:       "Figure 8 / Experiment 6: event-time vs processing-time latency",
+			Description: "Both latency definitions side by side for each engine, aggregation (8s,4s) on 2 nodes at the sustainable rate.",
+			Heading:     "Figure 8: event-time vs processing-time latency (aggregation, 2 nodes, sustainable rate)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureLatencyPairSeries},
+			Sweeps: []Sweep{
+				{Engines: all, Workers: []int{2}, Query: agg,
+					Load: Load{Kind: LoadTableRates, Pcts: []int{100}}},
+			},
+		},
+		{
+			Name:        "fig9",
+			Title:       "Figure 9 / Experiment 8: throughput (pull rate) over time",
+			Description: "SUT ingestion rate measured at the driver queues at the maximum sustainable aggregation workload; Storm fluctuates strongly, Spark moderately, Flink barely.",
+			Heading:     "Figure 9: SUT ingestion rate over time (aggregation, 4 nodes, max sustainable)",
+			Seeds:       1,
+			Measure:     Measure{Kind: MeasureThroughputSeries},
+			Sweeps: []Sweep{
+				{Engines: all, Workers: []int{4}, Query: agg,
+					Load:  Load{Kind: LoadTableRates, Pcts: []int{100}},
+					Label: "{engine} pull rate"},
+			},
+		},
+	}
+}

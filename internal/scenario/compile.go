@@ -1,0 +1,611 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/generator"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Axis-nesting orders for grid enumeration.
+const (
+	orderEWL = "engines,workers,loads"
+	orderELW = "engines,loads,workers"
+	orderWEL = "workers,engines,loads"
+)
+
+// defaultOrder returns the measurement kind's canonical axis nesting: the
+// paper presents latency tables engine → load → cluster size and every
+// figure engine → cluster size → load.
+func defaultOrder(kind string) string {
+	if kind == MeasureLatency {
+		return orderELW
+	}
+	return orderEWL
+}
+
+// point is one grid coordinate of a sweep: an engine on a cluster size at
+// a load point.
+type point struct {
+	sweep   int
+	engine  string
+	workers int
+	// pct is the load percentage for table-rates loads, 100 otherwise;
+	// hasPct marks whether the pct axis exists (>1 load points).
+	pct    int
+	hasPct bool
+}
+
+// points enumerates the spec's grid in cell order: sweeps in declaration
+// order, each expanded along its (possibly overridden) axis nesting.  Both
+// cell enumeration and assembly derive from this one function, so they can
+// never disagree about ordering.
+func points(s Spec) []point {
+	var out []point
+	for si, sw := range s.Sweeps {
+		pcts := []int{100}
+		hasPct := false
+		if sw.Load.Kind == LoadTableRates {
+			pcts = sw.Load.Pcts
+			hasPct = len(pcts) > 1
+		}
+		order := sw.Order
+		if order == "" {
+			order = defaultOrder(s.Measure.Kind)
+		}
+		emit := func(e string, w, pct int) {
+			out = append(out, point{sweep: si, engine: e, workers: w, pct: pct, hasPct: hasPct})
+		}
+		switch order {
+		case orderELW:
+			for _, e := range sw.Engines {
+				for _, pct := range pcts {
+					for _, w := range sw.Workers {
+						emit(e, w, pct)
+					}
+				}
+			}
+		case orderWEL:
+			for _, w := range sw.Workers {
+				for _, e := range sw.Engines {
+					for _, pct := range pcts {
+						emit(e, w, pct)
+					}
+				}
+			}
+		default: // orderEWL
+			for _, e := range sw.Engines {
+				for _, w := range sw.Workers {
+					for _, pct := range pcts {
+						emit(e, w, pct)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cellID renders a point's stable cell identifier: prefix, engine, then
+// only the axes that actually vary within the sweep.
+func cellID(s Spec, p point) string {
+	sw := s.Sweeps[p.sweep]
+	parts := make([]string, 0, 4)
+	if sw.Prefix != "" {
+		parts = append(parts, sw.Prefix)
+	}
+	parts = append(parts, p.engine)
+	if len(sw.Workers) > 1 {
+		parts = append(parts, strconv.Itoa(p.workers))
+	}
+	if p.hasPct {
+		parts = append(parts, strconv.Itoa(p.pct))
+	}
+	return strings.Join(parts, "/")
+}
+
+// expand substitutes the grid placeholders into a label/metric template.
+func expand(tmpl string, s Spec, p point) string {
+	sw := s.Sweeps[p.sweep]
+	r := strings.NewReplacer(
+		"{prefix}", sw.Prefix,
+		"{engine}", p.engine,
+		"{workers}", strconv.Itoa(p.workers),
+		"{pct}", strconv.Itoa(p.pct),
+		"{query}", sw.Query.Kind,
+	)
+	return r.Replace(tmpl)
+}
+
+// labelFor returns the point's panel title.  The pair/throughput series
+// defaults reuse the cell-ID rule (only axes that vary appear), so sweeps
+// over several worker counts or load points stay distinguishable.
+func labelFor(s Spec, p point) string {
+	if l := s.Sweeps[p.sweep].Label; l != "" {
+		return expand(l, s, p)
+	}
+	switch s.Measure.Kind {
+	case MeasureLatencySeries:
+		return fmt.Sprintf("%s, %d-node, %d%% throughput", p.engine, p.workers, p.pct)
+	case MeasureLatency:
+		return p.engine
+	default:
+		return cellID(s, p)
+	}
+}
+
+// metricBase returns the point's metric base key.
+func metricBase(s Spec, p point) string {
+	if t := s.Sweeps[p.sweep].MetricKey; t != "" {
+		return expand(t, s, p)
+	}
+	switch s.Measure.Kind {
+	case MeasureSustainable:
+		return fmt.Sprintf("%s/%d", p.engine, p.workers)
+	case MeasureLatency, MeasureLatencySeries:
+		return fmt.Sprintf("%s/%d/%d", p.engine, p.workers, p.pct)
+	default:
+		return cellID(s, p)
+	}
+}
+
+// seriesStats returns the measure's per-panel statistics list.
+func seriesStats(m Measure) []string {
+	if len(m.SeriesStats) > 0 {
+		return m.SeriesStats
+	}
+	if m.Kind == MeasureThroughputSeries {
+		return []string{"cv"}
+	}
+	return []string{"mean"}
+}
+
+// schedule builds the point's offered-load schedule.
+func schedule(sw Sweep, p point, o core.Options, join bool) (generator.RateSchedule, error) {
+	switch sw.Load.Kind {
+	case LoadTableRates:
+		base, ok := core.PaperRates(join)[fmt.Sprintf("%s/%d", p.engine, p.workers)]
+		if !ok {
+			return nil, fmt.Errorf("scenario: no published rate for %s/%d", p.engine, p.workers)
+		}
+		return generator.ConstantRate(base * float64(p.pct) / 100), nil
+	case LoadConstant:
+		return generator.ConstantRate(sw.Load.RateEvPerSec), nil
+	case LoadSteps:
+		sched := make(generator.StepSchedule, len(sw.Load.Steps))
+		for i, st := range sw.Load.Steps {
+			sched[i] = generator.Step{From: st.From.D(), Rate: st.RateEvPerSec}
+		}
+		return sched, nil
+	case LoadFluctuation:
+		return generator.PaperFluctuation(o.RunFor(), sw.Load.HighEvPerSec, sw.Load.LowEvPerSec), nil
+	}
+	return nil, fmt.Errorf("scenario: sweep has no load schedule")
+}
+
+// applyInputShape copies the sweep's input-shape knobs (key distribution,
+// disorder, watermark slack) onto a driver config.  Zero-valued knobs
+// leave the driver defaults untouched, which is what keeps specs without
+// them byte-identical to the hand-written experiments they replaced.
+func applyInputShape(cfg *driver.Config, sw Sweep) {
+	if sw.Load.Keys != nil {
+		cfg.Keys = sw.Load.Keys.build()
+	}
+	cfg.DisorderProb = sw.Load.DisorderProb
+	cfg.DisorderMax = sw.Load.DisorderMax.D()
+	cfg.WatermarkSlack = sw.WatermarkSlack.D()
+}
+
+// Wire shapes of the generic cells.  Only their JSON matters: the shapes
+// are internal to the scenario layer, and the canonical cell encoding is
+// what travels between agents and folds into artifacts.
+
+// searchResult is one sustainable-rate bisection.
+type searchResult struct {
+	Cell report.ThroughputCell
+	Rate float64
+}
+
+// latencyResult is one fixed-rate latency-statistics run.  Like the other
+// wire shapes it carries raw coordinates, never spec-derived labels:
+// labelling happens at assembly, so a result cached under its content key
+// renders correctly inside any scenario that shares the grid point.
+type latencyResult struct {
+	Engine  string
+	Workers int
+	Pct     int
+	Summary metrics.Summary
+}
+
+// seriesResult carries a point's coordinates plus whichever series its
+// measure collects.
+type seriesResult struct {
+	Engine     string
+	Workers    int
+	Pct        int
+	Event      *metrics.Series `json:",omitempty"`
+	Proc       *metrics.Series `json:",omitempty"`
+	Throughput *metrics.Series `json:",omitempty"`
+}
+
+// naiveJoinRate / naiveJoinStall are the Storm naive-join aside shapes.
+type naiveJoinRate struct {
+	Rate float64
+}
+
+type naiveJoinStall struct {
+	Failed     bool
+	FailReason string
+}
+
+// cellIdentity is everything a cell's result is a pure function of; its
+// hash is the content key agents use to reuse finished cells across
+// overlapping scenario submissions.
+type cellIdentity struct {
+	Measure string
+	Engine  string
+	Workers int
+	Query   workload.Query
+	Load    Load
+	Slack   Duration
+	Pct     int
+	Seed    uint64
+	Scale   string
+}
+
+func contentKey(id cellIdentity) string {
+	b, err := json.Marshal(id)
+	if err != nil {
+		return "" // unhashable identity: fall back to spec addressing
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// MustCompile compiles a spec and panics on error; for the builtin specs,
+// whose validity is covered by tests.
+func MustCompile(s Spec) core.Experiment {
+	e, err := Compile(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Compile lowers a validated spec into a core experiment: a deterministic
+// cell enumeration (the grid) plus a pure assembly step whose rendering is
+// selected by the measurement kind.  Seeds > 1 wraps the grid in
+// core.Replicated, one cell per (seed, grid point).
+func Compile(s Spec) (core.Experiment, error) {
+	if err := s.Validate(); err != nil {
+		return core.Experiment{}, err
+	}
+	title := s.Title
+	if title == "" {
+		title = s.Name
+	}
+	base := core.Experiment{
+		ID:          s.Name,
+		Title:       title,
+		Description: s.Description,
+		Cells:       func(o core.Options) []core.Cell { return gridCells(s, o) },
+		Assemble:    func(o core.Options, raws [][]byte) (*core.Outcome, error) { return assemble(s, o, raws) },
+	}
+	if s.Seeds > 1 {
+		return core.Replicated(base, s.Seeds), nil
+	}
+	return base, nil
+}
+
+// gridCells enumerates the spec's cells for the given options.
+func gridCells(s Spec, o core.Options) []core.Cell {
+	o = o.WithDefaults()
+	pts := points(s)
+	cells := make([]core.Cell, 0, len(pts)+2)
+	for _, p := range pts {
+		p := p
+		sw := s.Sweeps[p.sweep]
+		q, err := sw.Query.build()
+		join := q.Type == workload.Join
+		// The identity carries the point's resolved load (Pct), never the
+		// sweep's whole Pcts axis — two overlapping scenarios listing
+		// different pct sets still share the grid points they have in
+		// common.
+		idLoad := sw.Load
+		idLoad.Pcts = nil
+		ident := cellIdentity{
+			Measure: s.Measure.Kind, Engine: p.engine, Workers: p.workers,
+			Query: q, Load: idLoad, Slack: sw.WatermarkSlack, Pct: p.pct,
+			Seed: o.Seed, Scale: o.Scale.String(),
+		}
+		cells = append(cells, core.Cell{
+			ID:  cellID(s, p),
+			Key: contentKey(ident),
+			Run: func(ctx context.Context, o core.Options) (any, error) {
+				if err != nil {
+					return nil, err
+				}
+				return runPoint(ctx, s, sw, p, q, join, o)
+			},
+		})
+	}
+	if s.Measure.Aside == AsideStormNaiveJoin {
+		cells = append(cells, asideCells(s, o)...)
+	}
+	return cells
+}
+
+// runPoint executes one grid point under the spec's measurement kind.
+func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, join bool, o core.Options) (any, error) {
+	eng, err := core.EngineByName(p.engine)
+	if err != nil {
+		return nil, err
+	}
+	if s.Measure.Kind == MeasureSustainable {
+		cfg := driver.Config{Seed: o.Seed, Workers: p.workers, Query: q}
+		applyInputShape(&cfg, sw)
+		rate, res, err := driver.FindSustainableContext(ctx, eng, cfg, o.SearchConfig())
+		if err != nil {
+			return nil, err
+		}
+		cell := report.ThroughputCell{Engine: p.engine, Workers: p.workers, RateEvPerSec: rate}
+		if res != nil && !res.Verdict.Sustainable && rate == 0 {
+			cell.RateEvPerSec = -1
+			cell.Note = res.FailReason
+		}
+		return searchResult{Cell: cell, Rate: rate}, nil
+	}
+	sched, err := schedule(sw, p, o, join)
+	if err != nil {
+		return nil, err
+	}
+	cfg := driver.Config{
+		Seed:           o.Seed,
+		Workers:        p.workers,
+		Rate:           sched,
+		Query:          q,
+		RunFor:         o.RunFor(),
+		EventsPerTuple: o.EventsPerTuple(),
+	}
+	applyInputShape(&cfg, sw)
+	res, err := driver.RunContext(ctx, eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Measure.Kind {
+	case MeasureLatency:
+		return latencyResult{Engine: p.engine, Workers: p.workers, Pct: p.pct,
+			Summary: res.EventLatency.Summarize()}, nil
+	case MeasureLatencySeries:
+		return seriesResult{Engine: p.engine, Workers: p.workers, Pct: p.pct,
+			Event: res.EventLatencySeries}, nil
+	case MeasureLatencyPairSeries:
+		return seriesResult{Engine: p.engine, Workers: p.workers, Pct: p.pct,
+			Event: res.EventLatencySeries, Proc: res.ProcLatencySeries}, nil
+	case MeasureThroughputSeries:
+		return seriesResult{Engine: p.engine, Workers: p.workers, Pct: p.pct,
+			Throughput: res.ThroughputSeries}, nil
+	}
+	return nil, fmt.Errorf("scenario: unhandled measure kind %q", s.Measure.Kind)
+}
+
+// asideCells appends the Storm naive-join aside: the paper's Experiment 2
+// observation that Storm has no built-in windowed join — the naive
+// implementation sustains ~0.14M ev/s on 2 nodes and stalls beyond.
+func asideCells(s Spec, o core.Options) []core.Cell {
+	sw := s.Sweeps[0]
+	q, qerr := sw.Query.build()
+	ident := func(kind string, workers int) string {
+		return contentKey(cellIdentity{
+			Measure: kind, Engine: "storm", Workers: workers, Query: q,
+			Seed: o.Seed, Scale: o.Scale.String(),
+		})
+	}
+	return []core.Cell{
+		{
+			ID:  "storm-naive/2",
+			Key: ident("aside-naive-join-rate", 2),
+			Run: func(ctx context.Context, o core.Options) (any, error) {
+				if qerr != nil {
+					return nil, qerr
+				}
+				naive, err := core.EngineByName("storm")
+				if err != nil {
+					return nil, err
+				}
+				rate, _, err := driver.FindSustainableContext(ctx, naive, driver.Config{
+					Seed: o.Seed, Workers: 2, Query: q,
+				}, o.SearchConfig())
+				if err != nil {
+					return nil, err
+				}
+				return naiveJoinRate{Rate: rate}, nil
+			},
+		},
+		{
+			ID:  "storm-naive/4",
+			Key: ident("aside-naive-join-stall", 4),
+			Run: func(ctx context.Context, o core.Options) (any, error) {
+				if qerr != nil {
+					return nil, qerr
+				}
+				naive, err := core.EngineByName("storm")
+				if err != nil {
+					return nil, err
+				}
+				res, err := driver.RunContext(ctx, naive, driver.Config{
+					Seed: o.Seed, Workers: 4,
+					Rate:           generator.ConstantRate(0.14e6),
+					Query:          q,
+					RunFor:         o.RunFor(),
+					EventsPerTuple: o.EventsPerTuple(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return naiveJoinStall{Failed: res.Failed, FailReason: res.FailReason}, nil
+			},
+		},
+	}
+}
+
+// decode unmarshals one canonical cell encoding.
+func decode[T any](raw []byte) (T, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("scenario: decode cell result: %w", err)
+	}
+	return v, nil
+}
+
+// assemble folds the canonical cell encodings into the artefact, rendering
+// by measurement kind: tables through report.ThroughputTable /
+// report.LatencyTable, series through report.Figure with CSV and panels.
+func assemble(s Spec, o core.Options, raws [][]byte) (*core.Outcome, error) {
+	pts := points(s)
+	want := len(pts)
+	if s.Measure.Aside == AsideStormNaiveJoin {
+		want += 2
+	}
+	if len(raws) != want {
+		return nil, fmt.Errorf("scenario %s: %d cell results, want %d", s.Name, len(raws), want)
+	}
+	heading := s.Heading
+	if heading == "" {
+		heading = s.Title
+	}
+	if heading == "" {
+		heading = s.Name
+	}
+	switch s.Measure.Kind {
+	case MeasureSustainable:
+		return assembleSustainable(s, pts, heading, raws)
+	case MeasureLatency:
+		return assembleLatency(s, pts, heading, raws)
+	default:
+		return assembleSeries(s, o, pts, heading, raws)
+	}
+}
+
+func assembleSustainable(s Spec, pts []point, heading string, raws [][]byte) (*core.Outcome, error) {
+	var cells []report.ThroughputCell
+	metricsOut := map[string]float64{}
+	for i, p := range pts {
+		r, err := decode[searchResult](raws[i])
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, r.Cell)
+		metricsOut[metricBase(s, p)] = r.Rate
+	}
+	text := report.ThroughputTable(heading, cells)
+	if s.Measure.Aside == AsideStormNaiveJoin {
+		naive, err := decode[naiveJoinRate](raws[len(pts)])
+		if err != nil {
+			return nil, err
+		}
+		stall, err := decode[naiveJoinStall](raws[len(pts)+1])
+		if err != nil {
+			return nil, err
+		}
+		metricsOut["storm-naive/2"] = naive.Rate
+		note := "no failure observed"
+		if stall.Failed {
+			note = stall.FailReason
+			metricsOut["storm-naive/4/failed"] = 1
+		}
+		text += fmt.Sprintf("Storm aside (naive join, no built-in windowed join): %.2f M/s on 2 nodes; on 4 nodes: %s\n",
+			naive.Rate/1e6, note)
+	}
+	return &core.Outcome{Text: text, Metrics: metricsOut}, nil
+}
+
+func assembleLatency(s Spec, pts []point, heading string, raws [][]byte) (*core.Outcome, error) {
+	rows := make([]report.LatencyRow, len(pts))
+	metricsOut := map[string]float64{}
+	for i, p := range pts {
+		r, err := decode[latencyResult](raws[i])
+		if err != nil {
+			return nil, err
+		}
+		// The row name is the sweep label when one is set, so multiple
+		// sweeps over the same engines (e.g. a knob sweep) render as
+		// distinct table rows.
+		rows[i] = report.LatencyRow{
+			Engine: labelFor(s, p), LoadPct: p.pct, Workers: p.workers,
+			Summary: r.Summary,
+		}
+		base := metricBase(s, p)
+		metricsOut[base+"/avg"] = r.Summary.Avg.Seconds()
+		metricsOut[base+"/p99"] = r.Summary.P99.Seconds()
+	}
+	return &core.Outcome{
+		Text:    report.LatencyTable(heading, rows),
+		Metrics: metricsOut,
+	}, nil
+}
+
+// statOf evaluates one named statistic over a series.
+func statOf(stat string, series *metrics.Series, o core.Options) float64 {
+	switch stat {
+	case "mean":
+		return series.Mean()
+	case "max":
+		return series.Max()
+	case "min":
+		return series.Min()
+	case "cv":
+		return series.Tail(o.RunFor() / 4).CoefficientOfVariation()
+	}
+	return 0
+}
+
+func assembleSeries(s Spec, o core.Options, pts []point, heading string, raws [][]byte) (*core.Outcome, error) {
+	o = o.WithDefaults()
+	stats := seriesStats(s.Measure)
+	var panels []report.FigurePanel
+	metricsOut := map[string]float64{}
+	for i, p := range pts {
+		r, err := decode[seriesResult](raws[i])
+		if err != nil {
+			return nil, err
+		}
+		label := labelFor(s, p)
+		base := metricBase(s, p)
+		switch s.Measure.Kind {
+		case MeasureLatencyPairSeries:
+			panels = append(panels,
+				report.FigurePanel{Title: label + " event-time", Series: r.Event, Unit: "s"},
+				report.FigurePanel{Title: label + " processing-time", Series: r.Proc, Unit: "s"},
+			)
+			metricsOut[base+"/event_mean"] = r.Event.Mean()
+			metricsOut[base+"/proc_mean"] = r.Proc.Mean()
+		case MeasureThroughputSeries:
+			panels = append(panels, report.FigurePanel{Title: label, Series: r.Throughput, Unit: " ev/s"})
+			for _, st := range stats {
+				metricsOut[base+"/"+st] = statOf(st, r.Throughput, o)
+			}
+		default: // MeasureLatencySeries
+			panels = append(panels, report.FigurePanel{Title: label, Series: r.Event, Unit: "s"})
+			for _, st := range stats {
+				metricsOut[base+"/"+st] = statOf(st, r.Event, o)
+			}
+		}
+	}
+	return &core.Outcome{
+		Text:    report.Figure(heading, panels),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: metricsOut,
+	}, nil
+}

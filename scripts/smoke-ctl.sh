@@ -1,8 +1,8 @@
 #!/bin/sh
 # Smoke test for the distributed experiment controller: boot sdpsd with two
-# in-process agents, submit table1 at quick scale through sdpsctl, and
-# require the fetched artifact to be byte-identical to a direct
-# `sdpsbench -exp table1 -scale quick -seed 42 -json` run.
+# in-process agents, submit table1 and a declarative scenario spec at quick
+# scale through sdpsctl, and require each fetched artifact to be
+# byte-identical to the corresponding direct sdpsbench run.
 #
 # Usage: scripts/smoke-ctl.sh [port]   (invoked by `make smoke`)
 set -eu
@@ -53,3 +53,20 @@ if ! cmp -s "$TMP/distributed.json" "$TMP/direct.json"; then
     exit 1
 fi
 echo "smoke: OK — coordinator artifact is byte-identical to sdpsbench ($(wc -c < "$TMP/direct.json") bytes)"
+
+SCENARIO="examples/scenarios/backpressure-recovery.json"
+echo "smoke: submitting scenario $SCENARIO (quick, seed 42)"
+RUN2_ID="$("$TMP/sdpsctl" submit --coord "$COORD" --scenario "$SCENARIO" --scale quick --seed 42 -q)"
+echo "smoke: watching $RUN2_ID"
+"$TMP/sdpsctl" watch "$RUN2_ID" --coord "$COORD"
+"$TMP/sdpsctl" fetch "$RUN2_ID" --coord "$COORD" -o "$TMP/scenario-distributed.json"
+
+echo "smoke: running the scenario directly for the reference artifact"
+"$TMP/sdpsbench" -scenario "$SCENARIO" -scale quick -seed 42 -json > "$TMP/scenario-direct.json"
+
+if ! cmp -s "$TMP/scenario-distributed.json" "$TMP/scenario-direct.json"; then
+    echo "smoke: FAIL — distributed scenario artifact differs from direct run" >&2
+    diff "$TMP/scenario-distributed.json" "$TMP/scenario-direct.json" | head -20 >&2
+    exit 1
+fi
+echo "smoke: OK — scenario artifact is byte-identical to sdpsbench -scenario ($(wc -c < "$TMP/scenario-direct.json") bytes)"
