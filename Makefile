@@ -1,13 +1,15 @@
 # Repro build/test entry points.  `make ci` is the gate every change must
 # pass: static checks, a full build, the test suite, a race pass over the
-# concurrent executor and control-plane paths, and a bench smoke that keeps
-# the zero-allocation hot-path benchmarks compiling and honest.
-# `make smoke` boots the distributed controller (sdpsd + 2 agents) and
-# byte-compares its table1 artifact against a direct sdpsbench run.
+# concurrent executor and control-plane paths, and a bench smoke that FAILS
+# if any pinned zero-allocation hot-path benchmark regresses to >0
+# allocs/op.  `make smoke` boots the distributed controller (sdpsd + 2
+# agents) and byte-compares its table1 artifact against a direct sdpsbench
+# run.  `make bench-json` snapshots the headline benchmarks into a
+# BENCH_<date>.json for the perf trajectory.
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench race smoke scenario-validate
+.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate
 
 ci: vet build test race bench-smoke scenario-validate
 
@@ -20,20 +22,27 @@ build:
 test:
 	$(GO) test ./...
 
-# One iteration of the hot-path microbenchmarks with -benchmem, so an
-# allocation regression shows up as a non-zero allocs/op in CI logs.
+# One iteration of the hot-path microbenchmarks with -benchmem; fails on
+# any non-zero allocs/op (the alloc-regression gate).
 bench-smoke:
-	$(GO) test -run=NONE -bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate' \
-		-benchtime=1x -benchmem ./internal/queue/ ./internal/generator/ ./internal/window/
+	scripts/bench-smoke.sh
 
 # The full paper-artefact benchmark suite (quick scale).
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
-# Race-check the parallel experiment executor and the coordinator/agent
-# control plane (ctl runs -short: the synthetic lease/failover tests cover
-# the concurrency; the byte-identity integration tests run in `test`).
+# Snapshot the headline benchmarks (allocs/op, B/op, wall, headline
+# metrics) into BENCH_<date>.json; commit it after perf-relevant PRs.
+bench-json:
+	scripts/bench-baseline.sh
+
+# Race-check the parallel experiment executor, the speculative
+# sustainable-throughput search and the coordinator/agent control plane
+# (ctl runs -short: the synthetic lease/failover tests cover the
+# concurrency; the byte-identity integration tests run in `test`).
 race:
+	GOMAXPROCS=4 $(GO) test -race ./internal/par/
+	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ -run 'TestSpeculative|TestWarmStart'
 	GOMAXPROCS=4 $(GO) test -race ./internal/scenario/ -run 'TestTable1Shape'
 	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestReplicate|TestExp4Shape'
 	$(GO) test -race -short ./internal/ctl/

@@ -2,39 +2,36 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // The experiment layer runs independent simulation cells — one engine ×
-// cluster-size grid cell, one bisection search, one replication seed — on a
-// bounded worker pool.  Every cell is a self-contained simulation: its own
-// kernel, RNG streams, cluster model, metrics and (per-run-bound) key
-// distributions, so cells share no mutable state and their results are
-// bit-identical to a sequential execution.  Determinism is preserved by
-// indexing: each task writes only its own slot of the caller's result
-// slice, and the caller assembles output in task order.
+// cluster-size grid cell, one bisection search, one replication seed — on
+// the process-wide worker budget (internal/par).  Every cell is a
+// self-contained simulation: its own kernel, RNG streams, cluster model,
+// metrics and (per-run-bound) key distributions, so cells share no mutable
+// state and their results are bit-identical to a sequential execution.
+// Determinism is preserved by indexing: each task writes only its own slot
+// of the caller's result slice, and the caller assembles output in task
+// order.
+//
+// Because the budget is shared, a cell that can use parallelism inside
+// itself — the driver's speculative sustainable-throughput search — picks
+// up exactly the workers the grid is not using (par.Spare), so intra-cell
+// and inter-cell parallelism compose without oversubscribing the host.
+// GOMAXPROCS=1 forces fully sequential execution at every layer.
 
-// maxParallel returns the worker-pool width for n independent tasks,
-// gated by GOMAXPROCS (so SDPS experiments respect the same knob as the
-// rest of the Go runtime; set GOMAXPROCS=1 to force sequential execution).
-func maxParallel(n int) int {
-	w := runtime.GOMAXPROCS(0)
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
+// maxParallel returns the worker-pool width for n independent tasks, gated
+// by GOMAXPROCS (so SDPS experiments respect the same knob as the rest of
+// the Go runtime; set GOMAXPROCS=1 to force sequential execution).
+func maxParallel(n int) int { return par.Width(n) }
 
-// runTasks executes the tasks concurrently on the worker pool and returns
-// the first error in task order.  A task error does not stop the other
-// tasks (so result slices stay fully populated for the caller to inspect),
-// but a cancelled ctx does: workers stop claiming tasks, and the error is
-// the first task error if any task failed, else ctx.Err().
+// runTasks executes the tasks concurrently on the shared worker budget and
+// returns the first error in task order.  A task error does not stop the
+// other tasks (so result slices stay fully populated for the caller to
+// inspect), but a cancelled ctx does: workers stop claiming tasks, and the
+// error is the first task error if any task failed, else ctx.Err().
 func runTasks(ctx context.Context, tasks []func() error) error {
 	n := len(tasks)
 	if n == 0 {
@@ -43,42 +40,12 @@ func runTasks(ctx context.Context, tasks []func() error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if w := maxParallel(n); w > 1 {
-		errs := make([]error, n)
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(w)
-		for i := 0; i < w; i++ {
-			go func() {
-				defer wg.Done()
-				for ctx.Err() == nil {
-					t := int(next.Add(1)) - 1
-					if t >= n {
-						return
-					}
-					errs[t] = tasks[t]()
-				}
-			}()
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
-		}
-		return ctx.Err()
-	}
-	var firstErr error
-	for _, t := range tasks {
-		if ctx.Err() != nil {
-			break
-		}
-		if err := t(); err != nil && firstErr == nil {
-			firstErr = err
+	errs := make([]error, n)
+	par.Run(ctx, n, func(i int) { errs[i] = tasks[i]() })
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	if firstErr == nil {
-		firstErr = ctx.Err()
-	}
-	return firstErr
+	return ctx.Err()
 }

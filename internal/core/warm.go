@@ -1,0 +1,39 @@
+package core
+
+import "context"
+
+// WarmStarts supplies prior sustainable-search brackets to experiment
+// cells.  A sustainable-measure cell that knows the content identity of its
+// deployment (minus the run's seed and scale) can ask for the bracket a
+// previous search of the same deployment converged to, and seed its
+// bisection there instead of cold-starting from the full [Lo, Hi] span; it
+// records its own converged bracket back for the next run.
+//
+// Warm-started searches are faster but not bit-identical to cold ones (the
+// probe sequence differs), so providers are only installed where the
+// operator explicitly opts out of byte-reproducibility — e.g. the ctl
+// agent's -warm-start flag.  With no provider in the context, cells always
+// cold-start and artifacts stay byte-identical by construction.
+//
+// Implementations must be safe for concurrent use: cells run on the worker
+// pool.
+type WarmStarts interface {
+	// WarmBracket returns the recorded bracket for a warm key, if any.
+	WarmBracket(key string) (lo, hi float64, ok bool)
+	// RecordBracket stores a search's converged bracket under the key.
+	RecordBracket(key string, lo, hi float64)
+}
+
+type warmStartsKey struct{}
+
+// WithWarmStarts returns a context that offers the provider to every
+// sustainable-measure cell run under it.
+func WithWarmStarts(ctx context.Context, w WarmStarts) context.Context {
+	return context.WithValue(ctx, warmStartsKey{}, w)
+}
+
+// WarmStartsFrom extracts the provider installed by WithWarmStarts, or nil.
+func WarmStartsFrom(ctx context.Context) WarmStarts {
+	w, _ := ctx.Value(warmStartsKey{}).(WarmStarts)
+	return w
+}

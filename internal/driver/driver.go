@@ -14,6 +14,7 @@ package driver
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/broker"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/tuple"
@@ -417,6 +419,45 @@ type SearchConfig struct {
 	// divergence does not need fine-grained latency fidelity); 0 means
 	// 200 real events per simulated tuple.
 	ProbeEventsPerTuple int64
+	// Speculate caps the number of probe simulations launched
+	// concurrently per speculative round (see DESIGN-PERF.md §6).  The
+	// converged rate and Result are bit-identical for every value: the
+	// search always consumes probes in the sequential bisection order and
+	// discards mispredicted branches.  0 = adapt to the spare worker
+	// capacity (and to GOMAXPROCS); 1 = strictly sequential.
+	Speculate int
+	// WarmLo/WarmHi, when 0 < WarmLo < WarmHi, seed the bracket from a
+	// prior search of the same deployment (widened by the resolution
+	// margin and clipped to [Lo, Hi]).  If the prior bracket no longer
+	// brackets the answer — its floor probe is unsustainable, or every
+	// probe up to its ceiling is sustainable (the true rate may sit
+	// above it) — the search falls back to the cold [Lo, Hi] bracket and
+	// returns exactly the cold result.  Warm-started searches probe a
+	// much narrower bracket, so they are faster but not bit-identical to
+	// a cold search — leave both zero where byte-reproducibility matters.
+	WarmLo, WarmHi float64
+	// Stats, when non-nil, receives the search accounting.
+	Stats *SearchStats
+}
+
+// SearchStats reports what a sustainable-throughput search did.
+type SearchStats struct {
+	// Probes is the number of probe verdicts consumed by the bracket
+	// walk — identical to the probe count of a sequential bisection.
+	Probes int
+	// Speculative is the number of probe simulations launched, including
+	// mispredicted branches that were discarded.
+	Speculative int
+	// Rounds is the number of speculative rounds (bracket updates happen
+	// Probes times; rounds batch them).
+	Rounds int
+	// WarmStart reports whether a prior bracket seeded the search (false
+	// when the warm floor probe failed and the search fell back cold).
+	WarmStart bool
+	// FinalLo and FinalHi are the converged bracket: FinalLo is the
+	// highest rate judged sustainable, FinalHi the lowest judged not.
+	// They are what a warm start feeds back into WarmLo/WarmHi.
+	FinalLo, FinalHi float64
 }
 
 // WithDefaults fills unset fields.
@@ -449,6 +490,17 @@ func FindSustainable(eng engine.Engine, base Config, scfg SearchConfig) (float64
 
 // FindSustainableContext is FindSustainable with cancellation; a cancelled
 // ctx aborts the bisection mid-probe.
+//
+// The bisection is speculative (DESIGN-PERF.md §6): each round launches the
+// probes of the next few bracket-update steps — the midpoint plus both
+// midpoints each verdict could lead to, and so on — concurrently on the
+// process worker budget (internal/par), then replays the sequential
+// bracket-update rule over the completed verdicts, discarding the branches
+// not taken.  Probe seeds depend only on the probe's position in the
+// sequential order, so the converged rate and the returned Result are
+// bit-identical to a strictly sequential search at any parallelism
+// (including GOMAXPROCS=1, where the search degenerates to exactly the
+// sequential probe-per-round loop).
 func FindSustainableContext(ctx context.Context, eng engine.Engine, base Config, scfg SearchConfig) (float64, *Result, error) {
 	scfg = scfg.WithDefaults()
 	base = base.WithDefaults()
@@ -463,41 +515,228 @@ func FindSustainableContext(ctx context.Context, eng engine.Engine, base Config,
 		base.RunFor = minRun
 	}
 
-	probeN := uint64(0)
-	probe := func(rate float64) (*Result, error) {
-		cfg := base
-		cfg.Rate = generator.ConstantRate(rate)
-		// Each probe gets its own seed so the transient-episode schedule
-		// is sampled independently; otherwise every probe would dodge
-		// (or hit) the exact same episodes.
-		cfg.Seed = base.Seed + probeN*1_000_003
-		probeN++
-		return RunContext(ctx, eng, cfg)
+	s := &searcher{ctx: ctx, eng: eng, base: base, scfg: scfg}
+	if scfg.Stats != nil {
+		defer func() { *scfg.Stats = s.stats }()
 	}
 
-	lo, hi := scfg.Lo, scfg.Hi
-	// Establish a sustainable floor; if even Lo is unsustainable, report
-	// failure via the floor probe's result.
-	loRes, err := probe(lo)
-	if err != nil {
-		return 0, nil, err
-	}
-	if !loRes.Verdict.Sustainable {
-		return 0, loRes, nil
-	}
-	best, bestRes := lo, loRes
-
-	for hi-lo > scfg.Resolution*hi {
-		mid := (lo + hi) / 2
-		r, err := probe(mid)
+	// Warm start: search the (widened, clipped) prior bracket first.  The
+	// warm result is only trusted if the bracket still brackets the
+	// answer on both sides: the floor probe must be sustainable (the rate
+	// did not drift below the bracket) and some probe must have been
+	// judged unsustainable (FinalHi moved below the warm ceiling — the
+	// rate did not drift above it; a ceiling at the global Hi has nothing
+	// above it to miss).  Otherwise fall back to the cold search — probe
+	// numbering restarts at zero, making the fallback bit-identical to a
+	// search that never warm-started.
+	if wlo, whi, ok := warmBracket(scfg); ok {
+		rate, res, floorOK, err := s.bisect(wlo, whi)
 		if err != nil {
 			return 0, nil, err
 		}
-		if r.Verdict.Sustainable {
-			lo, best, bestRes = mid, mid, r
-		} else {
-			hi = mid
+		if floorOK && (s.stats.FinalHi < whi || whi >= scfg.Hi) {
+			s.stats.WarmStart = true
+			return rate, res, nil
+		}
+		s.probeN = 0
+	}
+
+	rate, res, floorOK, err := s.bisect(scfg.Lo, scfg.Hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !floorOK {
+		// Even the floor rate is unsustainable: report failure via the
+		// floor probe's result.
+		return 0, res, nil
+	}
+	return rate, res, nil
+}
+
+// warmBracket widens a prior bracket by twice the resolution (the prior
+// answer came from a possibly different seed or probe scale) and clips it
+// into [Lo, Hi].
+func warmBracket(scfg SearchConfig) (float64, float64, bool) {
+	if scfg.WarmLo <= 0 || scfg.WarmHi <= scfg.WarmLo {
+		return 0, 0, false
+	}
+	wlo := scfg.WarmLo * (1 - 2*scfg.Resolution)
+	whi := scfg.WarmHi * (1 + 2*scfg.Resolution)
+	if wlo < scfg.Lo {
+		wlo = scfg.Lo
+	}
+	if whi > scfg.Hi {
+		whi = scfg.Hi
+	}
+	if whi <= wlo {
+		return 0, 0, false
+	}
+	return wlo, whi, true
+}
+
+// autoSpeculate is the per-round probe cap when SearchConfig.Speculate is
+// 0: a 3-level speculation tree (7 probes resolving 3 bracket steps per
+// round) when the worker budget allows it.
+const autoSpeculate = 7
+
+// maxSpecLevels bounds the speculation depth: each extra level doubles the
+// probe cost of a round but adds only one bracket step of wall-clock win.
+const maxSpecLevels = 5
+
+// searcher carries one sustainable-throughput search: the probe context,
+// the sequential probe numbering (which fixes each probe's RNG seed), and
+// the accounting.
+type searcher struct {
+	ctx    context.Context
+	eng    engine.Engine
+	base   Config
+	scfg   SearchConfig
+	probeN uint64
+	stats  SearchStats
+}
+
+// probeAt runs one probe simulation at the given rate with the seed of
+// sequential probe number n.  Each probe number gets its own seed so the
+// transient-episode schedule is sampled independently; otherwise every
+// probe would dodge (or hit) the exact same episodes.
+func (s *searcher) probeAt(rate float64, n uint64) (*Result, error) {
+	cfg := s.base
+	cfg.Rate = generator.ConstantRate(rate)
+	cfg.Seed = s.base.Seed + n*1_000_003
+	return RunContext(s.ctx, s.eng, cfg)
+}
+
+// specNode is one node of a round's speculation tree: the bracket the
+// sequential search would hold if the path of verdicts leading here were
+// taken, and the probe outcome at that bracket's midpoint.  Children: index
+// 2i+1 is the "unsustainable" branch (hi=mid), 2i+2 the "sustainable"
+// branch (lo=mid).
+type specNode struct {
+	lo, hi float64
+	live   bool
+	res    *Result
+	err    error
+}
+
+// roundLevels returns how many bracket steps the next round speculates
+// across, sized so the full tree (2^levels - 1 probes) fits the per-round
+// cap and the currently spare worker capacity.
+func (s *searcher) roundLevels() int {
+	budget := s.scfg.Speculate
+	if budget <= 0 {
+		budget = autoSpeculate
+	}
+	if spare := par.Spare() + 1; budget > spare {
+		budget = spare
+	}
+	levels := bits.Len(uint(budget+1)) - 1
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > maxSpecLevels {
+		levels = maxSpecLevels
+	}
+	return levels
+}
+
+// converged is the bisection's termination predicate on a bracket.
+func (s *searcher) converged(lo, hi float64) bool {
+	return hi-lo <= s.scfg.Resolution*hi
+}
+
+// bisect runs the (speculative) bisection over [lo, hi].  It returns the
+// converged rate and its Result, with floorOK=false when the floor probe at
+// lo was judged unsustainable (res then is the floor probe's Result).
+func (s *searcher) bisect(lo, hi float64) (float64, *Result, bool, error) {
+	loRes, err := s.probeAt(lo, s.probeN)
+	s.stats.Speculative++
+	if err != nil {
+		return 0, nil, false, err
+	}
+	s.probeN++
+	s.stats.Probes++
+	if !loRes.Verdict.Sustainable {
+		s.stats.FinalLo, s.stats.FinalHi = 0, lo
+		return 0, loRes, false, nil
+	}
+	best, bestRes := lo, loRes
+
+	for !s.converged(lo, hi) {
+		s.stats.Rounds++
+		nodes := s.buildTree(lo, hi, s.roundLevels())
+		s.launch(nodes)
+
+		// Replay the sequential bracket-update rule over the verdicts.
+		idx := 0
+		for idx < len(nodes) && nodes[idx].live && !s.converged(lo, hi) {
+			nd := &nodes[idx]
+			if nd.err != nil {
+				return 0, nil, false, nd.err
+			}
+			s.probeN++
+			s.stats.Probes++
+			mid := (lo + hi) / 2
+			if nd.res.Verdict.Sustainable {
+				lo, best, bestRes = mid, mid, nd.res
+				idx = 2*idx + 2
+			} else {
+				hi = mid
+				idx = 2*idx + 1
+			}
 		}
 	}
-	return best, bestRes, nil
+	s.stats.FinalLo, s.stats.FinalHi = best, hi
+	return best, bestRes, true, nil
+}
+
+// buildTree lays out the round's speculation tree in heap order.  A node is
+// live when the sequential search could actually reach it: its bracket is
+// not yet converged (a converged bracket ends the walk, so its subtree can
+// never be consumed and is pruned from launching).
+func (s *searcher) buildTree(lo, hi float64, levels int) []specNode {
+	nodes := make([]specNode, 1<<levels-1)
+	nodes[0] = specNode{lo: lo, hi: hi, live: true}
+	for i := range nodes {
+		if !nodes[i].live || 2*i+2 >= len(nodes) {
+			continue
+		}
+		mid := (nodes[i].lo + nodes[i].hi) / 2
+		if !s.converged(nodes[i].lo, mid) {
+			nodes[2*i+1] = specNode{lo: nodes[i].lo, hi: mid, live: true}
+		}
+		if !s.converged(mid, nodes[i].hi) {
+			nodes[2*i+2] = specNode{lo: mid, hi: nodes[i].hi, live: true}
+		}
+	}
+	return nodes
+}
+
+// launch probes every live tree node concurrently on the worker budget.  A
+// node at tree depth d holds the probe the sequential search would run d
+// steps from now, so it uses sequential probe number probeN+d — siblings
+// share the number (only one of them will be consumed).
+func (s *searcher) launch(nodes []specNode) {
+	idxs := make([]int, 0, len(nodes))
+	for i := range nodes {
+		if nodes[i].live {
+			idxs = append(idxs, i)
+		}
+	}
+	s.stats.Speculative += len(idxs)
+	base := s.probeN
+	par.Run(s.ctx, len(idxs), func(j int) {
+		i := idxs[j]
+		depth := uint64(bits.Len(uint(i+1)) - 1)
+		rate := (nodes[i].lo + nodes[i].hi) / 2
+		nodes[i].res, nodes[i].err = s.probeAt(rate, base+depth)
+	})
+	// A cancelled ctx leaves unclaimed nodes without a result; surface
+	// the cancellation where the walk consumes them.
+	if err := s.ctx.Err(); err != nil {
+		for _, i := range idxs {
+			if nodes[i].res == nil && nodes[i].err == nil {
+				nodes[i].err = err
+			}
+		}
+	}
 }

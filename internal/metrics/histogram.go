@@ -11,6 +11,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"time"
 )
@@ -51,7 +52,7 @@ func bucketIndex(d time.Duration) int {
 		return 0
 	}
 	// Position of the highest set bit.
-	exp := 63 - leadingZeros64(v)
+	exp := bits.Len64(v) - 1
 	// exp >= 10 here because v >= 1024.
 	sub := int((v >> (uint(exp) - 6)) & (subBuckets - 1))
 	idx := (exp-10)*subBuckets + sub
@@ -68,18 +69,6 @@ func bucketLow(idx int) time.Duration {
 	sub := idx % subBuckets
 	base := uint64(1) << uint(exp)
 	return time.Duration(base + uint64(sub)*(base/subBuckets))
-}
-
-func leadingZeros64(v uint64) int {
-	n := 0
-	if v == 0 {
-		return 64
-	}
-	for v&(1<<63) == 0 {
-		v <<= 1
-		n++
-	}
-	return n
 }
 
 // Record adds one observation.  Negative durations are clamped to zero;

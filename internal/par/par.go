@@ -1,0 +1,136 @@
+// Package par is the process-wide worker budget shared by every layer that
+// fans independent simulations out over goroutines: the experiment-cell
+// executor (internal/core) and the speculative sustainable-throughput
+// search inside a single cell (internal/driver).
+//
+// The budget is one shared invariant across all Run calls — nested or
+// concurrent roots: every caller and every recruited extra worker counts
+// against GOMAXPROCS slots.  A Run's calling goroutine always participates
+// (so nesting can never deadlock and a saturated pool degrades to
+// sequential execution in the caller); extra workers are recruited with a
+// non-blocking try-acquire and retire at the next task boundary when the
+// process has gone over budget.  Because callers are always admitted, a
+// burst of concurrent roots can transiently exceed the budget by the
+// in-flight tasks; the retirement rule converges the working count back to
+// max(GOMAXPROCS, live roots) within one task.  That is what lets a bisection cell speculate on probe rates
+// exactly when the grid around it has gone idle — and never oversubscribe
+// the host when it has not.
+//
+// Determinism contract: Run executes each index at most once and callers
+// must make task results depend only on the index (write slot i of a result
+// slice), never on scheduling order.  Under that discipline a parallel
+// execution is bit-identical to a sequential one.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// working counts the goroutines currently occupying a budget slot: every
+// Run call's calling goroutine (counted at entry, for the call's duration)
+// plus every recruited extra worker.  Counting callers — including the
+// callers of concurrent root Runs, e.g. several ctl agent workers in one
+// process — is what keeps the budget honest when more than one Run is in
+// flight at once.  A nested Run's caller is counted a second time for the
+// duration of the inner call; that makes the accounting conservative (the
+// budget can be under-used by the nesting depth), never oversubscribed.
+var working atomic.Int64
+
+// budget returns the total worker budget, read at call time so tests (and
+// callers) that adjust GOMAXPROCS see the new width immediately.
+func budget() int64 { return int64(runtime.GOMAXPROCS(0)) }
+
+// tryAcquire claims one extra-worker slot if the budget allows.
+func tryAcquire() bool {
+	for {
+		cur := working.Load()
+		if cur >= budget() {
+			return false
+		}
+		if working.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func release() { working.Add(-1) }
+
+// Spare reports how many extra workers a Run started now could expect to
+// recruit beyond its own caller (0 on a saturated or single-core process).
+// It is advisory — the answer can change before the workers are recruited —
+// and is meant for sizing speculative work to the currently idle capacity.
+func Spare() int {
+	s := budget() - 1 - working.Load()
+	if s < 0 {
+		s = 0
+	}
+	return int(s)
+}
+
+// Width returns the worker count a Run over n tasks would target: n clamped
+// to [1, GOMAXPROCS].
+func Width(n int) int {
+	w := int(budget())
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(0..n-1), each index exactly once, unless ctx is cancelled
+// first — then workers stop claiming new indexes (indexes already claimed
+// still run to completion).  The calling goroutine participates; up to n-1
+// extra workers are recruited from the process budget.  Run returns when
+// every claimed index has finished.
+func Run(ctx context.Context, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The caller occupies a budget slot for the duration of the call, so
+	// concurrent Runs (and Spare) see each other.
+	working.Add(1)
+	defer working.Add(-1)
+	if n == 1 {
+		if ctx.Err() == nil {
+			fn(0)
+		}
+		return
+	}
+	var next atomic.Int64
+	claim := func(extra bool) {
+		for ctx.Err() == nil {
+			// An extra worker retires at the next task boundary when the
+			// process has gone over budget (roots that arrived after it
+			// was recruited are always admitted — a caller blocked on the
+			// budget could deadlock — so extras yield instead).
+			if extra && working.Load() > budget() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1 && tryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			claim(true)
+		}()
+	}
+	claim(false)
+	wg.Wait()
+}

@@ -328,6 +328,13 @@ func gridCells(s Spec, o core.Options) []core.Cell {
 			Query: q, Load: idLoad, Slack: sw.WatermarkSlack, Pct: p.pct,
 			Seed: o.Seed, Scale: o.Scale.String(),
 		}
+		// The warm key drops the seed and scale: a sustainable search for
+		// the same deployment under a different seed (replication) or
+		// scale converges to nearly the same bracket, which is exactly
+		// what a warm start needs (core.WarmStarts).
+		warmIdent := ident
+		warmIdent.Seed, warmIdent.Scale = 0, ""
+		warm := contentKey(warmIdent)
 		cells = append(cells, core.Cell{
 			ID:  cellID(s, p),
 			Key: contentKey(ident),
@@ -335,7 +342,7 @@ func gridCells(s Spec, o core.Options) []core.Cell {
 				if err != nil {
 					return nil, err
 				}
-				return runPoint(ctx, s, sw, p, q, join, o)
+				return runPoint(ctx, s, sw, p, q, join, warm, o)
 			},
 		})
 	}
@@ -346,7 +353,7 @@ func gridCells(s Spec, o core.Options) []core.Cell {
 }
 
 // runPoint executes one grid point under the spec's measurement kind.
-func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, join bool, o core.Options) (any, error) {
+func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, join bool, warm string, o core.Options) (any, error) {
 	eng, err := core.EngineByName(p.engine)
 	if err != nil {
 		return nil, err
@@ -354,9 +361,21 @@ func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, 
 	if s.Measure.Kind == MeasureSustainable {
 		cfg := driver.Config{Seed: o.Seed, Workers: p.workers, Query: q}
 		applyInputShape(&cfg, sw)
-		rate, res, err := driver.FindSustainableContext(ctx, eng, cfg, o.SearchConfig())
+		scfg := o.SearchConfig()
+		var stats driver.SearchStats
+		ws := core.WarmStartsFrom(ctx)
+		if ws != nil && warm != "" {
+			scfg.Stats = &stats
+			if wlo, whi, ok := ws.WarmBracket(warm); ok {
+				scfg.WarmLo, scfg.WarmHi = wlo, whi
+			}
+		}
+		rate, res, err := driver.FindSustainableContext(ctx, eng, cfg, scfg)
 		if err != nil {
 			return nil, err
+		}
+		if ws != nil && warm != "" && rate > 0 {
+			ws.RecordBracket(warm, stats.FinalLo, stats.FinalHi)
 		}
 		cell := report.ThroughputCell{Engine: p.engine, Workers: p.workers, RateEvPerSec: rate}
 		if res != nil && !res.Verdict.Sustainable && rate == 0 {

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// recordingWarmStarts is a core.WarmStarts fake that keeps brackets in a
+// map and counts lookups/hits.
+type recordingWarmStarts struct {
+	mu      sync.Mutex
+	entries map[string][2]float64
+	asked   int
+	served  int
+}
+
+func newRecordingWarmStarts() *recordingWarmStarts {
+	return &recordingWarmStarts{entries: map[string][2]float64{}}
+}
+
+func (r *recordingWarmStarts) WarmBracket(key string) (float64, float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.asked++
+	b, ok := r.entries[key]
+	if !ok {
+		return 0, 0, false
+	}
+	r.served++
+	return b[0], b[1], true
+}
+
+func (r *recordingWarmStarts) RecordBracket(key string, lo, hi float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[key] = [2]float64{lo, hi}
+}
+
+// TestSustainableCellsUseWarmStarts checks the scenario layer's warm-start
+// threading: a sustainable-measure cell consults the provider installed via
+// core.WithWarmStarts, records its converged bracket under a seed- and
+// scale-agnostic key, and a rerun under a different seed reuses it and
+// lands within the search resolution.
+func TestSustainableCellsUseWarmStarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	s := Spec{
+		Name:    "tiny-sustainable",
+		Seeds:   1,
+		Measure: Measure{Kind: MeasureSustainable},
+		Sweeps: []Sweep{{
+			Engines: []string{"flink"},
+			Workers: []int{2},
+			Query:   Query{Kind: "aggregation"},
+		}},
+	}
+	exp, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := newRecordingWarmStarts()
+	ctx := core.WithWarmStarts(context.Background(), ws)
+
+	cold, err := exp.RunContext(ctx, core.Options{Seed: 7, Scale: core.Quick}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.asked == 0 {
+		t.Fatal("sustainable cell never consulted the warm-start provider")
+	}
+	if len(ws.entries) != 1 {
+		t.Fatalf("expected one recorded bracket, got %d", len(ws.entries))
+	}
+
+	// A different seed maps to the same warm key (seed is excluded from
+	// the warm identity), so the second run is served the bracket.
+	warm, err := exp.RunContext(ctx, core.Options{Seed: 11, Scale: core.Quick}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.served == 0 {
+		t.Fatal("second run was not served the recorded bracket")
+	}
+	coldRate, warmRate := cold.Metrics["flink/2"], warm.Metrics["flink/2"]
+	if coldRate <= 0 || warmRate <= 0 {
+		t.Fatalf("rates missing: cold %v warm %v", coldRate, warmRate)
+	}
+	// Quick-scale search resolution is 5%; the warm bracket is widened by
+	// twice that, so the rates agree within ~2 resolutions.
+	if rel := math.Abs(warmRate-coldRate) / coldRate; rel > 0.1 {
+		t.Fatalf("warm-started rate %v strays %.1f%% from cold rate %v", warmRate, 100*rel, coldRate)
+	}
+}

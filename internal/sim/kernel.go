@@ -12,10 +12,16 @@
 // The kernel is intentionally single-goroutine: determinism matters more
 // than parallel speed-up here, and a single run of the largest experiment
 // simulates minutes of virtual time in well under a second of wall time.
+//
+// The scheduler stores events by value: an arena of event records addressed
+// by stable node ids, a free list recycling ids, and a 4-ary heap of ids
+// ordered by (at, seq).  Steady-state Schedule/fire traffic therefore
+// allocates nothing — no boxed events, no container/heap interface calls —
+// which matters because every simulated tuple batch, window firing and
+// sample tick passes through here (see DESIGN-PERF.md §7).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -24,9 +30,10 @@ import (
 // of the simulation.  The zero Time is the simulation epoch.
 type Time = time.Duration
 
-// Event is a scheduled callback.  Events with equal timestamps fire in the
-// order they were scheduled (FIFO among ties) so that simulations remain
-// deterministic regardless of map iteration or heap internals.
+// event is one scheduled callback, stored by value in the kernel's arena.
+// Events with equal timestamps fire in the order they were scheduled (FIFO
+// among ties, via seq) so that simulations remain deterministic regardless
+// of heap internals.
 type event struct {
 	at   Time
 	seq  uint64
@@ -34,42 +41,36 @@ type event struct {
 	dead bool
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Handle identifies a scheduled event so it can be cancelled.  It addresses
+// the event's arena slot and carries the scheduling sequence number; the
+// slot is recycled after the event fires, and the sequence check makes a
+// stale handle's Cancel a no-op instead of killing the slot's new tenant.
+type Handle struct {
+	k   *Kernel
+	id  int32
+	seq uint64
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ e *event }
 
 // Cancel prevents the event from firing.  Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.e != nil {
-		h.e.dead = true
+	if h.k == nil {
+		return
+	}
+	if e := &h.k.arena[h.id]; e.seq == h.seq {
+		e.dead = true
 	}
 }
 
 // Kernel is a discrete-event simulation executor.
 type Kernel struct {
-	now    Time
-	queue  eventHeap
+	now Time
+	// arena holds event records by value; heap and free address into it.
+	arena []event
+	// free lists recycled arena slots (LIFO keeps the hot slots hot).
+	free []int32
+	// heap is a 4-ary min-heap of arena ids ordered by (at, seq).
+	heap   []int32
 	seq    uint64
 	seed   uint64
 	rngs   map[string]*RNG
@@ -93,9 +94,17 @@ func (k *Kernel) At(at Time, fn func()) Handle {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
 	k.seq++
-	e := &event{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.queue, e)
-	return Handle{e: e}
+	var id int32
+	if n := len(k.free); n > 0 {
+		id = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.arena = append(k.arena, event{})
+		id = int32(len(k.arena) - 1)
+	}
+	k.arena[id] = event{at: at, seq: k.seq, fn: fn}
+	k.heapPush(id)
+	return Handle{k: k, id: id, seq: k.seq}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -144,22 +153,91 @@ func (t *Ticker) Stop() {
 	t.h.Cancel()
 }
 
+// less orders heap entries by (at, seq).
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.arena[a], &k.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush appends id and sifts it up the 4-ary heap.
+func (k *Kernel) heapPush(id int32) {
+	k.heap = append(k.heap, id)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !k.less(k.heap[i], k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the minimum id.
+func (k *Kernel) heapPop() int32 {
+	top := k.heap[0]
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores heap order below i.
+func (k *Kernel) siftDown(i int) {
+	n := len(k.heap)
+	for {
+		min := i
+		first := 4*i + 1
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if k.less(k.heap[c], k.heap[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			return
+		}
+		k.heap[i], k.heap[min] = k.heap[min], k.heap[i]
+		i = min
+	}
+}
+
+// recycle returns an arena slot to the free list.  The event's fn is
+// dropped so the kernel does not pin fired closures (and whatever they
+// capture) until the slot's next use.
+func (k *Kernel) recycle(id int32) {
+	k.arena[id].fn = nil
+	k.free = append(k.free, id)
+}
+
 // Run executes events in timestamp order until the queue is empty or the
 // clock would pass until.  The clock is left at until (or at the time of the
 // last event if the queue empties first and that is later).
 func (k *Kernel) Run(until Time) {
 	k.halted = false
-	for len(k.queue) > 0 && !k.halted {
-		next := k.queue[0]
-		if next.at > until {
+	for len(k.heap) > 0 && !k.halted {
+		top := k.heap[0]
+		e := &k.arena[top]
+		if e.at > until {
 			break
 		}
-		heap.Pop(&k.queue)
-		if next.dead {
+		at, fn, dead := e.at, e.fn, e.dead
+		k.heapPop()
+		k.recycle(top)
+		if dead {
 			continue
 		}
-		k.now = next.at
-		next.fn()
+		k.now = at
+		fn()
 	}
 	if k.now < until {
 		k.now = until
@@ -169,13 +247,17 @@ func (k *Kernel) Run(until Time) {
 // Step fires exactly the next pending event (skipping cancelled ones) and
 // returns true, or returns false if the queue is empty.  Useful in tests.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*event)
-		if e.dead {
+	for len(k.heap) > 0 {
+		top := k.heap[0]
+		e := &k.arena[top]
+		at, fn, dead := e.at, e.fn, e.dead
+		k.heapPop()
+		k.recycle(top)
+		if dead {
 			continue
 		}
-		k.now = e.at
-		e.fn()
+		k.now = at
+		fn()
 		return true
 	}
 	return false
@@ -187,8 +269,8 @@ func (k *Kernel) Halt() { k.halted = true }
 // Pending reports the number of live scheduled events.
 func (k *Kernel) Pending() int {
 	n := 0
-	for _, e := range k.queue {
-		if !e.dead {
+	for _, id := range k.heap {
+		if !k.arena[id].dead {
 			n++
 		}
 	}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestKernelOrderingStress drives the 4-ary value heap with a large random
+// schedule (including many timestamp ties and nested re-scheduling) and
+// checks events fire exactly in (at, seq) order.
+func TestKernelOrderingStress(t *testing.T) {
+	k := NewKernel(1)
+	r := rand.New(rand.NewSource(7))
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var want []stamp
+	var got []stamp
+	seq := 0
+	for i := 0; i < 5000; i++ {
+		at := Time(r.Intn(500)) * time.Millisecond
+		s := stamp{at: at, seq: seq}
+		seq++
+		want = append(want, s)
+		k.At(at, func() { got = append(got, s) })
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+	k.Run(time.Hour)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, scheduled %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired out of order: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestKernelHandleStaleCancelIsNoOp pins the free-list ABA rule: a handle
+// to an event that has already fired must not cancel the new event that
+// recycled its arena slot.
+func TestKernelHandleStaleCancelIsNoOp(t *testing.T) {
+	k := NewKernel(1)
+	h1 := k.At(time.Millisecond, func() {})
+	k.Run(2 * time.Millisecond) // h1 fires, its slot is recycled
+
+	fired := false
+	h2 := k.At(10*time.Millisecond, func() { fired = true })
+	if h1.id != h2.id {
+		t.Fatalf("test premise broken: slot not recycled (%d vs %d)", h1.id, h2.id)
+	}
+	h1.Cancel() // stale: must not kill h2's event
+	k.Run(20 * time.Millisecond)
+	if !fired {
+		t.Fatal("stale Cancel killed the slot's new event")
+	}
+}
+
+// TestKernelCancelFromWithinOwnCallback checks that an event cancelling its
+// own (already firing) handle is harmless.
+func TestKernelCancelFromWithinOwnCallback(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	var h Handle
+	h = k.At(time.Millisecond, func() {
+		fired++
+		h.Cancel()
+		k.At(2*time.Millisecond, func() { fired++ })
+	})
+	k.Run(time.Second)
+	if fired != 2 {
+		t.Fatalf("expected both events to fire, got %d", fired)
+	}
+}
+
+// TestKernelScheduleZeroAllocSteadyState is the CI pin for the scheduler's
+// memory model (DESIGN-PERF.md §7): once the arena and heap have grown to
+// the working set, Schedule/fire cycles allocate nothing.
+func TestKernelScheduleZeroAllocSteadyState(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	// Grow the arena and heap to the working set, then drain.
+	for i := 0; i < 512; i++ {
+		k.At(Time(i)*time.Microsecond, fn)
+	}
+	for k.Step() {
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		k.At(k.Now()+Time(i)*time.Microsecond, fn)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("scheduler steady state allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestKernelCancelledEventsRecycleSlots checks cancelled events release
+// their arena slots on pop like fired ones do.
+func TestKernelCancelledEventsRecycleSlots(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 100; i++ {
+		h := k.At(time.Duration(i+1)*time.Millisecond, func() {})
+		h.Cancel()
+	}
+	k.Run(time.Second)
+	if got := len(k.free); got != 100 {
+		t.Fatalf("free list holds %d slots, want 100", got)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", k.Pending())
+	}
+}
+
+// BenchmarkKernelSchedule measures the steady-state schedule/fire cycle
+// with a rolling window of pending events — the kernel's hot path under
+// any experiment.  Must report 0 allocs/op.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	const window = 1024
+	for i := 0; i < window; i++ {
+		k.At(Time(i), fn)
+	}
+	// One warm-up cycle so the free list exists before the timer starts —
+	// its very first growth is the only allocation the scheduler ever
+	// makes after the arena reaches the working set.
+	k.Step()
+	k.At(k.Now()+window, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+		k.At(k.Now()+window, fn)
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# bench-smoke: the CI allocation-regression gate.
+#
+# Runs the pinned zero-allocation hot-path microbenchmarks once with
+# -benchmem and fails if any of them reports a non-zero allocs/op.  These
+# benchmarks are the steady-state contracts of DESIGN-PERF.md: the queue
+# ring, the generator tick, the window aggregation slab recycling and the
+# kernel's value-based scheduler (§7) must never allocate per event.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+if ! go test -run=NONE \
+	-bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate|BenchmarkKernelSchedule' \
+	-benchtime=1x -benchmem \
+	./internal/queue/ ./internal/generator/ ./internal/window/ ./internal/sim/ >"$out" 2>&1; then
+	cat "$out"
+	exit 1
+fi
+cat "$out"
+
+awk '
+/^Benchmark/ {
+	for (i = 1; i <= NF; i++)
+		if ($i == "allocs/op" && $(i-1) + 0 > 0) {
+			bad = bad "\n  " $1 ": " $(i-1) " allocs/op"
+		}
+}
+END {
+	if (bad != "") {
+		printf "bench-smoke: allocation regression in pinned 0-allocs/op benchmarks:%s\n", bad
+		exit 1
+	}
+	print "bench-smoke: all pinned benchmarks report 0 allocs/op"
+}' "$out"
