@@ -37,12 +37,15 @@ bench-json:
 	scripts/bench-baseline.sh
 
 # Race-check the parallel experiment executor, the speculative
-# sustainable-throughput search and the coordinator/agent control plane
-# (ctl runs -short: the synthetic lease/failover tests cover the
-# concurrency; the byte-identity integration tests run in `test`).
+# sustainable-throughput search (whose probe-arena pool is shared across
+# speculation workers), the flat keyed-state tables, and the
+# coordinator/agent control plane (ctl runs -short: the synthetic
+# lease/failover tests cover the concurrency; the byte-identity
+# integration tests run in `test`).
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/par/
-	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ -run 'TestSpeculative|TestWarmStart'
+	GOMAXPROCS=4 $(GO) test -race ./internal/flat/
+	GOMAXPROCS=4 $(GO) test -race ./internal/driver/ -run 'TestSpeculative|TestWarmStart|TestProbe'
 	GOMAXPROCS=4 $(GO) test -race ./internal/scenario/ -run 'TestTable1Shape'
 	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestReplicate|TestExp4Shape'
 	$(GO) test -race -short ./internal/ctl/

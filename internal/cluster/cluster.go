@@ -95,6 +95,20 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// Reset clears all usage accounting and truncates the recorded series,
+// keeping their grown capacity, so a reused probe run (driver.Probe) can
+// re-record on the same cluster model.  The deployment shape (workers,
+// cores, fabric) is unchanged.
+func (c *Cluster) Reset() {
+	for i := range c.cpuBusy {
+		c.cpuBusy[i] = 0
+		c.netBytes[i] = 0
+		c.memUsed[i] = 0
+		c.cpuSeries[i].Reset()
+		c.netSeries[i].Reset()
+	}
+}
+
 // Config returns the deployment description.
 func (c *Cluster) Config() Config { return c.cfg }
 

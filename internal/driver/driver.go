@@ -83,7 +83,9 @@ type Config struct {
 	EventTap func(*tuple.Event)
 	// OutputTap, when non-nil, observes every SUT output tuple after the
 	// driver has measured it (correctness tests compare these against
-	// the oracle).
+	// the oracle).  The pointee lives in the engine runtime's reusable
+	// emission scratch and is valid only for the duration of the call —
+	// taps that keep outputs must copy the value out.
 	OutputTap func(*tuple.Output)
 }
 
@@ -207,6 +209,14 @@ func Run(eng engine.Engine, cfg Config) (*Result, error) {
 // result.  Cancellation never yields a partial Result, so it cannot
 // perturb determinism of completed runs.
 func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, error) {
+	return runContext(ctx, eng, cfg, nil)
+}
+
+// runContext executes one run.  With a non-nil probe the kernel, cluster,
+// queues, generator, engine arena and metrics storage are recycled from
+// it (see Probe); with nil everything is built fresh.  Both paths are
+// bit-identical.
+func runContext(ctx context.Context, eng engine.Engine, cfg Config, probe *Probe) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -215,12 +225,25 @@ func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, er
 		return nil, err
 	}
 
-	k := sim.NewKernel(cfg.Seed)
-	cl, err := cluster.New(cluster.DefaultConfig(cfg.Workers))
-	if err != nil {
-		return nil, err
+	var (
+		k      *sim.Kernel
+		cl     *cluster.Cluster
+		queues *queue.Group
+		err    error
+	)
+	if probe != nil {
+		k, cl, queues, err = probe.components(cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		k = sim.NewKernel(cfg.Seed)
+		cl, err = cluster.New(cluster.DefaultConfig(cfg.Workers))
+		if err != nil {
+			return nil, err
+		}
+		queues = queue.NewGroup("gen", cfg.GeneratorInstances, cfg.QueueCapPerInstance)
 	}
-	queues := queue.NewGroup("gen", cfg.GeneratorInstances, cfg.QueueCapPerInstance)
 
 	genCfg := generator.Config{
 		Instances:      cfg.GeneratorInstances,
@@ -238,7 +261,12 @@ func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, er
 		genCfg.AdsShare = 0.3
 		genCfg.MatchProb = cfg.Query.Selectivity
 	}
-	gen, err := generator.New(k, genCfg, queues)
+	var gen *generator.Generator
+	if probe != nil {
+		gen, err = probe.generatorFor(k, genCfg, queues)
+	} else {
+		gen, err = generator.New(k, genCfg, queues)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -257,16 +285,20 @@ func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, er
 	}
 
 	res := &Result{
-		Engine:                eng.Name(),
-		Workers:               cfg.Workers,
-		Config:                cfg,
-		EventLatency:          metrics.NewHistogram(),
-		ProcLatency:           metrics.NewHistogram(),
-		EventLatencySeries:    metrics.NewSeries("event_latency_s"),
-		ProcLatencySeries:     metrics.NewSeries("processing_latency_s"),
-		EventLatencyMaxSeries: metrics.NewSeries("event_latency_max_s"),
-		ThroughputSeries:      metrics.NewSeries("ingest_rate_ev_s"),
-		QueueDepthSeries:      metrics.NewSeries("queue_depth_events"),
+		Engine:  eng.Name(),
+		Workers: cfg.Workers,
+		Config:  cfg,
+	}
+	if probe != nil {
+		probe.metricsInto(res)
+	} else {
+		res.EventLatency = metrics.NewHistogram()
+		res.ProcLatency = metrics.NewHistogram()
+		res.EventLatencySeries = metrics.NewSeries("event_latency_s")
+		res.ProcLatencySeries = metrics.NewSeries("processing_latency_s")
+		res.EventLatencyMaxSeries = metrics.NewSeries("event_latency_max_s")
+		res.ThroughputSeries = metrics.NewSeries("ingest_rate_ev_s")
+		res.QueueDepthSeries = metrics.NewSeries("queue_depth_events")
 	}
 
 	warmupEnd := time.Duration(float64(cfg.RunFor) * cfg.WarmupFraction)
@@ -298,6 +330,10 @@ func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, er
 		}
 	}
 
+	var mem *engine.Mem
+	if probe != nil {
+		mem = probe.mem
+	}
 	job, err := eng.Deploy(k, engine.Config{
 		Cluster:        cl,
 		Query:          cfg.Query,
@@ -306,6 +342,7 @@ func RunContext(ctx context.Context, eng engine.Engine, cfg Config) (*Result, er
 		Tick:           cfg.EngineTick,
 		EventWeight:    cfg.EventsPerTuple,
 		WatermarkSlack: cfg.WatermarkSlack,
+		Mem:            mem,
 	})
 	if err != nil {
 		return nil, err
@@ -530,7 +567,7 @@ func FindSustainableContext(ctx context.Context, eng engine.Engine, base Config,
 	// numbering restarts at zero, making the fallback bit-identical to a
 	// search that never warm-started.
 	if wlo, whi, ok := warmBracket(scfg); ok {
-		rate, res, floorOK, err := s.bisect(wlo, whi)
+		rate, res, resProbe, floorOK, err := s.bisect(wlo, whi)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -538,10 +575,13 @@ func FindSustainableContext(ctx context.Context, eng engine.Engine, base Config,
 			s.stats.WarmStart = true
 			return rate, res, nil
 		}
+		// The warm result is discarded; its probe arena is free for the
+		// cold search to recycle.
+		s.pool.release(resProbe)
 		s.probeN = 0
 	}
 
-	rate, res, floorOK, err := s.bisect(scfg.Lo, scfg.Hi)
+	rate, res, _, floorOK, err := s.bisect(scfg.Lo, scfg.Hi)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -584,8 +624,8 @@ const autoSpeculate = 7
 const maxSpecLevels = 5
 
 // searcher carries one sustainable-throughput search: the probe context,
-// the sequential probe numbering (which fixes each probe's RNG seed), and
-// the accounting.
+// the sequential probe numbering (which fixes each probe's RNG seed), the
+// pool of reusable probe run instances, and the accounting.
 type searcher struct {
 	ctx    context.Context
 	eng    engine.Engine
@@ -593,17 +633,30 @@ type searcher struct {
 	scfg   SearchConfig
 	probeN uint64
 	stats  SearchStats
+	pool   probePool
 }
 
 // probeAt runs one probe simulation at the given rate with the seed of
-// sequential probe number n.  Each probe number gets its own seed so the
-// transient-episode schedule is sampled independently; otherwise every
-// probe would dodge (or hit) the exact same episodes.
-func (s *searcher) probeAt(rate float64, n uint64) (*Result, error) {
+// sequential probe number n, on a recycled Probe arena from the pool.
+// Each probe number gets its own seed so the transient-episode schedule
+// is sampled independently; otherwise every probe would dodge (or hit)
+// the exact same episodes.  The returned Result lives in the returned
+// Probe's arena; the caller owns both until it releases the Probe.
+func (s *searcher) probeAt(rate float64, n uint64) (*Result, *Probe, error) {
 	cfg := s.base
 	cfg.Rate = generator.ConstantRate(rate)
 	cfg.Seed = s.base.Seed + n*1_000_003
-	return RunContext(s.ctx, s.eng, cfg)
+	if cfg.Broker != nil {
+		res, err := RunContext(s.ctx, s.eng, cfg)
+		return res, nil, err
+	}
+	p := s.pool.acquire()
+	res, err := p.Run(s.ctx, s.eng, cfg)
+	if err != nil {
+		s.pool.release(p)
+		return nil, nil, err
+	}
+	return res, p, nil
 }
 
 // specNode is one node of a round's speculation tree: the bracket the
@@ -612,10 +665,12 @@ func (s *searcher) probeAt(rate float64, n uint64) (*Result, error) {
 // 2i+1 is the "unsustainable" branch (hi=mid), 2i+2 the "sustainable"
 // branch (lo=mid).
 type specNode struct {
-	lo, hi float64
-	live   bool
-	res    *Result
-	err    error
+	lo, hi   float64
+	live     bool
+	consumed bool
+	res      *Result
+	probe    *Probe
+	err      error
 }
 
 // roundLevels returns how many bracket steps the next round speculates
@@ -645,21 +700,25 @@ func (s *searcher) converged(lo, hi float64) bool {
 }
 
 // bisect runs the (speculative) bisection over [lo, hi].  It returns the
-// converged rate and its Result, with floorOK=false when the floor probe at
-// lo was judged unsustainable (res then is the floor probe's Result).
-func (s *searcher) bisect(lo, hi float64) (float64, *Result, bool, error) {
-	loRes, err := s.probeAt(lo, s.probeN)
+// converged rate, its Result and the Probe arena holding that Result,
+// with floorOK=false when the floor probe at lo was judged unsustainable
+// (res then is the floor probe's Result).  Probes whose results are
+// discarded along the way — mispredicted speculation branches, consumed
+// unsustainable verdicts, replaced bests — are released back to the pool
+// for the next round to recycle.
+func (s *searcher) bisect(lo, hi float64) (float64, *Result, *Probe, bool, error) {
+	loRes, loProbe, err := s.probeAt(lo, s.probeN)
 	s.stats.Speculative++
 	if err != nil {
-		return 0, nil, false, err
+		return 0, nil, nil, false, err
 	}
 	s.probeN++
 	s.stats.Probes++
 	if !loRes.Verdict.Sustainable {
 		s.stats.FinalLo, s.stats.FinalHi = 0, lo
-		return 0, loRes, false, nil
+		return 0, loRes, loProbe, false, nil
 	}
-	best, bestRes := lo, loRes
+	best, bestRes, bestProbe := lo, loRes, loProbe
 
 	for !s.converged(lo, hi) {
 		s.stats.Rounds++
@@ -671,22 +730,32 @@ func (s *searcher) bisect(lo, hi float64) (float64, *Result, bool, error) {
 		for idx < len(nodes) && nodes[idx].live && !s.converged(lo, hi) {
 			nd := &nodes[idx]
 			if nd.err != nil {
-				return 0, nil, false, nd.err
+				return 0, nil, nil, false, nd.err
 			}
+			nd.consumed = true
 			s.probeN++
 			s.stats.Probes++
 			mid := (lo + hi) / 2
 			if nd.res.Verdict.Sustainable {
-				lo, best, bestRes = mid, mid, nd.res
+				s.pool.release(bestProbe)
+				lo, best, bestRes, bestProbe = mid, mid, nd.res, nd.probe
 				idx = 2*idx + 2
 			} else {
+				s.pool.release(nd.probe)
 				hi = mid
 				idx = 2*idx + 1
 			}
 		}
+		// Mispredicted (launched but never consumed) branches are dead:
+		// recycle their arenas.
+		for i := range nodes {
+			if !nodes[i].consumed {
+				s.pool.release(nodes[i].probe)
+			}
+		}
 	}
 	s.stats.FinalLo, s.stats.FinalHi = best, hi
-	return best, bestRes, true, nil
+	return best, bestRes, bestProbe, true, nil
 }
 
 // buildTree lays out the round's speculation tree in heap order.  A node is
@@ -728,7 +797,7 @@ func (s *searcher) launch(nodes []specNode) {
 		i := idxs[j]
 		depth := uint64(bits.Len(uint(i+1)) - 1)
 		rate := (nodes[i].lo + nodes[i].hi) / 2
-		nodes[i].res, nodes[i].err = s.probeAt(rate, base+depth)
+		nodes[i].res, nodes[i].probe, nodes[i].err = s.probeAt(rate, base+depth)
 	})
 	// A cancelled ctx leaves unclaimed nodes without a result; surface
 	// the cancellation where the walk consumes them.

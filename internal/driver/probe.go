@@ -1,0 +1,170 @@
+package driver
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/metrics"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// Probe is a reusable run instance: one complete set of simulation
+// components — kernel, cluster model, driver queues, generator fleet,
+// engine arena (runtime, window state, scratch queues) and metrics
+// storage — that Run recycles between runs instead of rebuilding.  The
+// sustainable-throughput search runs dozens of probe simulations per
+// deployment; with a Probe the steady-state probes after the first
+// perform near-zero setup allocation (see DESIGN-PERF.md §8).
+//
+// A Probe run is bit-identical to a fresh RunContext run: every recycled
+// component resets to exactly its freshly-constructed state (kernel
+// clock/sequence/RNG streams, queue rings, window tables, metrics), and
+// only capacity — ring sizes, table slabs, series backing arrays — is
+// carried over.
+//
+// Ownership: the Result returned by Run, and everything it references
+// (latency histograms, every series), lives in the probe's arena and is
+// valid only until the next Run or Reset.  Callers that keep a Result —
+// the searcher keeps the best probe's — must keep its Probe idle for as
+// long as they read the Result.  A Probe must not be used from two
+// goroutines at once.
+type Probe struct {
+	k      *sim.Kernel
+	cl     *cluster.Cluster
+	queues *queue.Group
+	gen    *generator.Generator
+	mem    *engine.Mem
+
+	evLat, procLat                                         *metrics.Histogram
+	evSeries, procSeries, evMaxSeries, thrSeries, qdSeries *metrics.Series
+
+	// Shape of the recycled components; a mismatching config rebuilds.
+	workers   int
+	instances int
+	capPer    int64
+}
+
+// NewProbe returns an empty probe; components materialize on first Run.
+func NewProbe() *Probe { return &Probe{} }
+
+// Run executes one benchmark run like RunContext, drawing every component
+// from the probe's arena.  Runs with a broker configured fall back to
+// fresh construction (the broker topology is not recycled).
+func (p *Probe) Run(ctx context.Context, eng engine.Engine, cfg Config) (*Result, error) {
+	if cfg.Broker != nil {
+		return RunContext(ctx, eng, cfg)
+	}
+	return runContext(ctx, eng, cfg, p)
+}
+
+// components resets (or first builds) the kernel, cluster and queues for
+// a run of cfg.  cfg must already carry defaults.
+func (p *Probe) components(cfg Config) (*sim.Kernel, *cluster.Cluster, *queue.Group, error) {
+	if p.k == nil {
+		p.k = sim.NewKernel(cfg.Seed)
+	} else {
+		p.k.Reset(cfg.Seed)
+	}
+	if p.cl == nil || p.workers != cfg.Workers {
+		cl, err := cluster.New(cluster.DefaultConfig(cfg.Workers))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		p.cl = cl
+		p.workers = cfg.Workers
+	} else {
+		p.cl.Reset()
+	}
+	if p.queues == nil || p.instances != cfg.GeneratorInstances || p.capPer != cfg.QueueCapPerInstance {
+		p.queues = queue.NewGroup("gen", cfg.GeneratorInstances, cfg.QueueCapPerInstance)
+		p.instances = cfg.GeneratorInstances
+		p.capPer = cfg.QueueCapPerInstance
+	} else {
+		p.queues.Reset()
+	}
+	if p.mem == nil {
+		p.mem = engine.NewMem()
+	}
+	return p.k, p.cl, p.queues, nil
+}
+
+// generatorFor rebinds (or first builds) the generator fleet.
+func (p *Probe) generatorFor(k *sim.Kernel, genCfg generator.Config, queues *queue.Group) (*generator.Generator, error) {
+	if p.gen == nil {
+		gen, err := generator.New(k, genCfg, queues)
+		if err != nil {
+			return nil, err
+		}
+		p.gen = gen
+		return gen, nil
+	}
+	if err := p.gen.Rebind(k, genCfg, queues); err != nil {
+		return nil, err
+	}
+	return p.gen, nil
+}
+
+// metricsInto points res at the probe's reset metrics storage.
+func (p *Probe) metricsInto(res *Result) {
+	if p.evLat == nil {
+		p.evLat = metrics.NewHistogram()
+		p.procLat = metrics.NewHistogram()
+		p.evSeries = metrics.NewSeries("event_latency_s")
+		p.procSeries = metrics.NewSeries("processing_latency_s")
+		p.evMaxSeries = metrics.NewSeries("event_latency_max_s")
+		p.thrSeries = metrics.NewSeries("ingest_rate_ev_s")
+		p.qdSeries = metrics.NewSeries("queue_depth_events")
+	} else {
+		p.evLat.Reset()
+		p.procLat.Reset()
+		p.evSeries.Reset()
+		p.procSeries.Reset()
+		p.evMaxSeries.Reset()
+		p.thrSeries.Reset()
+		p.qdSeries.Reset()
+	}
+	res.EventLatency = p.evLat
+	res.ProcLatency = p.procLat
+	res.EventLatencySeries = p.evSeries
+	res.ProcLatencySeries = p.procSeries
+	res.EventLatencyMaxSeries = p.evMaxSeries
+	res.ThroughputSeries = p.thrSeries
+	res.QueueDepthSeries = p.qdSeries
+}
+
+// probePool is the searcher's free list of probes.  Speculative rounds
+// run several probes concurrently (each on its own Probe); the pool is
+// the only cross-goroutine touch point, hence the mutex.
+type probePool struct {
+	mu   sync.Mutex
+	free []*Probe
+}
+
+// acquire pops a recycled probe or builds a fresh one.
+func (pp *probePool) acquire() *Probe {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return NewProbe()
+}
+
+// release hands a probe back once its Result is no longer referenced:
+// a mispredicted speculation branch, a consumed unsustainable verdict,
+// or a replaced best result.  nil is a no-op.
+func (pp *probePool) release(p *Probe) {
+	if p == nil {
+		return
+	}
+	pp.mu.Lock()
+	pp.free = append(pp.free, p)
+	pp.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine/flink"
+	"repro/internal/generator"
+	"repro/internal/workload"
+)
+
+func probeTestConfig(rate float64) Config {
+	return Config{
+		Seed:           42,
+		Workers:        4,
+		Query:          workload.Default(workload.Aggregation),
+		EventsPerTuple: 400,
+		Rate:           generator.ConstantRate(rate),
+		RunFor:         40 * time.Second,
+	}
+}
+
+// TestProbeRunBitIdenticalToFresh is the arena determinism pin: a run on
+// a recycled Probe — after the arena has been dirtied by a different
+// prior run — must produce a Result deep-equal to a fresh RunContext run
+// of the same config.
+func TestProbeRunBitIdenticalToFresh(t *testing.T) {
+	eng := flink.New(flink.Options{})
+	fresh, err := Run(eng, probeTestConfig(0.6e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewProbe()
+	// Dirty the arena with a run at a different rate and seed.
+	dirty := probeTestConfig(1.1e6)
+	dirty.Seed = 7
+	if _, err := p.Run(context.Background(), eng, dirty); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Run(context.Background(), eng, probeTestConfig(0.6e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("recycled probe Result differs from fresh run:\nprobe: outputs=%d gen=%d verdict=%+v\nfresh: outputs=%d gen=%d verdict=%+v",
+			got.Outputs, got.Generated, got.Verdict, fresh.Outputs, fresh.Generated, fresh.Verdict)
+	}
+}
+
+// TestProbeReusePerformsLittleAllocation pins the arena's reason to
+// exist: steady-state probe runs after the first must perform near-zero
+// setup allocation (the bound is loose against GC noise; a regression to
+// fresh construction is two orders of magnitude above it).
+func TestProbeReusePerformsLittleAllocation(t *testing.T) {
+	eng := flink.New(flink.Options{})
+	p := NewProbe()
+	cfg := probeTestConfig(0.6e6)
+	// Warm the arena through two runs so every component has grown.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Run(context.Background(), eng, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := p.Run(context.Background(), eng, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 500 {
+		t.Fatalf("steady-state probe run allocated %.0f times, want near-zero (fresh construction is ~10k)", allocs)
+	}
+}
+
+// TestProbeReshapes pins that a probe survives config shape changes
+// (worker count, queue fleet) by rebuilding only the mismatching
+// components, still bit-identical to fresh runs.
+func TestProbeReshapes(t *testing.T) {
+	eng := flink.New(flink.Options{})
+	p := NewProbe()
+	small := probeTestConfig(0.6e6)
+	if _, err := p.Run(context.Background(), eng, small); err != nil {
+		t.Fatal(err)
+	}
+	big := probeTestConfig(0.6e6)
+	big.Workers = 8
+	big.GeneratorInstances = 8
+	fresh, err := Run(eng, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Run(context.Background(), eng, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fresh) {
+		t.Fatal("reshaped probe Result differs from fresh run")
+	}
+}

@@ -19,16 +19,20 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/flat"
 	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/tuple"
+	"repro/internal/window"
 	"repro/internal/workload"
 )
 
 // Sink receives every output tuple the SUT emits.  The driver installs a
 // sink that measures latency per Definitions 1 and 2; nothing is measured
-// inside the engine itself.
+// inside the engine itself.  The pointee lives in the runtime's reusable
+// emission scratch and is valid only for the duration of the call: sinks
+// that keep outputs must copy the value out.
 type Sink func(out *tuple.Output)
 
 // Config is what a deployment needs besides the engine itself.
@@ -54,6 +58,55 @@ type Config struct {
 	// the paper's future-work section, exercised by the disorder and
 	// broker ablations.
 	WatermarkSlack time.Duration
+	// Mem, when non-nil, is the deployment's recycled-state arena: a
+	// reused probe run (driver.Probe) passes the same Mem to every
+	// Deploy, and the engine draws its runtime, window state and scratch
+	// queues from it instead of allocating fresh ones.  nil (the default)
+	// means fresh construction everywhere.
+	Mem *Mem
+}
+
+// Mem is the per-probe arena of engine state that survives between runs:
+// the Runtime (with its pull batch and hot-key table), the window
+// operator pool, and named scratch queues.  A Mem must only ever be used
+// by one run at a time; driver.Probe enforces that by construction.
+type Mem struct {
+	rt      *Runtime
+	windows window.Pool
+	queues  map[string]*queue.Queue
+}
+
+// NewMem returns an empty arena.
+func NewMem() *Mem { return &Mem{} }
+
+// Pool returns the window-state pool backing this deployment, or nil
+// when no arena is attached (window.Pool methods treat a nil pool as
+// "construct fresh").
+func (c Config) Pool() *window.Pool {
+	if c.Mem == nil {
+		return nil
+	}
+	return &c.Mem.windows
+}
+
+// ScratchQueue returns an empty unbounded queue for engine-internal
+// buffering (e.g. Storm's spout in-flight buffer), recycled from the
+// arena when one is attached so its grown ring survives across runs.
+func (c Config) ScratchQueue(name string) *queue.Queue {
+	if c.Mem == nil {
+		return queue.New(name, 0)
+	}
+	if c.Mem.queues == nil {
+		c.Mem.queues = make(map[string]*queue.Queue)
+	}
+	q, ok := c.Mem.queues[name]
+	if !ok {
+		q = queue.New(name, 0)
+		c.Mem.queues[name] = q
+	} else {
+		q.Reset()
+	}
+	return q
 }
 
 // WithDefaults fills unset fields.
@@ -158,9 +211,10 @@ func FitThroughPoints(c2, c4, c8 float64) CapacityLaw {
 // keyed-exchange constraint of Experiment 4: in Storm and Flink "the
 // performance of the system is bounded by the performance of a single slot"
 // because one key maps to one operator instance.  Counts decay each window
-// so the estimate follows the workload.
+// so the estimate follows the workload.  Counts live in a flat.Table, so
+// the steady state allocates nothing and decay scans deterministically.
 type HotKeyTracker struct {
-	counts map[int64]int64
+	counts flat.Table[int64]
 	total  int64
 	hot    int64
 	hotKey int64
@@ -168,15 +222,22 @@ type HotKeyTracker struct {
 
 // NewHotKeyTracker returns an empty tracker.
 func NewHotKeyTracker() *HotKeyTracker {
-	return &HotKeyTracker{counts: make(map[int64]int64)}
+	return &HotKeyTracker{}
+}
+
+// Reset empties the tracker, keeping grown table capacity.
+func (t *HotKeyTracker) Reset() {
+	t.counts.Reset()
+	t.total, t.hot, t.hotKey = 0, 0, 0
 }
 
 // Observe folds one ingested event's key in.
 func (t *HotKeyTracker) Observe(key int64, weight int64) {
-	t.counts[key] += weight
+	c, _ := t.counts.Upsert(flat.K(key))
+	*c += weight
 	t.total += weight
-	if t.counts[key] > t.hot {
-		t.hot = t.counts[key]
+	if *c > t.hot {
+		t.hot = *c
 		t.hotKey = key
 	}
 }
@@ -195,19 +256,19 @@ func (t *HotKeyTracker) HotShare() float64 {
 func (t *HotKeyTracker) Decay() {
 	t.total = 0
 	t.hot = 0
-	for k, c := range t.counts {
-		c /= 2
-		if c == 0 {
-			delete(t.counts, k)
-			continue
+	t.counts.Range(func(k flat.Key, c *int64) bool {
+		*c /= 2
+		if *c == 0 {
+			t.counts.Delete(k)
+			return true
 		}
-		t.counts[k] = c
-		t.total += c
-		if c > t.hot {
-			t.hot = c
-			t.hotKey = k
+		t.total += *c
+		if *c > t.hot {
+			t.hot = *c
+			t.hotKey = k.A
 		}
-	}
+		return true
+	})
 }
 
 // SlotConstraint returns the effective capacity of a keyed operator given

@@ -155,11 +155,11 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:
-		j.joinBuf = window.NewTwoStreamBuffer(asg)
+		j.joinBuf = cfg.Pool().TwoStream(asg)
 		j.cpuLaw = joinCPULaw
 		j.netCap = cfg.Cluster.NetworkEventCap(1 + 0.17*cfg.Query.Selectivity)
 	default:
-		j.agg = window.NewIncrementalAggregator(asg)
+		j.agg = cfg.Pool().Incremental(asg)
 		j.cpuLaw = aggCPULaw
 		j.netCap = cfg.Cluster.NetworkEventCap(1)
 	}
@@ -263,7 +263,7 @@ func (j *job) tick(now sim.Time) {
 		return
 	}
 	for _, fw := range j.joinBuf.Fire(j.rt.FireWatermark()) {
-		results := window.HashJoinWindow(fw.Window, fw.Purchases, fw.Ads)
+		results := j.joinBuf.HashJoin(fw)
 		// Joins are substantially more expensive than aggregations
 		// (Experiment 2: "a significant latency increase in Flink when
 		// compared to windowed aggregation experiments"): the fired

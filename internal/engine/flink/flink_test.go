@@ -32,7 +32,7 @@ func deploy(t *testing.T, workers int, q workload.Query) *harness {
 		Cluster:     cl,
 		Query:       q,
 		Sources:     h.queues,
-		Sink:        func(o *tuple.Output) { h.outputs = append(h.outputs, o) },
+		Sink:        func(o *tuple.Output) { c := *o; h.outputs = append(h.outputs, &c) },
 		EventWeight: 1,
 	})
 	if err != nil {
@@ -267,7 +267,7 @@ func TestWatermarkSlackDelaysFiring(t *testing.T) {
 		job, err := New(Options{}).Deploy(h.k, engine.Config{
 			Cluster: cl, Query: workload.Default(workload.Aggregation),
 			Sources:     h.queues,
-			Sink:        func(o *tuple.Output) { h.outputs = append(h.outputs, o) },
+			Sink:        func(o *tuple.Output) { c := *o; h.outputs = append(h.outputs, &c) },
 			EventWeight: 1, WatermarkSlack: slack,
 		})
 		if err != nil {

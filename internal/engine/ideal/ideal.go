@@ -46,10 +46,10 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:
-		j.joinBuf = window.NewTwoStreamBuffer(asg)
+		j.joinBuf = cfg.Pool().TwoStream(asg)
 		j.netCap = cfg.Cluster.NetworkEventCap(1 + 0.17*cfg.Query.Selectivity)
 	default:
-		j.agg = window.NewIncrementalAggregator(asg)
+		j.agg = cfg.Pool().Incremental(asg)
 		j.netCap = cfg.Cluster.NetworkEventCap(1)
 	}
 	// Idealised cost: a fraction of Flink's (perfect pipelining).
@@ -95,7 +95,7 @@ func (j *job) tick(now sim.Time) {
 		j.joinBuf.Add(&events[i])
 	}
 	for _, fw := range j.joinBuf.Fire(wm) {
-		for _, r := range window.HashJoinWindow(fw.Window, fw.Purchases, fw.Ads) {
+		for _, r := range j.joinBuf.HashJoin(fw) {
 			j.rt.EmitJoin(r, time.Duration(now))
 		}
 		j.joinBuf.Recycle(fw)

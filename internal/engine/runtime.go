@@ -48,10 +48,30 @@ type Runtime struct {
 
 	decayEvery int
 	sinceDecay int
+
+	// out is the reusable emission scratch: EmitAgg/EmitJoin build the
+	// Output here and hand the sink a pointer.  Sinks must not retain
+	// the pointee (they never have — the driver measures and copies),
+	// which is what makes emission allocation-free.
+	out tuple.Output
 }
 
-// NewRuntime wires a runtime.
+// NewRuntime wires a runtime.  When cfg.Mem carries an arena, the
+// runtime (pull batch, hot-key table, emission scratch) is recycled from
+// it instead of allocated.
 func NewRuntime(k *sim.Kernel, cfg Config) *Runtime {
+	if m := cfg.Mem; m != nil {
+		if m.rt == nil {
+			m.rt = freshRuntime(k, cfg)
+		} else {
+			m.rt.rebind(k, cfg)
+		}
+		return m.rt
+	}
+	return freshRuntime(k, cfg)
+}
+
+func freshRuntime(k *sim.Kernel, cfg Config) *Runtime {
 	return &Runtime{
 		K:                k,
 		Cfg:              cfg,
@@ -61,6 +81,26 @@ func NewRuntime(k *sim.Kernel, cfg Config) *Runtime {
 		pullBatch:        tuple.NewBatch(1024),
 		decayEvery:       1000,
 	}
+}
+
+// rebind resets a recycled runtime to the fresh-construction state for a
+// new run, keeping the grown pull batch and hot-key table.
+func (rt *Runtime) rebind(k *sim.Kernel, cfg Config) {
+	rt.K = k
+	rt.Cfg = cfg
+	rt.Watermark = 0
+	rt.HotKeys.Reset()
+	rt.CPUPerMEvent = 30
+	rt.NetBytesPerEvent = float64(tuple.WireSizeBytes)
+	rt.ticker = nil
+	rt.failed = false
+	rt.failReason = ""
+	rt.stopped = false
+	rt.carry = 0
+	rt.pullBatch.Reset()
+	rt.decayEvery = 1000
+	rt.sinceDecay = 0
+	rt.out = tuple.Output{}
 }
 
 // Start runs fn every cfg.Tick until Stop or failure.
@@ -142,9 +182,10 @@ func (rt *Runtime) Pull(n int, now sim.Time) ([]tuple.Event, int64) {
 }
 
 // EmitAgg sends one windowed-aggregation result to the sink with
-// Definition 3/4 provenance.
+// Definition 3/4 provenance.  The sink receives a pointer into the
+// runtime's emission scratch, valid only for the duration of the call.
 func (rt *Runtime) EmitAgg(r window.Result, emit time.Duration) {
-	rt.Cfg.Sink(&tuple.Output{
+	rt.out = tuple.Output{
 		Key:       r.Key,
 		Value:     r.Agg.Sum,
 		Count:     r.Agg.Count,
@@ -153,15 +194,17 @@ func (rt *Runtime) EmitAgg(r window.Result, emit time.Duration) {
 		ProcTime:  r.Agg.Prov.MaxProcTime,
 		EmitTime:  emit,
 		WindowEnd: r.Window.End,
-	})
+	}
+	rt.Cfg.Sink(&rt.out)
 }
 
 // EmitJoin sends one windowed-join result to the sink.  Join outputs also
 // cross the network (the effect that lowers the join network cap in
-// Table III), so bytes are charged here.
+// Table III), so bytes are charged here.  Like EmitAgg, the pointee is
+// valid only for the duration of the sink call.
 func (rt *Runtime) EmitJoin(r window.JoinResult, emit time.Duration) {
 	rt.Cfg.Cluster.SpreadNetwork(int64(tuple.WireSizeBytes) * r.Weight)
-	rt.Cfg.Sink(&tuple.Output{
+	rt.out = tuple.Output{
 		Key:       r.GemPackID,
 		Value:     r.Price,
 		Count:     1,
@@ -170,7 +213,8 @@ func (rt *Runtime) EmitJoin(r window.JoinResult, emit time.Duration) {
 		ProcTime:  r.Prov.MaxProcTime,
 		EmitTime:  emit,
 		WindowEnd: r.Window.End,
-	})
+	}
+	rt.Cfg.Sink(&rt.out)
 }
 
 // FireWatermark returns the watermark used for firing windows: the

@@ -163,11 +163,11 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:
-		j.joinBuf = window.NewTwoStreamBuffer(asg)
+		j.joinBuf = cfg.Pool().TwoStream(asg)
 		j.sustainLaw = joinSustainLaw
 		j.netCap = cfg.Cluster.NetworkEventCap(1 + 0.17*cfg.Query.Selectivity)
 	default:
-		j.agg = window.NewPaneAggregator(asg)
+		j.agg = cfg.Pool().Pane(asg)
 		j.sustainLaw = aggSustainLaw
 		j.netCap = cfg.Cluster.NetworkEventCap(1)
 	}
@@ -286,7 +286,7 @@ func (j *job) submitBatch(now sim.Time) {
 		sj.out.agg = j.agg.Fire(deadline)
 	} else {
 		for _, fw := range j.joinBuf.Fire(deadline) {
-			sj.out.join = append(sj.out.join, window.HashJoinWindow(fw.Window, fw.Purchases, fw.Ads)...)
+			sj.out.join = append(sj.out.join, j.joinBuf.HashJoin(fw)...)
 			j.joinBuf.Recycle(fw)
 		}
 	}

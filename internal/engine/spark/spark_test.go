@@ -31,7 +31,7 @@ func deploy(t *testing.T, workers int, q workload.Query, opts Options) *harness 
 		Cluster:     cl,
 		Query:       q,
 		Sources:     h.queues,
-		Sink:        func(o *tuple.Output) { h.outputs = append(h.outputs, o) },
+		Sink:        func(o *tuple.Output) { c := *o; h.outputs = append(h.outputs, &c) },
 		EventWeight: 1,
 	})
 	if err != nil {

@@ -151,13 +151,13 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 		rt:       engine.NewRuntime(k, cfg),
 		opts:     e.opts,
 		rng:      k.RNG("storm"),
-		inflight: queue.New("spout-inflight", 0),
+		inflight: cfg.ScratchQueue("spout-inflight"),
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:
-		j.joinBuf = window.NewTwoStreamBuffer(asg)
+		j.joinBuf = cfg.Pool().TwoStream(asg)
 		j.sustainLaw = naiveJoinLaw
 		j.netCap = cfg.Cluster.NetworkEventCap(1 + 0.17*cfg.Query.Selectivity)
 		if cfg.Cluster.Workers() >= 4 {
@@ -168,7 +168,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 			})
 		}
 	default:
-		j.agg = window.NewBufferedWindows(asg)
+		j.agg = cfg.Pool().Buffered(asg)
 		j.sustainLaw = aggSustainLaw
 		j.netCap = cfg.Cluster.NetworkEventCap(1)
 	}
@@ -376,7 +376,7 @@ func (j *job) fire(now sim.Time, cap float64) {
 				j.debt += fireCostShare * float64(fireWeight) / cap
 			}
 			emit := now + time.Duration(j.debt*float64(time.Second))
-			for _, r := range window.AggregateFired(fw) {
+			for _, r := range j.agg.Aggregate(fw) {
 				j.rt.EmitAgg(r, emit)
 			}
 			j.agg.Recycle(fw.Events)

@@ -1,0 +1,202 @@
+package flat
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// refModel is the executable specification Table is property-tested
+// against: a Go map for contents plus an explicit insertion-order list.
+type refModel struct {
+	m     map[Key]int64
+	order []Key
+}
+
+func newRef() *refModel { return &refModel{m: make(map[Key]int64)} }
+
+func (r *refModel) put(k Key, v int64) {
+	if _, ok := r.m[k]; !ok {
+		r.order = append(r.order, k)
+	}
+	r.m[k] = v
+}
+
+func (r *refModel) add(k Key, d int64) {
+	if _, ok := r.m[k]; !ok {
+		r.order = append(r.order, k)
+	}
+	r.m[k] += d
+}
+
+func (r *refModel) del(k Key) bool {
+	if _, ok := r.m[k]; !ok {
+		return false
+	}
+	delete(r.m, k)
+	for i, o := range r.order {
+		if o == k {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// checkEqual asserts identical contents AND identical iteration order.
+func checkEqual(t *testing.T, tab *Table[int64], ref *refModel, step int) {
+	t.Helper()
+	if tab.Len() != len(ref.m) {
+		t.Fatalf("step %d: Len %d, reference %d", step, tab.Len(), len(ref.m))
+	}
+	i := 0
+	tab.Range(func(k Key, v *int64) bool {
+		if i >= len(ref.order) {
+			t.Fatalf("step %d: iteration yielded more than %d entries", step, len(ref.order))
+		}
+		if k != ref.order[i] {
+			t.Fatalf("step %d: iteration order diverges at %d: %v vs %v", step, i, k, ref.order[i])
+		}
+		if want := ref.m[k]; *v != want {
+			t.Fatalf("step %d: value mismatch at %v: %d vs %d", step, k, *v, want)
+		}
+		i++
+		return true
+	})
+	if i != len(ref.order) {
+		t.Fatalf("step %d: iteration yielded %d entries, want %d", step, i, len(ref.order))
+	}
+}
+
+// TestTableMatchesReferenceModel drives a Table and the map+order
+// reference through long randomized insert/update/delete/reset sequences
+// — including tombstone reuse (delete then re-insert the same keys) and
+// growth through several rehashes — asserting identical contents and
+// iteration order throughout.
+func TestTableMatchesReferenceModel(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		rng := sim.NewRNG(seed, "flat-prop")
+		tab := &Table[int64]{}
+		ref := newRef()
+		// Small key space forces collisions, re-insertion after delete,
+		// and heavy tombstone traffic.
+		keyOf := func() Key {
+			return K2(int64(rng.Intn(40)), int64(rng.Intn(5)))
+		}
+		for step := 0; step < 6000; step++ {
+			k := keyOf()
+			switch op := rng.Intn(10); {
+			case op < 4: // upsert-add, the aggregator idiom
+				p, _ := tab.Upsert(k)
+				*p += int64(step)
+				ref.add(k, int64(step))
+			case op < 6: // put
+				tab.Put(k, int64(step))
+				ref.put(k, int64(step))
+			case op < 9: // delete
+				got := tab.Delete(k)
+				want := ref.del(k)
+				if got != want {
+					t.Fatalf("seed %d step %d: Delete(%v)=%v, reference %v", seed, step, k, got, want)
+				}
+			default: // occasional point lookups
+				v, ok := tab.Get(k)
+				want, wok := ref.m[k]
+				if ok != wok || (ok && v != want) {
+					t.Fatalf("seed %d step %d: Get(%v)=(%d,%v), reference (%d,%v)", seed, step, k, v, ok, want, wok)
+				}
+			}
+			if step%997 == 0 {
+				checkEqual(t, tab, ref, step)
+			}
+			// Rare full reset: capacity must be kept but contents dropped.
+			if step%2999 == 2998 {
+				tab.Reset()
+				ref = newRef()
+			}
+		}
+		checkEqual(t, tab, ref, 6000)
+	}
+}
+
+// TestTableDeleteDuringRange pins that fn may delete entries (current and
+// other) while ranging.
+func TestTableDeleteDuringRange(t *testing.T) {
+	tab := &Table[int64]{}
+	for i := int64(0); i < 100; i++ {
+		tab.Put(K(i), i)
+	}
+	var seen []int64
+	tab.Range(func(k Key, v *int64) bool {
+		seen = append(seen, k.A)
+		if k.A%2 == 0 {
+			tab.Delete(k)
+		}
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("range visited %d entries, want 100", len(seen))
+	}
+	if tab.Len() != 50 {
+		t.Fatalf("after deleting evens Len=%d, want 50", tab.Len())
+	}
+	var rest []int64
+	tab.Range(func(k Key, v *int64) bool { rest = append(rest, k.A); return true })
+	if !sort.SliceIsSorted(rest, func(i, j int) bool { return rest[i] < rest[j] }) || len(rest) != 50 || rest[0] != 1 {
+		t.Fatalf("odd keys should survive in insertion order, got %v", rest)
+	}
+}
+
+// TestTableResetKeepsCapacity pins the arena contract: after Reset, a
+// same-shape refill performs no allocation.
+func TestTableResetKeepsCapacity(t *testing.T) {
+	tab := &Table[int64]{}
+	fill := func() {
+		for i := int64(0); i < 1000; i++ {
+			p, _ := tab.Upsert(K(i))
+			*p = i
+		}
+	}
+	fill()
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Reset left %d entries", tab.Len())
+	}
+	if allocs := testing.AllocsPerRun(10, func() { tab.Reset(); fill() }); allocs > 0 {
+		t.Fatalf("refill after Reset allocated %.0f times, want 0", allocs)
+	}
+}
+
+// TestTableZeroValueOnReinsert pins that Upsert after Delete hands back a
+// zeroed value even though the slab slot may be recycled.
+func TestTableZeroValueOnReinsert(t *testing.T) {
+	tab := &Table[int64]{}
+	tab.Put(K(7), 42)
+	tab.Delete(K(7))
+	p, inserted := tab.Upsert(K(7))
+	if !inserted || *p != 0 {
+		t.Fatalf("re-insert after delete: inserted=%v val=%d, want true/0", inserted, *p)
+	}
+}
+
+// BenchmarkFlatTablePutGet is the pinned 0-allocs/op contract of the
+// steady-state keyed hot path: update-heavy traffic over a working set
+// that has reached its grown capacity.
+func BenchmarkFlatTablePutGet(b *testing.B) {
+	tab := &Table[int64]{}
+	const keys = 1024
+	for i := int64(0); i < keys; i++ {
+		tab.Put(K2(i, i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := K2(int64(i)%keys, int64(i)%keys)
+		p, _ := tab.Upsert(k)
+		*p++
+		if v, ok := tab.Get(k); !ok || v == 0 {
+			b.Fatal("lost entry")
+		}
+	}
+}

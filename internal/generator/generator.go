@@ -304,6 +304,36 @@ func New(k *sim.Kernel, cfg Config, queues *queue.Group) (*Generator, error) {
 	}, nil
 }
 
+// Rebind resets a generator fleet for a fresh run on a (reset) kernel,
+// keeping the grown reservoir and batch-pool slabs.  A rebound generator
+// behaves bit-identically to one built by New with the same arguments:
+// the RNG stream comes from the kernel (which Reseeds it on Reset), the
+// reservoir restarts empty, and the fractional-rate carry restarts at
+// zero.  Probe arenas (driver.Probe) use this between bisection probes.
+func (g *Generator) Rebind(k *sim.Kernel, cfg Config, queues *queue.Group) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if queues.Size() != cfg.Instances {
+		return fmt.Errorf("generator: %d instances need %d queues, got %d",
+			cfg.Instances, cfg.Instances, queues.Size())
+	}
+	if b, ok := cfg.Keys.(boundKeyDist); ok {
+		cfg.Keys = b.bound()
+	}
+	g.cfg = cfg
+	g.k = k
+	g.queues = queues
+	g.rng = k.RNG("generator")
+	g.carry = 0
+	g.recentPurchases = g.recentPurchases[:0]
+	g.reservoirNext = 0
+	g.totalWeight = 0
+	g.ticker = nil
+	g.stopped = false
+	return nil
+}
+
 // Start begins generation.  Events generated in (t-tick, t] are flushed at
 // t with event times spread across the interval.
 func (g *Generator) Start() {

@@ -29,6 +29,9 @@ func (s *Series) Add(t time.Duration, v float64) {
 	s.Points = append(s.Points, Point{T: t, V: v})
 }
 
+// Reset truncates the series, keeping its grown capacity for reuse.
+func (s *Series) Reset() { s.Points = s.Points[:0] }
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }
 

@@ -58,6 +58,15 @@ func New(name string, capWeight int64) *Queue {
 // Name returns the queue's name.
 func (q *Queue) Name() string { return q.name }
 
+// Reset empties the queue and clears all accounting (weight, totals,
+// overflow), keeping the grown ring so a reused run performs no ring
+// growth (see driver.Probe).
+func (q *Queue) Reset() {
+	q.head, q.tail = 0, 0
+	q.weight, q.totalIn, q.totalOut = 0, 0, 0
+	q.overflow = false
+}
+
 // grow doubles the ring (or allocates the initial one), relinearising the
 // live events at the front.
 func (q *Queue) grow() {
@@ -196,6 +205,15 @@ func NewGroup(prefix string, n int, capWeight int64) *Group {
 
 // Queues returns the member queues.
 func (g *Group) Queues() []*Queue { return g.queues }
+
+// Reset empties every member queue and rewinds the drain cursor, keeping
+// grown rings (see driver.Probe).
+func (g *Group) Reset() {
+	for _, q := range g.queues {
+		q.Reset()
+	}
+	g.next = 0
+}
 
 // Queue returns the i-th member.
 func (g *Group) Queue(i int) *Queue { return g.queues[i] }

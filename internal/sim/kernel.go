@@ -84,6 +84,30 @@ func NewKernel(seed uint64) *Kernel {
 	return &Kernel{seed: seed, rngs: make(map[string]*RNG)}
 }
 
+// Reset rewinds the kernel to the state NewKernel(seed) would produce,
+// keeping the grown arena, heap and free-list capacity and reseeding the
+// existing RNG streams in place.  A simulation run on a reset kernel is
+// bit-identical to one on a fresh kernel: the clock, sequence counter and
+// every named stream restart exactly as constructed.  Probe arenas
+// (driver.Probe) use this to recycle the scheduler across runs.
+func (k *Kernel) Reset(seed uint64) {
+	// Drop fired/pending closures so the arena pins nothing from the
+	// previous run.
+	for i := range k.arena {
+		k.arena[i].fn = nil
+	}
+	k.arena = k.arena[:0]
+	k.free = k.free[:0]
+	k.heap = k.heap[:0]
+	k.now = 0
+	k.seq = 0
+	k.seed = seed
+	k.halted = false
+	for name, r := range k.rngs {
+		r.Reseed(seed, name)
+	}
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
@@ -122,6 +146,18 @@ func (k *Kernel) Every(d time.Duration, fn func(now Time)) *Ticker {
 		panic("sim: Every requires a positive period")
 	}
 	t := &Ticker{k: k, period: d, fn: fn}
+	// One closure is built here and re-pushed on every firing, so the
+	// steady-state ticker traffic — every engine tick, generator tick and
+	// sample interval passes through it — allocates nothing per firing.
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.k.now)
+		if !t.stopped && !t.k.halted {
+			t.arm(t.k.now + t.period)
+		}
+	}
 	t.arm(k.now + d)
 	return t
 }
@@ -131,20 +167,13 @@ type Ticker struct {
 	k       *Kernel
 	period  time.Duration
 	fn      func(Time)
+	tick    func()
 	h       Handle
 	stopped bool
 }
 
 func (t *Ticker) arm(at Time) {
-	t.h = t.k.At(at, func() {
-		if t.stopped {
-			return
-		}
-		t.fn(t.k.now)
-		if !t.stopped && !t.k.halted {
-			t.arm(t.k.now + t.period)
-		}
-	})
+	t.h = t.k.At(at, t.tick)
 }
 
 // Stop cancels future firings.

@@ -28,6 +28,16 @@ func splitmix64(x *uint64) uint64 {
 
 // NewRNG derives an independent stream from a global seed and a stream name.
 func NewRNG(seed uint64, name string) *RNG {
+	r := &RNG{}
+	r.Reseed(seed, name)
+	return r
+}
+
+// Reseed re-derives the stream's state from (seed, name) in place,
+// exactly as NewRNG would: a reseeded stream is indistinguishable from a
+// freshly constructed one.  Kernel.Reset uses this to recycle streams
+// across probe runs without allocating.
+func (r *RNG) Reseed(seed uint64, name string) {
 	// Mix the name into the seed with FNV-1a, then expand with splitmix64.
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(name); i++ {
@@ -35,7 +45,6 @@ func NewRNG(seed uint64, name string) *RNG {
 		h *= 1099511628211
 	}
 	x := seed ^ h
-	r := &RNG{}
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
 	}
@@ -43,7 +52,8 @@ func NewRNG(seed uint64, name string) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.spare = 0
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/flat"
 	"repro/internal/tuple"
 )
 
@@ -34,24 +35,19 @@ func (g *Agg) merge(o Agg) {
 	g.Prov.Merge(o.Prov)
 }
 
-type keyWindow struct {
-	key int64
-	end time.Duration
-}
-
 // IncrementalAggregator computes sliding-window SUM aggregates on the fly,
 // the way Flink's aggregate function does: each arriving event updates the
 // partial result of every window it belongs to, so firing a window is O(1)
 // per key and no raw events are retained.  Memory is proportional to
-// (#live windows × #keys in them), not to the event count.  Partials are
-// stored by value in the map, so the steady state allocates nothing beyond
-// the map's own buckets.
+// (#live windows × #keys in them), not to the event count.  Partials live
+// by value in a flat.Table keyed (key, window-end), so the steady state
+// allocates nothing once the table has grown to the working set.
 type IncrementalAggregator struct {
-	asg   Assigner
-	state map[keyWindow]Agg
-	// ends tracks live window ends so firing scans only windows, not
-	// state entries.
-	ends map[time.Duration]int // end -> number of live keys
+	asg Assigner
+	// state holds the (key, window-end) partials; ends counts live keys
+	// per window end so firing scans only windows, not state entries.
+	state flat.Table[Agg]
+	ends  flat.Table[int]
 	// firedThrough is the firing cursor: windows with End <= firedThrough
 	// have fired, and late events' contributions to them are lost
 	// (allowed lateness zero, the engines' configuration in the paper).
@@ -60,17 +56,26 @@ type IncrementalAggregator struct {
 	// (event, already-fired window) pair.  An event that misses every
 	// window it belongs to therefore counts size/slide times.
 	lateDropped int64
-	// scratch avoids per-event allocation in Assign.
-	scratch []ID
+	// scratch avoids per-event allocation in Assign; firedEnds and out
+	// are the per-fire scratch slabs (out is valid until the next Fire).
+	scratch   []ID
+	firedEnds []time.Duration
+	out       []Result
 }
 
 // NewIncrementalAggregator builds an empty aggregator.
 func NewIncrementalAggregator(asg Assigner) *IncrementalAggregator {
-	return &IncrementalAggregator{
-		asg:   asg,
-		state: make(map[keyWindow]Agg),
-		ends:  make(map[time.Duration]int),
-	}
+	return &IncrementalAggregator{asg: asg}
+}
+
+// Reset empties the aggregator for reuse under a (possibly different)
+// assigner, keeping grown table and scratch capacity (see driver.Probe).
+func (ia *IncrementalAggregator) Reset(asg Assigner) {
+	ia.asg = asg
+	ia.state.Reset()
+	ia.ends.Reset()
+	ia.firedThrough = 0
+	ia.lateDropped = 0
 }
 
 // Add folds one event into every not-yet-fired window containing it.  The
@@ -84,13 +89,12 @@ func (ia *IncrementalAggregator) Add(e *tuple.Event) {
 			ia.lateDropped++
 			continue
 		}
-		kw := keyWindow{key: e.Key(), end: w.End}
-		g, ok := ia.state[kw]
-		if !ok {
-			ia.ends[w.End]++
+		g, fresh := ia.state.Upsert(flat.K2(e.Key(), int64(w.End)))
+		if fresh {
+			n, _ := ia.ends.Upsert(flat.K(int64(w.End)))
+			*n++
 		}
 		g.add(e)
-		ia.state[kw] = g
 	}
 }
 
@@ -106,48 +110,56 @@ type Result struct {
 }
 
 // Fire removes and returns the aggregates of every window with
-// End <= watermark, ordered by (End, Key) for determinism.
+// End <= watermark, ordered by (End, Key) for determinism.  The returned
+// slice is a reused scratch slab, valid until the next Fire.
 func (ia *IncrementalAggregator) Fire(watermark time.Duration) []Result {
 	if watermark > ia.firedThrough {
 		ia.firedThrough = watermark
 	}
-	var fired []time.Duration
-	for end := range ia.ends {
-		if end <= watermark {
-			fired = append(fired, end)
+	ia.firedEnds = ia.firedEnds[:0]
+	ia.ends.Range(func(k flat.Key, _ *int) bool {
+		if end := time.Duration(k.A); end <= watermark {
+			ia.firedEnds = append(ia.firedEnds, end)
 		}
-	}
-	if len(fired) == 0 {
+		return true
+	})
+	if len(ia.firedEnds) == 0 {
 		return nil
 	}
-	sort.Slice(fired, func(i, j int) bool { return fired[i] < fired[j] })
-	var out []Result
-	for kw, g := range ia.state {
-		if kw.end <= watermark {
-			out = append(out, Result{Key: kw.key, Window: ID{End: kw.end}, Agg: g})
-			delete(ia.state, kw)
+	ia.out = ia.out[:0]
+	ia.state.Range(func(k flat.Key, g *Agg) bool {
+		if end := time.Duration(k.B); end <= watermark {
+			ia.out = append(ia.out, Result{Key: k.A, Window: ID{End: end}, Agg: *g})
+			ia.state.Delete(k)
 		}
+		return true
+	})
+	for _, end := range ia.firedEnds {
+		ia.ends.Delete(flat.K(int64(end)))
 	}
-	for _, end := range fired {
-		delete(ia.ends, end)
-	}
+	sortResults(ia.out)
+	return ia.out
+}
+
+// sortResults orders fired aggregates by (End, Key), the deterministic
+// emission order every engine model shares.
+func sortResults(out []Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Window.End != out[j].Window.End {
 			return out[i].Window.End < out[j].Window.End
 		}
 		return out[i].Key < out[j].Key
 	})
-	return out
 }
 
 // LiveWindows returns the number of windows holding state.
-func (ia *IncrementalAggregator) LiveWindows() int { return len(ia.ends) }
+func (ia *IncrementalAggregator) LiveWindows() int { return ia.ends.Len() }
 
 // LiveEntries returns the number of (key, window) partials held.
-func (ia *IncrementalAggregator) LiveEntries() int { return len(ia.state) }
+func (ia *IncrementalAggregator) LiveEntries() int { return ia.state.Len() }
 
 // StateBytes estimates resident state: one Agg per (key, window) entry.
 func (ia *IncrementalAggregator) StateBytes() int64 {
-	const bytesPerEntry = 96 // Agg + map overhead, rounded up
-	return int64(len(ia.state)) * bytesPerEntry
+	const bytesPerEntry = 96 // Agg + table overhead, rounded up
+	return int64(ia.state.Len()) * bytesPerEntry
 }

@@ -278,3 +278,51 @@ func BenchmarkWindowBufferedAdd(b *testing.B) {
 		step(warm + i)
 	}
 }
+
+// BenchmarkWindowKeyedFire measures the full keyed window lifecycle on
+// the flat-table state — Add across 100 keys, periodic Fire with the
+// reused result slab, and the buffered Aggregate scratch — the exact
+// per-fire shape of the Flink and Storm models.  Pinned at 0 allocs/op
+// by scripts/bench-smoke.sh: the fire path must not regress to per-fire
+// maps or fresh result slices.
+func BenchmarkWindowKeyedFire(b *testing.B) {
+	asg, err := NewAssigner(8*time.Second, 4*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ia := NewIncrementalAggregator(asg)
+	bw := NewBufferedWindows(asg)
+	const keys = 100
+	e := tuple.Event{Stream: tuple.Purchases, Weight: 20, Price: 7}
+	var fired int64
+	step := func(i int) {
+		e.GemPackID = int64(i % keys)
+		e.EventTime = time.Duration(i) * 100 * time.Microsecond
+		e.IngestTime = e.EventTime + time.Millisecond
+		ia.Add(&e)
+		bw.Add(&e)
+		// Fire every ~40k events (one slide's worth at this event rate).
+		if i%40_000 == 39_999 {
+			wm := e.EventTime - 8*time.Second
+			fired += int64(len(ia.Fire(wm)))
+			for _, fw := range bw.Fire(wm) {
+				fired += int64(len(bw.Aggregate(fw)))
+				bw.Recycle(fw.Events)
+			}
+		}
+	}
+	// Warm through several complete fire/retire cycles so table and slab
+	// growth is amortised out of the timed loop.
+	const warm = 200_000
+	for i := 0; i < warm; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(warm + i)
+	}
+	if fired == 0 {
+		b.Fatal("no windows fired")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/flat"
 	"repro/internal/tuple"
 )
 
@@ -17,8 +18,9 @@ import (
 // Events are buffered by value: Add copies the event into each window's
 // slab, so callers may pass pointers into reusable pull batches.
 type BufferedWindows struct {
-	asg     Assigner
-	buf     map[ID][]tuple.Event
+	asg Assigner
+	// buf maps window end -> that window's event slab.
+	buf     flat.Table[[]tuple.Event]
 	bytes   int64
 	scratch []ID
 	// free holds recycled window slabs (see Recycle); new windows reuse
@@ -29,6 +31,11 @@ type BufferedWindows struct {
 	// already-fired windows are lost (allowed lateness zero).
 	firedThrough time.Duration
 	lateDropped  int64
+	// fired is the per-fire scratch slab (valid until the next Fire);
+	// aggScratch/aggOut are Aggregate's reused per-fire state.
+	fired      []FiredWindow
+	aggScratch flat.Table[Agg]
+	aggOut     []Result
 }
 
 // LateDropped returns the number of (event, window) contributions lost to
@@ -42,7 +49,25 @@ const bytesPerBufferedEvent = 120
 
 // NewBufferedWindows builds empty buffered window state.
 func NewBufferedWindows(asg Assigner) *BufferedWindows {
-	return &BufferedWindows{asg: asg, buf: make(map[ID][]tuple.Event)}
+	return &BufferedWindows{asg: asg}
+}
+
+// Reset empties the buffer for reuse under a (possibly different)
+// assigner.  Grown capacity is kept, including the recycled slabs on the
+// free list (see driver.Probe).
+func (bw *BufferedWindows) Reset(asg Assigner) {
+	bw.asg = asg
+	// Recycle the live slabs before dropping the table so the next run
+	// reuses them instead of growing fresh ones.
+	bw.buf.Range(func(_ flat.Key, events *[]tuple.Event) bool {
+		bw.Recycle(*events)
+		return true
+	})
+	bw.buf.Reset()
+	bw.bytes = 0
+	bw.firedThrough = 0
+	bw.lateDropped = 0
+	bw.aggScratch.Reset()
 }
 
 // Add buffers the event in every window containing it and returns the
@@ -63,11 +88,11 @@ func (bw *BufferedWindows) AddAt(e *tuple.Event, at time.Duration) int64 {
 			bw.lateDropped++
 			continue
 		}
-		s, ok := bw.buf[w]
-		if !ok {
-			s = bw.takeSlab()
+		s, fresh := bw.buf.Upsert(flat.K(int64(w.End)))
+		if fresh {
+			*s = bw.takeSlab()
 		}
-		bw.buf[w] = append(s, *e)
+		*s = append(*s, *e)
 		grew += bytesPerBufferedEvent * e.Weight
 	}
 	bw.bytes += grew
@@ -103,49 +128,63 @@ type FiredWindow struct {
 }
 
 // Fire removes and returns every window with End <= watermark, ascending.
+// The returned slice is a reused scratch slab, valid until the next Fire;
+// the Events slabs inside are owned by the caller until Recycled.
 func (bw *BufferedWindows) Fire(watermark time.Duration) []FiredWindow {
 	if watermark > bw.firedThrough {
 		bw.firedThrough = watermark
 	}
-	var out []FiredWindow
-	for w, events := range bw.buf {
-		if w.End <= watermark {
-			out = append(out, FiredWindow{Window: w, Events: events})
-			for i := range events {
-				bw.bytes -= bytesPerBufferedEvent * events[i].Weight
+	bw.fired = bw.fired[:0]
+	bw.buf.Range(func(k flat.Key, events *[]tuple.Event) bool {
+		if end := time.Duration(k.A); end <= watermark {
+			bw.fired = append(bw.fired, FiredWindow{Window: ID{End: end}, Events: *events})
+			for i := range *events {
+				bw.bytes -= bytesPerBufferedEvent * (*events)[i].Weight
 			}
-			delete(bw.buf, w)
+			bw.buf.Delete(k)
 		}
+		return true
+	})
+	if len(bw.fired) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Window.End < out[j].Window.End })
-	return out
+	sort.Slice(bw.fired, func(i, j int) bool { return bw.fired[i].Window.End < bw.fired[j].Window.End })
+	return bw.fired
 }
 
 // StateBytes returns the modelled resident bytes of buffered events.
 func (bw *BufferedWindows) StateBytes() int64 { return bw.bytes }
 
 // LiveWindows returns the number of buffered windows.
-func (bw *BufferedWindows) LiveWindows() int { return len(bw.buf) }
+func (bw *BufferedWindows) LiveWindows() int { return bw.buf.Len() }
 
-// AggregateFired computes per-key SUM aggregates over a fired window's raw
-// events — what a Storm bolt does at trigger time.  Results are ordered by
-// key for determinism.
-func AggregateFired(fw FiredWindow) []Result {
-	perKey := make(map[int64]Agg)
+// Aggregate computes per-key SUM aggregates over a fired window's raw
+// events — what a Storm bolt does at trigger time — reusing the
+// receiver's scratch table and result slab instead of allocating per
+// fire.  Results are ordered by key for determinism; the returned slice
+// is valid until the next Aggregate call.
+func (bw *BufferedWindows) Aggregate(fw FiredWindow) []Result {
+	bw.aggScratch.Reset()
 	for i := range fw.Events {
 		e := &fw.Events[i]
-		g := perKey[e.Key()]
+		g, _ := bw.aggScratch.Upsert(flat.K(e.Key()))
 		g.add(e)
-		perKey[e.Key()] = g
 	}
-	keys := make([]int64, 0, len(perKey))
-	for k := range perKey {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]Result, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, Result{Key: k, Window: fw.Window, Agg: perKey[k]})
-	}
-	return out
+	bw.aggOut = bw.aggOut[:0]
+	bw.aggScratch.Range(func(k flat.Key, g *Agg) bool {
+		bw.aggOut = append(bw.aggOut, Result{Key: k.A, Window: fw.Window, Agg: *g})
+		return true
+	})
+	sortResults(bw.aggOut)
+	return bw.aggOut
+}
+
+// AggregateFired is the standalone form of BufferedWindows.Aggregate for
+// callers without a buffer instance (tests, oracles); it allocates its
+// own scratch per call.
+func AggregateFired(fw FiredWindow) []Result {
+	var bw BufferedWindows
+	out := bw.Aggregate(fw)
+	// Detach from the throwaway scratch so the result survives.
+	return append([]Result(nil), out...)
 }

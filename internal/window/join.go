@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/flat"
 	"repro/internal/tuple"
 )
 
@@ -23,11 +24,26 @@ type JoinResult struct {
 	Prov   tuple.Provenance
 }
 
-// HashJoinWindow performs an in-memory hash equi-join over one fired
-// window's purchases and ads.  The build side indexes the ads by join key.
-// Cost is O(|P| + |A| + |results|), which is what Flink's and Spark's
-// window joins achieve; contrast NestedLoopJoinWindow below.
-func HashJoinWindow(w ID, purchases, ads []tuple.Event) []JoinResult {
+// Joiner carries the reusable build-side state of the hash equi-join: a
+// flat table from join key to the head of a chain threaded through next.
+// Reusing one Joiner across window fires removes the per-fire index map
+// and per-key bucket slices the join used to allocate.
+type Joiner struct {
+	// head maps join key -> index of the first matching ad; next[i] is
+	// the next ad with the same key, or -1.  Chains are threaded in
+	// ascending ad order so probe output order matches the historical
+	// (slice-bucket) implementation exactly.
+	head flat.Table[int32]
+	next []int32
+	out  []JoinResult
+}
+
+// HashJoin performs an in-memory hash equi-join over one fired window's
+// purchases and ads.  The build side indexes the ads by join key.  Cost is
+// O(|P| + |A| + |results|), which is what Flink's and Spark's window joins
+// achieve; contrast NestedLoopJoinWindow below.  The returned slice is a
+// reused scratch slab, valid until the next HashJoin call.
+func (jn *Joiner) HashJoin(w ID, purchases, ads []tuple.Event) []JoinResult {
 	if len(purchases) == 0 || len(ads) == 0 {
 		return nil
 	}
@@ -44,24 +60,38 @@ func HashJoinWindow(w ID, purchases, ads []tuple.Event) []JoinResult {
 	pairProv := pProv
 	pairProv.Merge(aProv)
 
-	// Index ads by join key, as positions into the slice, so the build
-	// side allocates no per-event boxes.
-	index := make(map[int64][]int32, len(ads))
-	for i := range ads {
-		k := ads[i].JoinKey()
-		index[k] = append(index[k], int32(i))
+	// Build the ad index as chains of positions, so the build side
+	// allocates nothing per event.  Iterating ads backwards makes each
+	// chain run in ascending position order.
+	jn.head.Reset()
+	if cap(jn.next) < len(ads) {
+		jn.next = make([]int32, len(ads))
 	}
-	var out []JoinResult
+	jn.next = jn.next[:len(ads)]
+	for i := len(ads) - 1; i >= 0; i-- {
+		h, fresh := jn.head.Upsert(flat.K(ads[i].JoinKey()))
+		if fresh {
+			jn.next[i] = -1
+		} else {
+			jn.next[i] = *h
+		}
+		*h = int32(i)
+	}
+	jn.out = jn.out[:0]
 	for i := range purchases {
 		p := &purchases[i]
-		for _, ai := range index[p.JoinKey()] {
+		ai, ok := jn.head.Get(flat.K(p.JoinKey()))
+		if !ok {
+			continue
+		}
+		for ; ai >= 0; ai = jn.next[ai] {
 			// One simulated pair stands for min(weights) real pairs:
 			// the matched ad and purchase populations pair up 1:1.
 			w8 := p.Weight
 			if aw := ads[ai].Weight; aw < w8 {
 				w8 = aw
 			}
-			out = append(out, JoinResult{
+			jn.out = append(jn.out, JoinResult{
 				UserID:    p.UserID,
 				GemPackID: p.GemPackID,
 				Price:     p.Price,
@@ -71,8 +101,20 @@ func HashJoinWindow(w ID, purchases, ads []tuple.Event) []JoinResult {
 			})
 		}
 	}
-	sortJoinResults(out)
-	return out
+	sortJoinResults(jn.out)
+	return jn.out
+}
+
+// HashJoinWindow is the standalone form of Joiner.HashJoin for callers
+// without reusable state (tests, oracles); it allocates its own scratch
+// per call and the returned slice is owned by the caller.
+func HashJoinWindow(w ID, purchases, ads []tuple.Event) []JoinResult {
+	var jn Joiner
+	out := jn.HashJoin(w, purchases, ads)
+	if out == nil {
+		return nil
+	}
+	return append([]JoinResult(nil), out...)
 }
 
 // NestedLoopJoinWindow is the naive O(|P|·|A|) join "we implemented a
@@ -128,10 +170,17 @@ func sortJoinResults(out []JoinResult) {
 }
 
 // TwoStreamBuffer holds both join inputs buffered per window, the state any
-// windowed join must keep regardless of engine.
+// windowed join must keep regardless of engine, plus the reusable join
+// scratch.
 type TwoStreamBuffer struct {
 	Purchases *BufferedWindows
 	Ads       *BufferedWindows
+
+	joiner Joiner
+	// Fire's reused scratch: the assembled windows and an end -> index
+	// table into them.
+	firedJoin []FiredJoinWindow
+	byEnd     flat.Table[int32]
 }
 
 // NewTwoStreamBuffer builds buffered state for both streams over the same
@@ -141,6 +190,15 @@ func NewTwoStreamBuffer(asg Assigner) *TwoStreamBuffer {
 		Purchases: NewBufferedWindows(asg),
 		Ads:       NewBufferedWindows(asg),
 	}
+}
+
+// Reset empties both sides for reuse under a (possibly different)
+// assigner, keeping grown capacity (see driver.Probe).
+func (tb *TwoStreamBuffer) Reset(asg Assigner) {
+	tb.Purchases.Reset(asg)
+	tb.Ads.Reset(asg)
+	tb.joiner.head.Reset()
+	tb.byEnd.Reset()
 }
 
 // Add routes the event to its stream's buffer and returns state growth in
@@ -165,30 +223,36 @@ type FiredJoinWindow struct {
 	Ads       []tuple.Event
 }
 
-// Fire returns both sides of every window with End <= watermark, ascending.
+// Fire returns both sides of every window with End <= watermark,
+// ascending.  The returned slice is a reused scratch slab, valid until
+// the next Fire.
 func (tb *TwoStreamBuffer) Fire(watermark time.Duration) []FiredJoinWindow {
 	p := tb.Purchases.Fire(watermark)
 	a := tb.Ads.Fire(watermark)
-	byEnd := make(map[ID]*FiredJoinWindow)
-	var order []ID
+	if len(p) == 0 && len(a) == 0 {
+		return nil
+	}
+	tb.firedJoin = tb.firedJoin[:0]
+	tb.byEnd.Reset()
 	for _, fw := range p {
-		byEnd[fw.Window] = &FiredJoinWindow{Window: fw.Window, Purchases: fw.Events}
-		order = append(order, fw.Window)
+		tb.firedJoin = append(tb.firedJoin, FiredJoinWindow{Window: fw.Window, Purchases: fw.Events})
+		tb.byEnd.Put(flat.K(int64(fw.Window.End)), int32(len(tb.firedJoin)-1))
 	}
 	for _, fw := range a {
-		if jw, ok := byEnd[fw.Window]; ok {
-			jw.Ads = fw.Events
+		if i, ok := tb.byEnd.Get(flat.K(int64(fw.Window.End))); ok {
+			tb.firedJoin[i].Ads = fw.Events
 		} else {
-			byEnd[fw.Window] = &FiredJoinWindow{Window: fw.Window, Ads: fw.Events}
-			order = append(order, fw.Window)
+			tb.firedJoin = append(tb.firedJoin, FiredJoinWindow{Window: fw.Window, Ads: fw.Events})
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].End < order[j].End })
-	out := make([]FiredJoinWindow, 0, len(order))
-	for _, w := range order {
-		out = append(out, *byEnd[w])
-	}
-	return out
+	sort.Slice(tb.firedJoin, func(i, j int) bool { return tb.firedJoin[i].Window.End < tb.firedJoin[j].Window.End })
+	return tb.firedJoin
+}
+
+// HashJoin joins both sides of one fired window with the buffer's
+// reusable Joiner.  The returned slice is valid until the next HashJoin.
+func (tb *TwoStreamBuffer) HashJoin(fw FiredJoinWindow) []JoinResult {
+	return tb.joiner.HashJoin(fw.Window, fw.Purchases, fw.Ads)
 }
 
 // StateBytes returns total buffered bytes across both sides.

@@ -1,9 +1,9 @@
 package window
 
 import (
-	"sort"
 	"time"
 
+	"repro/internal/flat"
 	"repro/internal/tuple"
 )
 
@@ -18,9 +18,9 @@ import (
 // semantically identical; PaneAggregator is the memory- and CPU-cheap one.
 // Its equivalence to IncrementalAggregator is property-tested.
 type PaneAggregator struct {
-	asg   Assigner
-	panes map[keyWindow]Agg // key × pane-end -> pane partial
-	ends  map[time.Duration]int
+	asg Assigner
+	// panes holds key × pane-end -> pane partial.
+	panes flat.Table[Agg]
 	// firedThrough is the watermark cursor: every window with
 	// End <= firedThrough has already fired.  Panes outlive the windows
 	// they have fired in (a pane feeds size/slide windows), so firing
@@ -32,6 +32,9 @@ type PaneAggregator struct {
 	// lateDropped counts events dropped because every window containing
 	// them had already fired.
 	lateDropped int64
+	// perKey is the per-window-assembly scratch table, reused across
+	// fires instead of allocating a map per window.
+	perKey flat.Table[Agg]
 }
 
 // LateDropped returns how many events missed every window they belonged to.
@@ -39,11 +42,18 @@ func (pa *PaneAggregator) LateDropped() int64 { return pa.lateDropped }
 
 // NewPaneAggregator builds an empty pane-based aggregator.
 func NewPaneAggregator(asg Assigner) *PaneAggregator {
-	return &PaneAggregator{
-		asg:   asg,
-		panes: make(map[keyWindow]Agg),
-		ends:  make(map[time.Duration]int),
-	}
+	return &PaneAggregator{asg: asg}
+}
+
+// Reset empties the aggregator for reuse under a (possibly different)
+// assigner, keeping grown table capacity (see driver.Probe).
+func (pa *PaneAggregator) Reset(asg Assigner) {
+	pa.asg = asg
+	pa.panes.Reset()
+	pa.perKey.Reset()
+	pa.firedThrough = 0
+	pa.maxEnd = 0
+	pa.lateDropped = 0
 }
 
 // Add folds one event into its single pane (O(1) regardless of the
@@ -68,21 +78,18 @@ func (pa *PaneAggregator) AddAt(e *tuple.Event, at time.Duration) {
 		pa.lateDropped++
 		return
 	}
-	kw := keyWindow{key: e.Key(), end: p.End}
-	g, ok := pa.panes[kw]
-	if !ok {
-		pa.ends[p.End]++
-		if p.End > pa.maxEnd {
-			pa.maxEnd = p.End
-		}
+	g, fresh := pa.panes.Upsert(flat.K2(e.Key(), int64(p.End)))
+	if fresh && p.End > pa.maxEnd {
+		pa.maxEnd = p.End
 	}
 	g.add(e)
-	pa.panes[kw] = g
 }
 
 // Fire assembles and returns the aggregate of every window with
 // End <= watermark, then retires panes that no live window can need
-// (panes with end <= watermark - Size + Slide).
+// (panes with end <= watermark - Size + Slide).  The returned slice is
+// freshly allocated: micro-batch engines hold fired results until their
+// job completes, beyond the next Fire.
 func (pa *PaneAggregator) Fire(watermark time.Duration) []Result {
 	if watermark <= pa.firedThrough {
 		return nil
@@ -98,19 +105,20 @@ func (pa *PaneAggregator) Fire(watermark time.Duration) []Result {
 	var out []Result
 	for end := first; end <= limit; end += pa.asg.Slide {
 		w := ID{End: end}
-		perKey := make(map[int64]Agg)
-		for _, pane := range pa.asg.PanesOf(w) {
-			for kw, g := range pa.panes {
-				if kw.end == pane.End {
-					acc := perKey[kw.key]
-					acc.merge(g)
-					perKey[kw.key] = acc
-				}
+		// A pane with end p feeds windows with End in [p, p+Size-Slide];
+		// the window's panes are those with end in (End-Size, End].
+		pa.perKey.Reset()
+		pa.panes.Range(func(kw flat.Key, g *Agg) bool {
+			if pe := time.Duration(kw.B); pe > w.End-pa.asg.Size && pe <= w.End {
+				acc, _ := pa.perKey.Upsert(flat.K(kw.A))
+				acc.merge(*g)
 			}
-		}
-		for key, g := range perKey {
-			out = append(out, Result{Key: key, Window: w, Agg: g})
-		}
+			return true
+		})
+		pa.perKey.Range(func(k flat.Key, g *Agg) bool {
+			out = append(out, Result{Key: k.A, Window: w, Agg: *g})
+			return true
+		})
 	}
 	pa.firedThrough = watermark
 
@@ -118,31 +126,22 @@ func (pa *PaneAggregator) Fire(watermark time.Duration) []Result {
 	// with end p contributes to windows with End in [p, p+Size-Slide];
 	// once watermark >= p+Size-Slide it can never be needed again.
 	horizon := watermark - pa.asg.Size + pa.asg.Slide
-	for kw := range pa.panes {
-		if kw.end <= horizon {
-			delete(pa.panes, kw)
+	pa.panes.Range(func(kw flat.Key, _ *Agg) bool {
+		if time.Duration(kw.B) <= horizon {
+			pa.panes.Delete(kw)
 		}
-	}
-	for end := range pa.ends {
-		if end <= horizon {
-			delete(pa.ends, end)
-		}
-	}
-
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Window.End != out[j].Window.End {
-			return out[i].Window.End < out[j].Window.End
-		}
-		return out[i].Key < out[j].Key
+		return true
 	})
+
+	sortResults(out)
 	return out
 }
 
 // LiveEntries returns the number of (key, pane) partials held.
-func (pa *PaneAggregator) LiveEntries() int { return len(pa.panes) }
+func (pa *PaneAggregator) LiveEntries() int { return pa.panes.Len() }
 
 // StateBytes estimates resident state.
 func (pa *PaneAggregator) StateBytes() int64 {
 	const bytesPerEntry = 96
-	return int64(len(pa.panes)) * bytesPerEntry
+	return int64(pa.panes.Len()) * bytesPerEntry
 }

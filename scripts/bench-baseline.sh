@@ -27,7 +27,8 @@ run() {
 run -bench='BenchmarkKernelSchedule' -benchmem ./internal/sim/
 run -bench='BenchmarkQueuePushPop|BenchmarkQueueBatchTransfer' -benchmem ./internal/queue/
 run -bench='BenchmarkGeneratorTick' -benchmem ./internal/generator/
-run -bench='BenchmarkWindowAggregate' -benchmem ./internal/window/
+run -bench='BenchmarkWindowAggregate|BenchmarkWindowKeyedFire' -benchmem ./internal/window/
+run -bench='BenchmarkFlatTablePutGet' -benchmem ./internal/flat/
 run -bench='BenchmarkFindSustainableQuick' -benchtime=1x -benchmem ./internal/driver/
 run -bench='BenchmarkTable1SustainableAggregation' -benchtime=1x -benchmem .
 

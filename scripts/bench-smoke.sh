@@ -4,8 +4,9 @@
 # Runs the pinned zero-allocation hot-path microbenchmarks once with
 # -benchmem and fails if any of them reports a non-zero allocs/op.  These
 # benchmarks are the steady-state contracts of DESIGN-PERF.md: the queue
-# ring, the generator tick, the window aggregation slab recycling and the
-# kernel's value-based scheduler (§7) must never allocate per event.
+# ring, the generator tick, the window aggregation slab recycling, the
+# kernel's value-based scheduler (§7), the flat keyed-state tables and
+# the keyed window fire path (§8) must never allocate per event.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,9 +14,9 @@ out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
 if ! go test -run=NONE \
-	-bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate|BenchmarkKernelSchedule' \
+	-bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate|BenchmarkWindowKeyedFire|BenchmarkKernelSchedule|BenchmarkFlatTablePutGet' \
 	-benchtime=1x -benchmem \
-	./internal/queue/ ./internal/generator/ ./internal/window/ ./internal/sim/ >"$out" 2>&1; then
+	./internal/queue/ ./internal/generator/ ./internal/window/ ./internal/sim/ ./internal/flat/ >"$out" 2>&1; then
 	cat "$out"
 	exit 1
 fi
