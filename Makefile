@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate
+.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos
 
-ci: vet build test race bench-smoke scenario-validate
+ci: vet build test race bench-smoke scenario-validate chaos
 
 vet:
 	$(GO) vet ./...
@@ -59,3 +59,10 @@ scenario-validate:
 # to the corresponding direct sdpsbench run.
 smoke:
 	scripts/smoke-ctl.sh
+
+# Chaos smoke: the crash-recovery scenario (engine faults injected by its
+# fault schedule) runs while the external agent is SIGKILLed/restarted and
+# the coordinator is SIGKILLed and resumed from its journal; the artifact
+# must still be byte-identical to a direct run.  See DESIGN-FAULT.md.
+chaos:
+	scripts/chaos-smoke.sh

@@ -265,6 +265,7 @@ func cmdAgent(pos, args []string) {
 	workers := fs.Int("workers", 1, "concurrent cell executors to run")
 	cacheSize := fs.Int("cell-cache", 4096, "finished-cell result cache entries, shared by this process's workers (0 disables)")
 	warmStart := fs.Bool("warm-start", false, "seed sustainable-throughput searches from prior brackets in the cell cache (faster, but artifacts are no longer byte-identical to cold runs)")
+	poll := fs.Duration("poll", 0, "idle re-poll interval (default 50ms); coordinator errors back off exponentially from here")
 	fs.Parse(args)
 	if len(pos) != 0 {
 		fatalf("agent takes no positional arguments")
@@ -287,7 +288,7 @@ func cmdAgent(pos, args []string) {
 	defer stop()
 	var wg sync.WaitGroup
 	for i := 0; i < *workers; i++ {
-		a := &ctl.Agent{Name: fmt.Sprintf("%s-%d", *name, i), API: ctl.NewClient(*coord), Cache: cache, WarmStart: *warmStart}
+		a := &ctl.Agent{Name: fmt.Sprintf("%s-%d", *name, i), API: ctl.NewClient(*coord), Poll: *poll, Cache: cache, WarmStart: *warmStart}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -71,8 +71,8 @@ func main() {
 	srv := &http.Server{Addr: *listen, Handler: ctl.NewHandler(coord)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sdpsd: listening on %s, store %s, %d in-process agent(s)\n",
-		*listen, *data, *agents)
+	fmt.Fprintf(os.Stderr, "sdpsd: listening on %s, store %s, %d in-process agent(s), %d run(s) resumed\n",
+		*listen, *data, *agents, len(coord.Runs()))
 
 	select {
 	case err := <-errc:

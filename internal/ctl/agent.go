@@ -2,11 +2,15 @@ package ctl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 )
+
+// defaultMaxBackoff caps the agent's coordinator-error backoff.
+const defaultMaxBackoff = 5 * time.Second
 
 // Agent executes leased cells.  The same loop serves both deployments:
 // in-process (API = *Coordinator, used by sdpsd's built-in workers and by
@@ -16,8 +20,16 @@ type Agent struct {
 	Name string
 	// API is the coordinator surface.
 	API AgentAPI
-	// Poll is the idle re-poll interval (default 50ms).
+	// Poll is the idle re-poll interval (default 50ms).  Coordinator
+	// errors instead back off exponentially with jitter, from Poll up to
+	// MaxBackoff — an empty queue is cheap to ask about again, a dead
+	// coordinator is not.
 	Poll time.Duration
+	// MaxBackoff caps the error backoff (default 5s).  Once the agent
+	// has seen a lease TTL, backoff is further capped to a third of it,
+	// so a recovering agent always reports back with lease headroom to
+	// spare.
+	MaxBackoff time.Duration
 	// Resolve maps experiment IDs to experiments (default core.Lookup).
 	Resolve func(id string) (core.Experiment, error)
 	// Cache, when non-nil, reuses finished cell results across runs keyed
@@ -37,42 +49,98 @@ type Agent struct {
 // cancelled ctx models agent death: the in-flight cell is abandoned
 // without a Fail call, exactly like a crashed process, and the
 // coordinator's lease TTL re-queues it.
+//
+// The loop survives coordinator outages: registration retries forever
+// under jittered exponential backoff, lease errors back off the same way,
+// and an ErrNotFound on Lease (a restarted coordinator that lost the
+// journal no longer knows the agent) triggers re-registration under a
+// fresh ID.  Only ctx cancellation ends the loop.
 func (a *Agent) Run(ctx context.Context) error {
 	poll := a.Poll
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
-	id, err := a.API.Register(a.Name)
-	if err != nil {
-		return fmt.Errorf("ctl: agent %s register: %w", a.Name, err)
+	maxBO := a.MaxBackoff
+	if maxBO <= 0 {
+		maxBO = defaultMaxBackoff
 	}
+	bo := newBackoff(poll, maxBO)
+	var id string
+	var ttl time.Duration // last seen lease TTL; bounds the backoff
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
-		task, err := a.API.Lease(id)
-		if err != nil || task == nil {
-			// Transient coordinator errors and an empty queue are the
-			// same from here: back off and re-poll.
-			select {
-			case <-ctx.Done():
-				return nil
-			case <-time.After(poll):
+		if id == "" {
+			rid, err := a.API.Register(a.Name)
+			if err != nil {
+				if !sleepCtx(ctx, boundedBackoff(bo, ttl)) {
+					return nil
+				}
+				continue
 			}
-			continue
+			id = rid
+			bo.Reset()
 		}
-		a.execute(ctx, id, task)
+		task, err := a.API.Lease(id)
+		switch {
+		case err != nil:
+			if errors.Is(err, ErrNotFound) {
+				id = "" // the coordinator forgot us: re-register
+			}
+			if !sleepCtx(ctx, boundedBackoff(bo, ttl)) {
+				return nil
+			}
+		case task == nil:
+			// An empty queue is not an error: plain fixed-interval poll.
+			bo.Reset()
+			if !sleepCtx(ctx, poll) {
+				return nil
+			}
+		default:
+			bo.Reset()
+			if task.TTL > 0 {
+				ttl = task.TTL
+			}
+			a.execute(ctx, id, task, ttl)
+		}
+	}
+}
+
+// boundedBackoff draws the next error delay, honouring lease TTL headroom:
+// an agent that may hold leases must resurface well inside one TTL or the
+// coordinator re-queues its cells under it.
+func boundedBackoff(bo *expBackoff, ttl time.Duration) time.Duration {
+	d := bo.Next()
+	if ttl > 0 && d > ttl/3 {
+		d = ttl / 3
+	}
+	return d
+}
+
+// sleepCtx sleeps for d, returning false when ctx ended the sleep.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
 	}
 }
 
 // execute runs one leased cell, heartbeating while it computes.
-func (a *Agent) execute(ctx context.Context, agentID string, task *LeaseTask) {
-	// Heartbeat at the poll cadence so the lease outlives cells that take
-	// many TTLs, and stop the moment the cell finishes.
+func (a *Agent) execute(ctx context.Context, agentID string, task *LeaseTask, ttl time.Duration) {
+	// Heartbeat at the poll cadence — capped to a third of the lease TTL
+	// — so the lease outlives cells that take many TTLs, and stop the
+	// moment the cell finishes.
+	hb := maxDuration(a.Poll, 50*time.Millisecond)
+	if ttl > 0 && hb > ttl/3 {
+		hb = ttl / 3
+	}
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	go func() {
-		t := time.NewTicker(maxDuration(a.Poll, 50*time.Millisecond))
+		t := time.NewTicker(hb)
 		defer t.Stop()
 		for {
 			select {

@@ -1,0 +1,44 @@
+package ctl
+
+import (
+	"math/rand"
+	"time"
+)
+
+// expBackoff is capped exponential backoff with equal jitter: the delay
+// window doubles from base to cap on every Next, and each delay is drawn
+// uniformly from [window/2, window).  The deterministic half keeps the
+// coordinator from being hammered immediately after an outage; the random
+// half keeps a fleet of agents that all lost it at the same instant from
+// re-polling in lockstep forever.
+type expBackoff struct {
+	base, cap, cur time.Duration
+	rnd            func() float64 // test hook; rand.Float64 by default
+}
+
+func newBackoff(base, cap time.Duration) *expBackoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &expBackoff{base: base, cap: cap, rnd: rand.Float64}
+}
+
+// Next widens the window and returns the next jittered delay.
+func (b *expBackoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.base
+	} else if b.cur < b.cap {
+		b.cur *= 2
+		if b.cur > b.cap {
+			b.cur = b.cap
+		}
+	}
+	half := b.cur / 2
+	return half + time.Duration(b.rnd()*float64(b.cur-half))
+}
+
+// Reset rewinds the window to base; called after any successful call.
+func (b *expBackoff) Reset() { b.cur = 0 }

@@ -1,0 +1,70 @@
+package ctl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesToCap(t *testing.T) {
+	bo := newBackoff(100*time.Millisecond, 800*time.Millisecond)
+	bo.rnd = func() float64 { return 0 } // deterministic: lower edge of window
+	want := []time.Duration{
+		50 * time.Millisecond,  // window 100ms
+		100 * time.Millisecond, // 200ms
+		200 * time.Millisecond, // 400ms
+		400 * time.Millisecond, // 800ms (cap)
+		400 * time.Millisecond, // stays at cap
+	}
+	for i, w := range want {
+		if got := bo.Next(); got != w {
+			t.Fatalf("Next %d = %v, want %v", i, got, w)
+		}
+	}
+	bo.Reset()
+	if got := bo.Next(); got != 50*time.Millisecond {
+		t.Fatalf("after Reset, Next = %v, want 50ms", got)
+	}
+}
+
+func TestBackoffJitterStaysInWindow(t *testing.T) {
+	bo := newBackoff(100*time.Millisecond, time.Second)
+	for i := 0; i < 50; i++ {
+		d := bo.Next()
+		half, cur := bo.cur/2, bo.cur
+		if d < half || d >= cur {
+			t.Fatalf("delay %v outside [%v, %v)", d, half, cur)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	bo := newBackoff(0, 0)
+	if bo.base != 50*time.Millisecond {
+		t.Fatalf("default base = %v", bo.base)
+	}
+	if bo.cap != bo.base {
+		t.Fatalf("cap should floor to base, got %v", bo.cap)
+	}
+	bo.rnd = func() float64 { return 0.999999 }
+	for i := 0; i < 5; i++ {
+		if d := bo.Next(); d >= 50*time.Millisecond {
+			t.Fatalf("delay %v should stay under the 50ms window", d)
+		}
+	}
+}
+
+func TestBoundedBackoffHonoursLeaseTTL(t *testing.T) {
+	bo := newBackoff(time.Second, 30*time.Second)
+	bo.rnd = func() float64 { return 0.999999 }
+	// Without a TTL the backoff climbs freely.
+	for i := 0; i < 6; i++ {
+		bo.Next()
+	}
+	bo.Reset()
+	// With a 6s TTL no delay may exceed 2s, however wide the window gets.
+	for i := 0; i < 10; i++ {
+		if d := boundedBackoff(bo, 6*time.Second); d > 2*time.Second {
+			t.Fatalf("delay %v exceeds ttl/3", d)
+		}
+	}
+}

@@ -5,45 +5,121 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // Client talks to a coordinator's REST API.  It implements AgentAPI, so a
 // remote Agent is just `(&Agent{API: NewClient(url)}).Run(ctx)`.
+//
+// Every non-streaming request runs under a per-request timeout, and
+// idempotent calls (the GETs and Heartbeat) additionally retry a bounded
+// number of times on transport errors — a connection refused or timed out
+// may mean the request never reached the coordinator, so retrying is safe
+// for them and only them.  Non-idempotent calls (Submit, Lease, Complete,
+// Fail, Register) never retry: their failure handling belongs to the agent
+// loop and the lease protocol, where a lost response is already survivable.
 type Client struct {
 	base string
 	http *http.Client
+	// Timeout bounds each non-streaming request (default 30s; Watch is
+	// exempt, it streams for the run's lifetime under its own context).
+	Timeout time.Duration
+	// Retries is how many extra attempts idempotent calls make on
+	// transport errors (default 2).
+	Retries int
+	sleep   func(time.Duration) // test hook
 }
 
 // NewClient returns a client for a coordinator at base
 // (e.g. "http://127.0.0.1:8372").
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{},
+		Timeout: 30 * time.Second,
+		Retries: 2,
+		sleep:   time.Sleep,
+	}
 }
 
-// do issues a request and decodes a JSON response into out (unless out is
-// nil or the status is 204).
-func (c *Client) do(method, path string, body any, out any) error {
-	var rdr io.Reader
-	if raw, ok := body.([]byte); ok {
-		rdr = bytes.NewReader(raw)
-	} else if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rdr = bytes.NewReader(data)
+// transportError marks a failure below the HTTP layer: the request may
+// never have reached the coordinator.  Only these are retried.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// encodeBody marshals a request body once, so retries can rebuild readers
+// without re-marshalling; raw []byte bodies pass through.
+func encodeBody(body any) ([]byte, bool, error) {
+	if body == nil {
+		return nil, false, nil
 	}
-	req, err := http.NewRequest(method, c.base+path, rdr)
+	if raw, ok := body.([]byte); ok {
+		return raw, true, nil
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// do issues a request once, under the client timeout, and decodes a JSON
+// response into out (unless out is nil or the status is 204).
+func (c *Client) do(method, path string, body any, out any) error {
+	payload, hasBody, err := encodeBody(body)
+	if err != nil {
+		return err
+	}
+	return c.doOnce(method, path, payload, hasBody, out)
+}
+
+// doRetry is do for idempotent requests: transport errors retry with
+// jittered backoff; HTTP-level errors never do.
+func (c *Client) doRetry(method, path string, body any, out any) error {
+	payload, hasBody, err := encodeBody(body)
+	if err != nil {
+		return err
+	}
+	bo := newBackoff(100*time.Millisecond, 2*time.Second)
+	var last error
+	for i := 0; i <= c.Retries; i++ {
+		if i > 0 {
+			c.sleep(bo.Next())
+		}
+		last = c.doOnce(method, path, payload, hasBody, out)
+		var te *transportError
+		if last == nil || !errors.As(last, &te) {
+			return last
+		}
+	}
+	return last
+}
+
+func (c *Client) doOnce(method, path string, payload []byte, hasBody bool, out any) error {
+	var rdr io.Reader
+	if hasBody {
+		rdr = bytes.NewReader(payload)
+	}
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
 	if err != nil {
 		return err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return &transportError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -102,21 +178,21 @@ func (c *Client) Submit(spec RunSpec) (RunInfo, error) {
 // Runs lists all runs.
 func (c *Client) Runs() ([]RunInfo, error) {
 	var out []RunInfo
-	err := c.do("GET", "/api/v1/runs", nil, &out)
+	err := c.doRetry("GET", "/api/v1/runs", nil, &out)
 	return out, err
 }
 
 // Run fetches one run with per-cell detail.
 func (c *Client) Run(id string) (RunInfo, error) {
 	var info RunInfo
-	err := c.do("GET", "/api/v1/runs/"+id, nil, &info)
+	err := c.doRetry("GET", "/api/v1/runs/"+id, nil, &info)
 	return info, err
 }
 
 // Artifact fetches a finished run's canonical artifact bytes.
 func (c *Client) Artifact(id string) ([]byte, error) {
 	var data []byte
-	err := c.do("GET", "/api/v1/runs/"+id+"/artifact", nil, &data)
+	err := c.doRetry("GET", "/api/v1/runs/"+id+"/artifact", nil, &data)
 	return data, err
 }
 
@@ -178,14 +254,23 @@ func (c *Client) Register(name string) (string, error) {
 	return out.AgentID, err
 }
 
-// Heartbeat implements AgentAPI.
+// Heartbeat implements AgentAPI.  Heartbeats are idempotent (they only
+// refresh liveness), so they retry on transport errors.
 func (c *Client) Heartbeat(agentID string) error {
-	return c.do("POST", "/api/v1/agents/"+agentID+"/heartbeat", nil, nil)
+	return c.doRetry("POST", "/api/v1/agents/"+agentID+"/heartbeat", nil, nil)
 }
 
-// Lease implements AgentAPI; a nil task means no work is queued.
+// Lease implements AgentAPI; a nil task means no work is queued.  Leasing
+// mutates coordinator state, so it never retries — the agent loop's
+// backoff owns that.
 func (c *Client) Lease(agentID string) (*LeaseTask, error) {
-	req, err := http.NewRequest("POST", c.base+"/api/v1/agents/"+agentID+"/lease", nil)
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", c.base+"/api/v1/agents/"+agentID+"/lease", nil)
 	if err != nil {
 		return nil, err
 	}

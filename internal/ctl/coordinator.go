@@ -2,6 +2,7 @@ package ctl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -103,8 +104,10 @@ type subscriber struct {
 
 // NewCoordinator opens the store's runs and resumes every non-terminal
 // one: cells with a stored result are reloaded from the object store, the
-// rest are re-queued.  Leases are volatile by design, so a crash loses at
-// most the in-flight cell executions, never completed results.
+// rest are re-queued, and the write-ahead journal is replayed on top so
+// leases, registered agents and attempt counts from between manifest saves
+// survive the restart.  A crash therefore loses at most the in-flight cell
+// executions, never completed results or counted attempts.
 func NewCoordinator(store *Store, opt CoordinatorOptions) (*Coordinator, error) {
 	c := &Coordinator{
 		store:  store,
@@ -122,6 +125,12 @@ func NewCoordinator(store *Store, opt CoordinatorOptions) (*Coordinator, error) 
 		if err := c.resume(m); err != nil {
 			return nil, err
 		}
+	}
+	if err := c.replayJournal(); err != nil {
+		return nil, err
+	}
+	if err := c.settleResumed(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -156,21 +165,54 @@ func (c *Coordinator) resume(m *RunManifest) error {
 	r.results = make([][]byte, len(r.cells))
 	r.status = make([]CellStatus, len(r.cells))
 	r.agent = make([]string, len(r.cells))
-	for i := range r.m.Cells {
-		if sha := r.m.Cells[i].ResultSHA; sha != "" {
-			data, err := c.store.GetObject(sha)
-			if err != nil {
-				return fmt.Errorf("resume %s: %w", m.ID, err)
+	if r.m.Status.Terminal() {
+		// Terminal runs never assemble again: status comes straight from
+		// the manifest and their objects stay untouched (a corrupt one
+		// surfaces on Artifact fetch, not at startup).
+		for i := range r.m.Cells {
+			if r.m.Cells[i].ResultSHA != "" {
+				r.status[i] = CellDone
+				r.done++
+			} else {
+				r.status[i] = CellPending
 			}
+		}
+		return nil
+	}
+	dirty := false
+	for i := range r.m.Cells {
+		r.status[i] = CellPending
+		sha := r.m.Cells[i].ResultSHA
+		if sha == "" {
+			continue
+		}
+		data, err := c.store.GetObject(sha)
+		switch {
+		case err == nil:
 			r.results[i] = data
 			r.status[i] = CellDone
 			r.done++
-		} else {
-			r.status[i] = CellPending
+		case errors.Is(err, ErrCorrupt):
+			// Quarantine the bad object and recompute the cell instead
+			// of refusing to resume the run.
+			if qerr := c.store.QuarantineObject(sha); qerr != nil {
+				return fmt.Errorf("resume %s: %w", m.ID, qerr)
+			}
+			r.m.Cells[i].ResultSHA = ""
+			dirty = true
+		case errors.Is(err, ErrNotFound):
+			// The result object vanished (e.g. a partial restore):
+			// recompute the cell.
+			r.m.Cells[i].ResultSHA = ""
+			dirty = true
+		default:
+			return fmt.Errorf("resume %s: %w", m.ID, err)
 		}
 	}
-	if r.m.Status.Terminal() {
-		return nil
+	if dirty {
+		if err := c.store.SaveRun(&r.m); err != nil {
+			return err
+		}
 	}
 	if r.done == len(r.cells) {
 		// Crashed between the last cell and assembly.
@@ -306,6 +348,7 @@ func (c *Coordinator) Abort(id, reason string) (RunInfo, error) {
 	if reason != "" {
 		msg += ": " + reason
 	}
+	c.journal(JournalEntry{Op: opAbort, Run: id, Reason: msg})
 	for lid, l := range c.leases {
 		if l.runID == id {
 			delete(c.leases, lid)
@@ -326,6 +369,7 @@ func (c *Coordinator) Register(name string) (string, error) {
 	if name == "" {
 		name = id
 	}
+	c.journal(JournalEntry{Op: opAgent, Agent: id, Name: name})
 	c.agents[id] = &agentState{id: id, name: name, lastSeen: c.opt.Clock()}
 	return id, nil
 }
@@ -377,6 +421,7 @@ func (c *Coordinator) Lease(agentID string) (*LeaseTask, error) {
 			agentID: agentID,
 			expires: now.Add(c.opt.LeaseTTL),
 		}
+		c.journal(JournalEntry{Op: opLease, Lease: l.id, Agent: agentID, Run: ref.runID, Cell: ref.idx})
 		c.leases[l.id] = l
 		r.status[ref.idx] = CellLeased
 		r.agent[ref.idx] = a.name
@@ -395,6 +440,7 @@ func (c *Coordinator) Lease(agentID string) (*LeaseTask, error) {
 			Spec:      r.m.Spec,
 			CellIndex: ref.idx,
 			CellID:    r.cells[ref.idx].ID,
+			TTL:       c.opt.LeaseTTL,
 		}, nil
 	}
 	return nil, nil
@@ -420,6 +466,10 @@ func (c *Coordinator) Complete(leaseID string, result []byte) error {
 		// up, the TTL expires and the cell is re-queued.
 		return err
 	}
+	// Journal after the object exists but before any memory mutation: a
+	// crash before the manifest save replays this entry and recovers the
+	// result from the store.
+	c.journal(JournalEntry{Op: opComplete, Lease: leaseID, Run: l.runID, Cell: l.idx, SHA: sha})
 	delete(c.leases, leaseID)
 	r.results[l.idx] = result
 	r.status[l.idx] = CellDone
@@ -456,6 +506,9 @@ func (c *Coordinator) Fail(leaseID string, reason string) error {
 // retryLocked counts one failed attempt for a cell and re-queues or fails.
 func (c *Coordinator) retryLocked(r *run, idx int, reason string) error {
 	r.m.Cells[idx].Attempts++
+	// Journal before the requeue/fail decision: a crash between counting
+	// the attempt and saving the manifest replays the count on restart.
+	c.journal(JournalEntry{Op: opFail, Run: r.m.ID, Cell: idx, Attempts: r.m.Cells[idx].Attempts, Reason: reason})
 	if r.m.Cells[idx].Attempts >= c.opt.MaxAttempts {
 		return c.failLocked(r, fmt.Sprintf("cell %s failed %d times: last: %s",
 			r.cells[idx].ID, r.m.Cells[idx].Attempts, reason))

@@ -20,6 +20,7 @@ package ctl
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
@@ -116,8 +117,11 @@ type CellManifest struct {
 }
 
 // RunManifest is the persisted state of a run — everything the coordinator
-// needs to resume it after a restart.  Leases are deliberately absent:
-// they are volatile, and a restart simply re-queues every non-done cell.
+// needs to resume it after a restart.  Leases and attempt counts between
+// manifest saves are volatile; the write-ahead journal (journal.go)
+// captures those transitions, and a restart replays it over the resumed
+// manifests so in-flight leases, registered agents and counted attempts
+// survive a coordinator crash.
 type RunManifest struct {
 	ID          string         `json:"id"`
 	Spec        RunSpec        `json:"spec"`
@@ -157,6 +161,10 @@ type LeaseTask struct {
 	Spec      RunSpec `json:"spec"`
 	CellIndex int     `json:"cell_index"`
 	CellID    string  `json:"cell_id"`
+	// TTL is the lease's time-to-live: how long the agent may go without
+	// a heartbeat before the coordinator re-queues the cell.  Agents cap
+	// their heartbeat period and error backoff to a fraction of it.
+	TTL time.Duration `json:"ttl,omitempty"`
 }
 
 // Event is one progress notification, streamed to watchers over SSE.
@@ -185,6 +193,11 @@ var ErrNotFound = errors.New("ctl: not found")
 // ErrConflict is returned when an operation does not apply to the target's
 // current state (e.g. aborting a run that already finished).
 var ErrConflict = errors.New("ctl: conflict")
+
+// ErrCorrupt is returned when a stored object's bytes no longer hash to
+// their address.  The coordinator reacts by quarantining the object and
+// recomputing the owning cell instead of failing the run.
+var ErrCorrupt = errors.New("ctl: corrupt object")
 
 // AgentAPI is the coordinator surface an agent needs.  *Coordinator
 // implements it for in-process agents; *Client implements it over

@@ -1,0 +1,285 @@
+package ctl
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The coordinator's write-ahead journal.
+//
+// Run manifests are the durable source of truth, but they are rewritten
+// whole and only on result-bearing transitions; everything between two
+// saves — which agents are registered, which leases are live, how many
+// attempts a cell has consumed, that an abort was requested — used to be
+// purely in-memory and died with the process.  The journal narrows that
+// window to a single appended line per transition: the coordinator appends
+// an entry *before* mutating memory or saving the manifest, and a restart
+// replays the journal over the resumed manifests.
+//
+// The format is JSON Lines (one JournalEntry per line) in
+// <data>/journal.jsonl.  Appends are O_APPEND writes of complete lines; a
+// crash mid-append leaves at most one torn final line, which LoadJournal
+// treats as the end of the journal.  Replay is idempotent: entries already
+// reflected in a manifest (a complete whose SHA the manifest records, an
+// attempt count it already reached) are no-ops, so journal and manifest
+// can overlap arbitrarily.  After replay the journal is compacted down to
+// the still-volatile state (registered agents, live leases).
+//
+// Journal append errors are deliberately ignored by the coordinator: the
+// manifests alone still recover everything except sub-save lease/attempt
+// state, which is exactly the pre-journal behaviour.  A broken disk
+// degrades recovery precision, never correctness.
+
+// Journal operations.
+const (
+	opAgent    = "agent"    // an agent registered
+	opLease    = "lease"    // a cell was leased
+	opComplete = "complete" // a cell result was stored (pre-manifest-save)
+	opFail     = "fail"     // an attempt was counted (pre-requeue/fail)
+	opAbort    = "abort"    // a run abort was requested
+)
+
+// JournalEntry is one journaled state transition.
+type JournalEntry struct {
+	Op       string `json:"op"`
+	Agent    string `json:"agent,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Lease    string `json:"lease,omitempty"`
+	Run      string `json:"run,omitempty"`
+	Cell     int    `json:"cell,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	SHA      string `json:"sha,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, "journal.jsonl") }
+
+// AppendJournal appends one entry to the write-ahead journal.
+func (s *Store) AppendJournal(e JournalEntry) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.jf == nil {
+		f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("ctl: open journal: %w", err)
+		}
+		s.jf = f
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ctl: journal entry: %w", err)
+	}
+	if _, err := s.jf.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("ctl: append journal: %w", err)
+	}
+	return nil
+}
+
+// LoadJournal reads every complete entry.  A missing journal is empty; an
+// undecodable line (the torn tail of a crash mid-append) ends the journal
+// there.
+func (s *Store) LoadJournal() ([]JournalEntry, error) {
+	data, err := os.ReadFile(s.journalPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ctl: load journal: %w", err)
+	}
+	var out []JournalEntry
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // torn tail: everything before it already replayed
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// CompactJournal atomically replaces the journal with the given entries
+// (the still-volatile state after a replay has folded the rest into
+// manifests).
+func (s *Store) CompactJournal(entries []JournalEntry) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.jf != nil {
+		s.jf.Close()
+		s.jf = nil
+	}
+	var buf bytes.Buffer
+	for _, e := range entries {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("ctl: journal entry: %w", err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	tmp := s.journalPath() + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("ctl: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp, s.journalPath()); err != nil {
+		return fmt.Errorf("ctl: compact journal: %w", err)
+	}
+	return nil
+}
+
+// journal appends a write-ahead entry, best-effort (see the package note on
+// why errors are swallowed: manifests stay the source of truth).
+func (c *Coordinator) journal(e JournalEntry) { _ = c.store.AppendJournal(e) }
+
+// replayJournal applies the write-ahead journal over the state resume()
+// rebuilt from manifests.  Called once from NewCoordinator, before any
+// concurrent access.
+func (c *Coordinator) replayJournal() error {
+	entries, err := c.store.LoadJournal()
+	if err != nil {
+		return err
+	}
+	now := c.opt.Clock()
+	dirty := map[string]bool{}
+	for _, e := range entries {
+		switch e.Op {
+		case opAgent:
+			var n int
+			if _, err := fmt.Sscanf(e.Agent, "agent-%d", &n); err == nil && n > c.aseq {
+				c.aseq = n
+			}
+			if _, ok := c.agents[e.Agent]; !ok {
+				c.agents[e.Agent] = &agentState{id: e.Agent, name: e.Name, lastSeen: now}
+			}
+		case opLease:
+			var n int
+			if _, err := fmt.Sscanf(e.Lease, "lease-%d", &n); err == nil && n > c.lseq {
+				c.lseq = n
+			}
+			r := c.runs[e.Run]
+			if r == nil || r.m.Status.Terminal() || e.Cell < 0 || e.Cell >= len(r.status) {
+				continue
+			}
+			if r.status[e.Cell] == CellDone {
+				continue
+			}
+			// Restore the lease object but leave the cell pending and
+			// queued: a surviving agent's Complete against the old lease
+			// ID still lands, while a dead agent costs nothing — the cell
+			// is leased again from the queue, and the duplicate execution
+			// is harmless because cell results are deterministic bytes
+			// (the second Complete just gets ErrStaleLease).
+			c.leases[e.Lease] = &lease{
+				id: e.Lease, runID: e.Run, idx: e.Cell,
+				agentID: e.Agent, expires: now.Add(c.opt.LeaseTTL),
+			}
+		case opComplete:
+			delete(c.leases, e.Lease)
+			r := c.runs[e.Run]
+			if r == nil || e.Cell < 0 || e.Cell >= len(r.status) {
+				continue
+			}
+			if r.m.Status.Terminal() || r.status[e.Cell] == CellDone {
+				continue
+			}
+			data, err := c.store.GetObject(e.SHA)
+			if err != nil {
+				if errors.Is(err, ErrCorrupt) {
+					_ = c.store.QuarantineObject(e.SHA)
+				}
+				continue // result lost or corrupt: recompute the cell
+			}
+			r.results[e.Cell] = data
+			r.status[e.Cell] = CellDone
+			r.m.Cells[e.Cell].ResultSHA = e.SHA
+			r.done++
+			dirty[e.Run] = true
+		case opFail:
+			for lid, l := range c.leases {
+				if l.runID == e.Run && l.idx == e.Cell {
+					delete(c.leases, lid)
+				}
+			}
+			r := c.runs[e.Run]
+			if r == nil || r.m.Status.Terminal() || e.Cell < 0 || e.Cell >= len(r.status) {
+				continue
+			}
+			if r.status[e.Cell] == CellDone {
+				continue
+			}
+			if e.Attempts > r.m.Cells[e.Cell].Attempts {
+				r.m.Cells[e.Cell].Attempts = e.Attempts
+				dirty[e.Run] = true
+			}
+			if r.m.Cells[e.Cell].Attempts >= c.opt.MaxAttempts {
+				if err := c.failLocked(r, fmt.Sprintf("cell %s failed %d times: last: %s",
+					r.cells[e.Cell].ID, r.m.Cells[e.Cell].Attempts, e.Reason)); err != nil {
+					return err
+				}
+				delete(dirty, e.Run) // failLocked saved the manifest
+			}
+		case opAbort:
+			r := c.runs[e.Run]
+			if r == nil || r.m.Status.Terminal() {
+				continue
+			}
+			for lid, l := range c.leases {
+				if l.runID == e.Run {
+					delete(c.leases, lid)
+				}
+			}
+			if err := c.failLocked(r, e.Reason); err != nil {
+				return err
+			}
+			delete(dirty, e.Run)
+		}
+	}
+	for id := range dirty {
+		if err := c.store.SaveRun(&c.runs[id].m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// settleResumed finishes any run the journal replay completed and compacts
+// the journal down to the still-volatile state: registered agents and live
+// leases.  Called once from NewCoordinator, after replayJournal.
+func (c *Coordinator) settleResumed() error {
+	for _, id := range c.order {
+		r := c.runs[id]
+		if r.m.Status.Terminal() || r.cells == nil {
+			continue
+		}
+		if r.done == len(r.cells) {
+			if err := c.finishLocked(r); err != nil {
+				return err
+			}
+		}
+	}
+	var keep []JournalEntry
+	for _, a := range c.agents {
+		keep = append(keep, JournalEntry{Op: opAgent, Agent: a.id, Name: a.name})
+	}
+	for _, l := range c.leases {
+		keep = append(keep, JournalEntry{Op: opLease, Lease: l.id, Agent: l.agentID, Run: l.runID, Cell: l.idx})
+	}
+	// Maps iterate in random order; keep the compacted journal stable.
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].Op != keep[j].Op {
+			return keep[i].Op < keep[j].Op
+		}
+		if keep[i].Agent != keep[j].Agent {
+			return keep[i].Agent < keep[j].Agent
+		}
+		return keep[i].Lease < keep[j].Lease
+	})
+	return c.store.CompactJournal(keep)
+}

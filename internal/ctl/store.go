@@ -24,11 +24,19 @@ import (
 // into one object; an artifact's SHA doubles as its integrity check; and a
 // restarted coordinator resumes a half-finished run by loading manifests
 // and re-queueing exactly the cells without a ResultSHA.
+//
+// Alongside the manifests lives journal.jsonl, the coordinator's
+// write-ahead journal (see journal.go): volatile queue/lease/attempt
+// transitions appended between manifest saves, replayed on restart.
 type Store struct {
 	dir string
 	// mu serialises manifest writes; object writes are naturally
 	// idempotent (same SHA, same bytes) and need no lock.
 	mu sync.Mutex
+	// jmu serialises journal appends; jf is the lazily-opened append
+	// handle.
+	jmu sync.Mutex
+	jf  *os.File
 }
 
 // NewStore opens (creating if needed) a store rooted at dir.
@@ -93,9 +101,26 @@ func (s *Store) GetObject(sha string) ([]byte, error) {
 		return nil, fmt.Errorf("ctl: get object: %w", err)
 	}
 	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != sha {
-		return nil, fmt.Errorf("ctl: object %s corrupt on disk", sha)
+		return nil, fmt.Errorf("%w: object %s hash mismatch on disk", ErrCorrupt, sha)
 	}
 	return data, nil
+}
+
+// QuarantineObject moves a corrupt object out of the addressable store into
+// quarantine/<sha> so the evidence survives for inspection while the
+// address becomes recomputable.  Quarantining an absent object is a no-op.
+func (s *Store) QuarantineObject(sha string) error {
+	if len(sha) != 64 {
+		return fmt.Errorf("ctl: bad object address %q", sha)
+	}
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("ctl: quarantine object: %w", err)
+	}
+	if err := os.Rename(s.objectPath(sha), filepath.Join(qdir, sha)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ctl: quarantine object: %w", err)
+	}
+	return nil
 }
 
 // SaveRun persists a manifest atomically.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/generator"
 	"repro/internal/metrics"
 	"repro/internal/par"
@@ -71,6 +72,11 @@ type Config struct {
 	// at the generator (future-work ablation; 0 reproduces the paper).
 	DisorderProb float64
 	DisorderMax  time.Duration
+	// Faults, when non-nil, is the run's deterministic fault schedule
+	// (kill worker i at virtual time t, transient ingestion stalls); the
+	// engine runtime scales its source pulls by the schedule's capacity
+	// factor.  nil reproduces the paper's fault-free runs exactly.
+	Faults *fault.Schedule
 	// Broker, when non-nil, interposes a Kafka-style message broker
 	// between the generators and the SUT sources instead of the paper's
 	// direct driver queues — the Section III-A design-decision ablation.
@@ -133,6 +139,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
 		return fmt.Errorf("driver: warmup fraction must be in [0,1), got %v", c.WarmupFraction)
+	}
+	if err := c.Faults.Validate(c.Workers); err != nil {
+		return fmt.Errorf("driver: %w", err)
 	}
 	return c.Query.Validate()
 }
@@ -343,6 +352,7 @@ func runContext(ctx context.Context, eng engine.Engine, cfg Config, probe *Probe
 		EventWeight:    cfg.EventsPerTuple,
 		WatermarkSlack: cfg.WatermarkSlack,
 		Mem:            mem,
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err

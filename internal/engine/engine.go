@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/flat"
 	"repro/internal/metrics"
 	"repro/internal/queue"
@@ -64,6 +65,12 @@ type Config struct {
 	// queues from it instead of allocating fresh ones.  nil (the default)
 	// means fresh construction everywhere.
 	Mem *Mem
+	// Faults, when non-nil, is the run's deterministic fault schedule:
+	// the runtime scales every source pull by the schedule's capacity
+	// factor at the current virtual time, so a killed worker or a
+	// transient stall throttles ingestion without any engine model
+	// knowing faults exist.  nil is the fault-free run.
+	Faults *fault.Schedule
 }
 
 // Mem is the per-probe arena of engine state that survives between runs:

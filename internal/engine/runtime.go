@@ -156,6 +156,13 @@ func (rt *Runtime) TupleBudget(capEvPerSec float64, weight int64) int {
 // spout buffer, the window operators' buffered state) must copy the values
 // out, which appending to a []tuple.Event or adding to window state does.
 func (rt *Runtime) Pull(n int, now sim.Time) ([]tuple.Event, int64) {
+	// Fault injection happens here and only here: every engine model's
+	// ingestion funnels through Pull, so scaling the budget by the
+	// schedule's capacity factor models killed workers and stalls
+	// uniformly across engines (see internal/fault).
+	if s := rt.Cfg.Faults; !s.Empty() {
+		n = s.Scale(n, now, rt.Cfg.Cluster.Workers())
+	}
 	rt.pullBatch.Reset()
 	rt.Cfg.Sources.PopBatch(rt.pullBatch, n)
 	events := rt.pullBatch.Events

@@ -1,0 +1,180 @@
+// Package fault models deterministic fault schedules for the simulated
+// deployments: kill an engine worker at a virtual time and restart it later,
+// or stall the SUT's ingestion path for a bounded interval.  A Schedule is a
+// pure function of virtual time — no goroutines, no wall clock, no RNG — so
+// a faulted run is exactly as reproducible as a fault-free one: the same
+// seed and the same schedule always produce the same artifact, which is what
+// lets recovery behaviour be golden-tested and byte-compared between the
+// distributed controller and a direct run.
+//
+// The injection point is the engine runtime's source pull (engine.Runtime
+// .Pull): every engine model converts its capacity law into a per-tick tuple
+// budget and pulls that many tuples from the driver queues, so scaling the
+// pull budget by the schedule's capacity factor models both fault kinds
+// without touching any engine model.  A killed worker removes its 1/n share
+// of cluster capacity until it restarts; a stall multiplies capacity by a
+// configured factor for its duration.  Input keeps arriving at the offered
+// rate throughout, so the backlog that accumulates during the fault — and
+// the time the SUT takes to drain it afterwards — is the measured recovery
+// behaviour (scenario measure kind "recovery-series").
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Fault kinds.
+const (
+	// KindKillWorker removes worker Worker's capacity share at At and
+	// restores it RestartAfter later (0 = the worker never comes back).
+	KindKillWorker = "kill-worker"
+	// KindStall multiplies ingestion capacity by Factor during
+	// [At, At+For) — a transient queue/link stall.
+	KindStall = "stall"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind string `json:"kind"`
+	// Worker is the 0-based index of the worker to kill (KindKillWorker).
+	Worker int `json:"worker,omitempty"`
+	// At is the virtual time the fault strikes.
+	At time.Duration `json:"at"`
+	// RestartAfter is how long a killed worker stays down; 0 means it
+	// never restarts within the run.
+	RestartAfter time.Duration `json:"restart_after,omitempty"`
+	// For is a stall's duration.
+	For time.Duration `json:"for,omitempty"`
+	// Factor is the capacity multiplier during a stall, in [0, 1);
+	// 0 (the default) is a complete stall.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// End returns the virtual time the event's effect ends: restart for a kill
+// (runEnd when it never restarts), expiry for a stall.
+func (e Event) End(runEnd time.Duration) time.Duration {
+	switch e.Kind {
+	case KindKillWorker:
+		if e.RestartAfter <= 0 {
+			return runEnd
+		}
+		return e.At + e.RestartAfter
+	case KindStall:
+		return e.At + e.For
+	}
+	return e.At
+}
+
+// active reports whether the event affects capacity at instant now.
+func (e Event) active(now time.Duration) bool {
+	if now < e.At {
+		return false
+	}
+	switch e.Kind {
+	case KindKillWorker:
+		return e.RestartAfter <= 0 || now < e.At+e.RestartAfter
+	case KindStall:
+		return now < e.At+e.For
+	}
+	return false
+}
+
+// Schedule is a deterministic fault schedule: the full list of faults one
+// run will experience.  The zero value (and a nil pointer) is the fault-free
+// schedule.
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event.  workers, when positive, bounds the kill
+// targets (a schedule compiled into a grid is validated against the
+// smallest cluster it will run on); pass 0 to skip the bound.
+func (s *Schedule) Validate(workers int) error {
+	if s == nil {
+		return nil
+	}
+	for i, e := range s.Events {
+		where := fmt.Sprintf("fault %d (%s)", i, e.Kind)
+		if e.At < 0 {
+			return fmt.Errorf("%s: at must be >= 0, got %v", where, e.At)
+		}
+		switch e.Kind {
+		case KindKillWorker:
+			if e.Worker < 0 {
+				return fmt.Errorf("%s: worker must be >= 0, got %d", where, e.Worker)
+			}
+			if workers > 0 && e.Worker >= workers {
+				return fmt.Errorf("%s: worker %d does not exist on a %d-worker cluster", where, e.Worker, workers)
+			}
+			if e.RestartAfter < 0 {
+				return fmt.Errorf("%s: restart_after must be >= 0, got %v", where, e.RestartAfter)
+			}
+			if e.For != 0 || e.Factor != 0 {
+				return fmt.Errorf("%s: for/factor apply to %q faults only", where, KindStall)
+			}
+		case KindStall:
+			if e.For <= 0 {
+				return fmt.Errorf("%s: a stall needs for > 0", where)
+			}
+			if e.Factor < 0 || e.Factor >= 1 {
+				return fmt.Errorf("%s: factor must be in [0,1), got %v", where, e.Factor)
+			}
+			if e.Worker != 0 || e.RestartAfter != 0 {
+				return fmt.Errorf("%s: worker/restart_after apply to %q faults only", where, KindKillWorker)
+			}
+		default:
+			return fmt.Errorf("fault %d: unknown kind %q (%s | %s)", i, e.Kind, KindKillWorker, KindStall)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Factor returns the cluster's capacity multiplier at instant now, in
+// [0, 1]: the surviving-worker share times every active stall's factor.
+// Killing the same worker twice in overlapping windows counts it down once.
+// A nil or empty schedule always returns 1.
+func (s *Schedule) Factor(now time.Duration, workers int) float64 {
+	if s == nil || len(s.Events) == 0 {
+		return 1
+	}
+	f := 1.0
+	var downMask uint64
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !e.active(now) {
+			continue
+		}
+		switch e.Kind {
+		case KindKillWorker:
+			downMask |= 1 << (uint(e.Worker) & 63)
+		case KindStall:
+			f *= e.Factor
+		}
+	}
+	if downMask != 0 && workers > 0 {
+		down := bits.OnesCount64(downMask)
+		if down > workers {
+			down = workers
+		}
+		f *= float64(workers-down) / float64(workers)
+	}
+	return f
+}
+
+// Scale applies the capacity factor at now to a tuple budget, flooring the
+// result (a partially-alive cluster never pulls more than its share).
+func (s *Schedule) Scale(n int, now time.Duration, workers int) int {
+	if s == nil || len(s.Events) == 0 || n <= 0 {
+		return n
+	}
+	f := s.Factor(now, workers)
+	if f >= 1 {
+		return n
+	}
+	return int(float64(n) * f)
+}

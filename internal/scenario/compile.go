@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -238,6 +239,17 @@ type seriesResult struct {
 	Throughput *metrics.Series `json:",omitempty"`
 }
 
+// recoveryResult carries a point's throughput and queue-depth series under
+// the spec's fault schedule: the dip and backlog drain that the
+// recovery-series assembly turns into per-fault metrics.
+type recoveryResult struct {
+	Engine     string
+	Workers    int
+	Pct        int
+	Throughput *metrics.Series
+	Depth      *metrics.Series
+}
+
 // naiveJoinRate / naiveJoinStall are the Storm naive-join aside shapes.
 type naiveJoinRate struct {
 	Rate float64
@@ -261,6 +273,11 @@ type cellIdentity struct {
 	Pct     int
 	Seed    uint64
 	Scale   string
+	// Faults is part of the identity because a faulted run's result is a
+	// function of its schedule.  omitempty keeps fault-free identities —
+	// and therefore their content keys and warm caches — byte-identical
+	// to what they hashed to before faults existed.
+	Faults []Fault `json:",omitempty"`
 }
 
 func contentKey(id cellIdentity) string {
@@ -326,7 +343,7 @@ func gridCells(s Spec, o core.Options) []core.Cell {
 		ident := cellIdentity{
 			Measure: s.Measure.Kind, Engine: p.engine, Workers: p.workers,
 			Query: q, Load: idLoad, Slack: sw.WatermarkSlack, Pct: p.pct,
-			Seed: o.Seed, Scale: o.Scale.String(),
+			Seed: o.Seed, Scale: o.Scale.String(), Faults: s.Faults,
 		}
 		// The warm key drops the seed and scale: a sustainable search for
 		// the same deployment under a different seed (replication) or
@@ -395,6 +412,7 @@ func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, 
 		Query:          q,
 		RunFor:         o.RunFor(),
 		EventsPerTuple: o.EventsPerTuple(),
+		Faults:         buildFaults(s.Faults),
 	}
 	applyInputShape(&cfg, sw)
 	res, err := driver.RunContext(ctx, eng, cfg)
@@ -414,6 +432,9 @@ func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, 
 	case MeasureThroughputSeries:
 		return seriesResult{Engine: p.engine, Workers: p.workers, Pct: p.pct,
 			Throughput: res.ThroughputSeries}, nil
+	case MeasureRecoverySeries:
+		return recoveryResult{Engine: p.engine, Workers: p.workers, Pct: p.pct,
+			Throughput: res.ThroughputSeries, Depth: res.QueueDepthSeries}, nil
 	}
 	return nil, fmt.Errorf("scenario: unhandled measure kind %q", s.Measure.Kind)
 }
@@ -511,6 +532,8 @@ func assemble(s Spec, o core.Options, raws [][]byte) (*core.Outcome, error) {
 		return assembleSustainable(s, pts, heading, raws)
 	case MeasureLatency:
 		return assembleLatency(s, pts, heading, raws)
+	case MeasureRecoverySeries:
+		return assembleRecovery(s, o, pts, heading, raws)
 	default:
 		return assembleSeries(s, o, pts, heading, raws)
 	}
@@ -627,4 +650,110 @@ func assembleSeries(s Spec, o core.Options, pts []point, heading string, raws []
 		Panels:  panels,
 		Metrics: metricsOut,
 	}, nil
+}
+
+// assembleRecovery renders the recovery-series artefact: a throughput panel
+// and a queue-depth panel per grid point, plus per-fault metrics — the
+// relative throughput dip during each fault window and the time the backlog
+// takes to drain back to its pre-fault level once the fault ends.
+func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws [][]byte) (*core.Outcome, error) {
+	o = o.WithDefaults()
+	faults := buildFaults(s.Faults)
+	runEnd := o.RunFor()
+	var panels []report.FigurePanel
+	metricsOut := map[string]float64{}
+	var sb strings.Builder
+	for i, p := range pts {
+		r, err := decode[recoveryResult](raws[i])
+		if err != nil {
+			return nil, err
+		}
+		label := labelFor(s, p)
+		base := metricBase(s, p)
+		panels = append(panels,
+			report.FigurePanel{Title: label + " throughput", Series: r.Throughput, Unit: " ev/s"},
+			report.FigurePanel{Title: label + " queue depth", Series: r.Depth, Unit: " ev"},
+		)
+		for fi, e := range faults.Events {
+			dip, rec := faultRecovery(r.Throughput, r.Depth, e.At, e.End(runEnd))
+			metricsOut[fmt.Sprintf("%s/fault%d/dip", base, fi)] = dip
+			metricsOut[fmt.Sprintf("%s/fault%d/recovery_s", base, fi)] = rec
+			recStr := "not within the run"
+			if rec >= 0 {
+				recStr = fmt.Sprintf("%.1fs", rec)
+			}
+			fmt.Fprintf(&sb, "%s: fault %d (%s at %s): throughput dip %.0f%%, backlog recovery %s\n",
+				label, fi, e.Kind, e.At, dip*100, recStr)
+		}
+	}
+	return &core.Outcome{
+		Text:    report.Figure(heading, panels) + sb.String(),
+		CSV:     report.CSV(panels),
+		Panels:  panels,
+		Metrics: metricsOut,
+	}, nil
+}
+
+// faultRecovery computes one fault's effect from a point's throughput and
+// queue-depth series.  dip is the relative throughput drop during
+// [start, end) against the pre-fault mean, clipped to [0, 1].  recovery is
+// the time after end until the queue depth first drains back within 10% of
+// its pre-fault level (relative to the fault-era peak), in seconds: 0 when
+// the fault left no backlog, -1 when the backlog never drains in the run.
+func faultRecovery(th, depth *metrics.Series, start, end time.Duration) (dip, recovery float64) {
+	baseline, n := 0.0, 0
+	for _, pt := range th.Points {
+		if pt.T >= start {
+			break
+		}
+		baseline += pt.V
+		n++
+	}
+	if n > 0 {
+		baseline /= float64(n)
+	}
+	minDuring, saw := 0.0, false
+	for _, pt := range th.Points {
+		if pt.T < start || pt.T >= end {
+			continue
+		}
+		if !saw || pt.V < minDuring {
+			minDuring, saw = pt.V, true
+		}
+	}
+	if baseline > 0 && saw {
+		dip = 1 - minDuring/baseline
+		if dip < 0 {
+			dip = 0
+		} else if dip > 1 {
+			dip = 1
+		}
+	}
+
+	baseDepth, n := 0.0, 0
+	peak := 0.0
+	for _, pt := range depth.Points {
+		if pt.T < start {
+			baseDepth += pt.V
+			n++
+		} else if pt.V > peak {
+			peak = pt.V
+		}
+	}
+	if n > 0 {
+		baseDepth /= float64(n)
+	}
+	if peak <= baseDepth {
+		return dip, 0 // the fault never built a backlog
+	}
+	threshold := baseDepth + 0.1*(peak-baseDepth)
+	for _, pt := range depth.Points {
+		if pt.T < end {
+			continue
+		}
+		if pt.V <= threshold {
+			return dip, (pt.T - end).Seconds()
+		}
+	}
+	return dip, -1
 }

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// recoverySpec is a one-cell recovery-series scenario: flink on a 2-node
+// cluster, worker 1 killed at 20s and restarted 8s later.  The offered
+// rate sits above half of flink's 2-node capacity, so losing one of the
+// two workers creates a real deficit and a backlog to drain.
+func recoverySpec() Spec {
+	return Spec{
+		Name:    "tiny-recovery",
+		Title:   "tiny crash recovery",
+		Seeds:   1,
+		Measure: Measure{Kind: MeasureRecoverySeries},
+		Faults: []Fault{
+			{Kind: "kill-worker", Worker: 1, At: Duration(20e9), RestartAfter: Duration(8e9)},
+		},
+		Sweeps: []Sweep{{
+			Engines: []string{"flink"},
+			Workers: []int{2},
+			Query:   Query{Kind: "aggregation"},
+			Load:    Load{Kind: LoadConstant, RateEvPerSec: 0.8e6},
+		}},
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{"recovery-series needs faults", func(s *Spec) { s.Faults = nil }, "needs at least one fault"},
+		{"sustainable forbids faults", func(s *Spec) {
+			s.Measure = Measure{Kind: MeasureSustainable}
+			s.Sweeps[0].Load = Load{}
+		}, "cannot combine"},
+		{"unknown fault kind", func(s *Spec) { s.Faults[0].Kind = "meteor" }, "unknown kind"},
+		{"kill target beyond smallest cluster", func(s *Spec) { s.Faults[0].Worker = 2 }, "does not exist"},
+		{"stall without duration", func(s *Spec) {
+			s.Faults[0] = Fault{Kind: "stall", At: Duration(5e9)}
+		}, "for > 0"},
+	}
+	for _, c := range cases {
+		s := recoverySpec()
+		c.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+	if err := recoverySpec().Validate(); err != nil {
+		t.Fatalf("base recovery spec should validate: %v", err)
+	}
+}
+
+func TestFaultsArePartOfCellIdentity(t *testing.T) {
+	faulted := recoverySpec()
+	plain := faulted
+	plain.Faults = nil
+	plain.Measure = Measure{Kind: MeasureThroughputSeries}
+	same := faulted
+	same.Name = "renamed" // spec name must not leak into the content key
+
+	o := core.Options{Seed: 42}
+	keyOf := func(s Spec) string {
+		exp, err := Compile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp.Cells(o)[0].Key
+	}
+	fk, pk, sk := keyOf(faulted), keyOf(plain), keyOf(same)
+	if fk == pk {
+		t.Fatal("faulted and fault-free cells share a content key")
+	}
+	if fk != sk {
+		t.Fatal("content key depends on the spec name, not just the cell identity")
+	}
+}
+
+func TestExampleCrashRecoveryScenarioLoads(t *testing.T) {
+	s, err := LoadFile("../../examples/scenarios/crash-recovery.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Measure.Kind != MeasureRecoverySeries {
+		t.Fatalf("measure kind = %q, want %q", s.Measure.Kind, MeasureRecoverySeries)
+	}
+	if len(s.Faults) != 2 {
+		t.Fatalf("faults = %d, want 2", len(s.Faults))
+	}
+	exp, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(exp.Cells(core.Options{Seed: 42})); got != 6 {
+		t.Fatalf("cells = %d, want 6", got)
+	}
+}
+
+// TestRecoveryScenarioDeterministicAndFaultSensitive runs the tiny recovery
+// scenario twice (byte-identical artifacts — the fault schedule is pure
+// virtual time) and once fault-free (must differ: the faults really perturb
+// the run).
+func TestRecoveryScenarioDeterministicAndFaultSensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	run := func(s Spec) []byte {
+		exp, err := Compile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := core.Options{Seed: 7, Scale: core.Quick}
+		out, err := exp.RunContext(context.Background(), o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := core.NewArtifact(exp, o, out).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	a := run(recoverySpec())
+	b := run(recoverySpec())
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed + same fault schedule must produce byte-identical artifacts")
+	}
+
+	unfaulted := recoverySpec()
+	unfaulted.Measure = Measure{Kind: MeasureThroughputSeries}
+	unfaulted.Faults = nil
+	faultedSeries := recoverySpec()
+	faultedSeries.Measure = Measure{Kind: MeasureThroughputSeries}
+	if bytes.Equal(run(faultedSeries), run(unfaulted)) {
+		t.Fatal("fault schedule had no effect on the measured series")
+	}
+
+	// The recovery artefact must report the fault's dip and recovery
+	// metrics for the grid point.
+	exp, err := Compile(recoverySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.Options{Seed: 7, Scale: core.Quick}
+	out, err := exp.RunContext(context.Background(), o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dip, ok := out.Metrics["flink/fault0/dip"]
+	if !ok {
+		t.Fatalf("missing dip metric; have %v", out.Metrics)
+	}
+	if dip <= 0 || dip > 1 {
+		t.Fatalf("dip = %v, want in (0, 1] (half the cluster died)", dip)
+	}
+	if _, ok := out.Metrics["flink/fault0/recovery_s"]; !ok {
+		t.Fatalf("missing recovery metric; have %v", out.Metrics)
+	}
+	if len(out.Panels) != 2 {
+		t.Fatalf("panels = %d, want throughput + queue depth", len(out.Panels))
+	}
+}

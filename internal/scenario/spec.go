@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/generator"
 	"repro/internal/workload"
 )
@@ -81,6 +82,13 @@ type Spec struct {
 	// Measure selects what each grid point measures and how the results
 	// render.
 	Measure Measure `json:"measure"`
+	// Faults is the deterministic fault schedule injected into every
+	// grid cell: kill engine worker i at virtual time t (restarting
+	// after a delay), or stall ingestion for a bounded interval.  The
+	// schedule is part of the cell identity, so faulted cells cache and
+	// replay like any other.  Required (non-empty) for the
+	// recovery-series measure; forbidden with sustainable.
+	Faults []Fault `json:"faults,omitempty"`
 	// Sweeps are the parameter grids; cells are enumerated sweep by
 	// sweep, each expanded engines × workers × load points in Order.
 	Sweeps []Sweep `json:"sweeps"`
@@ -103,12 +111,17 @@ const (
 	// MeasureThroughputSeries renders the SUT ingestion (pull) rate over
 	// time per grid point.
 	MeasureThroughputSeries = "throughput-series"
+	// MeasureRecoverySeries runs fixed-rate under the spec's fault
+	// schedule and renders throughput + queue-depth panels per grid
+	// point, with per-fault dip and recovery-latency metrics.
+	MeasureRecoverySeries = "recovery-series"
 )
 
 // measureKinds lists the valid Measure.Kind values.
 var measureKinds = []string{
 	MeasureSustainable, MeasureLatency, MeasureLatencySeries,
 	MeasureLatencyPairSeries, MeasureThroughputSeries,
+	MeasureRecoverySeries,
 }
 
 // AsideStormNaiveJoin is the one recognised Measure.Aside value: the
@@ -128,6 +141,45 @@ type Measure struct {
 	// sweep grids (only AsideStormNaiveJoin, only with
 	// MeasureSustainable).
 	Aside string `json:"aside,omitempty"`
+}
+
+// Fault is one scheduled fault: the spec-level mirror of fault.Event with
+// human-readable durations ("30s").
+type Fault struct {
+	// Kind is "kill-worker" or "stall".
+	Kind string `json:"kind"`
+	// Worker is the 0-based index of the worker to kill (kill-worker).
+	Worker int `json:"worker,omitempty"`
+	// At is the virtual time the fault strikes.
+	At Duration `json:"at"`
+	// RestartAfter is how long a killed worker stays down (0 = never
+	// restarts within the run).
+	RestartAfter Duration `json:"restart_after,omitempty"`
+	// For is a stall's duration.
+	For Duration `json:"for,omitempty"`
+	// Factor is the capacity multiplier during a stall, in [0,1)
+	// (0 = complete stall).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// buildFaults lowers the spec faults onto a fault.Schedule (nil when the
+// spec has none, which is the fault-free fast path in the engine runtime).
+func buildFaults(fs []Fault) *fault.Schedule {
+	if len(fs) == 0 {
+		return nil
+	}
+	s := &fault.Schedule{Events: make([]fault.Event, len(fs))}
+	for i, f := range fs {
+		s.Events[i] = fault.Event{
+			Kind:         f.Kind,
+			Worker:       f.Worker,
+			At:           f.At.D(),
+			RestartAfter: f.RestartAfter.D(),
+			For:          f.For.D(),
+			Factor:       f.Factor,
+		}
+	}
+	return s
 }
 
 // Sweep is one parameter grid: engines × workers × load points.
@@ -277,6 +329,26 @@ func (s Spec) Validate() error {
 		if err := s.Sweeps[i].validate(s.Name, i, s.Measure); err != nil {
 			return err
 		}
+	}
+	if len(s.Faults) > 0 {
+		if s.Measure.Kind == MeasureSustainable {
+			return fmt.Errorf("scenario %s: faults cannot combine with the %q measure (the bisection assumes steady capacity)", s.Name, MeasureSustainable)
+		}
+		// A kill target must exist on every cluster in the grid, so
+		// validate against the smallest sweep worker count.
+		minWorkers := 0
+		for _, sw := range s.Sweeps {
+			for _, w := range sw.Workers {
+				if minWorkers == 0 || w < minWorkers {
+					minWorkers = w
+				}
+			}
+		}
+		if err := buildFaults(s.Faults).Validate(minWorkers); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	} else if s.Measure.Kind == MeasureRecoverySeries {
+		return fmt.Errorf("scenario %s: the %q measure needs at least one fault", s.Name, MeasureRecoverySeries)
 	}
 	// Colliding cell IDs or metric base keys would silently overwrite
 	// results and metrics at assembly; reject them here (duplicate axis

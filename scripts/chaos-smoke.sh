@@ -1,0 +1,137 @@
+#!/bin/sh
+# Chaos smoke test for the fault-hardened control plane: run the
+# crash-recovery scenario (which itself injects engine faults) on a small
+# deployment, then inject real process faults into that deployment — the
+# external agent is SIGKILLed and restarted mid-run, and the coordinator is
+# SIGKILLed and restarted over the same data directory.  The restarted
+# coordinator must resume from its manifests + write-ahead journal without
+# losing finished cells, and the final artifact must still be byte-identical
+# to a direct sdpsbench run of the same scenario and seed.
+#
+# Usage: scripts/chaos-smoke.sh [port]   (invoked by `make chaos`)
+set -eu
+
+PORT="${1:-8374}"
+COORD="http://127.0.0.1:${PORT}"
+SCENARIO="examples/scenarios/crash-recovery.json"
+TMP="$(mktemp -d)"
+SDPSD_PID=""
+AGENT_PID=""
+
+cleanup() {
+    [ -n "$AGENT_PID" ] && kill "$AGENT_PID" 2>/dev/null || true
+    [ -n "$SDPSD_PID" ] && kill "$SDPSD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "chaos: building binaries"
+go build -o "$TMP/sdpsd" ./cmd/sdpsd
+go build -o "$TMP/sdpsctl" ./cmd/sdpsctl
+go build -o "$TMP/sdpsbench" ./cmd/sdpsbench
+
+start_sdpsd() {
+    # No in-process agents: the single external agent executes cells
+    # sequentially, which keeps the run slow enough to be killed mid-way.
+    # A short lease TTL so a killed agent's cells re-queue within the test.
+    "$TMP/sdpsd" -listen "127.0.0.1:${PORT}" -data "$TMP/data" -agents 0 \
+        -lease-ttl 2s 2>>"$TMP/sdpsd.log" &
+    SDPSD_PID=$!
+}
+
+wait_up() {
+    i=0
+    until "$TMP/sdpsctl" status --coord "$COORD" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "chaos: sdpsd did not come up" >&2
+            cat "$TMP/sdpsd.log" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+start_agent() {
+    # An external agent over HTTP: its death exercises lease expiry, its
+    # restart exercises registration retry and error backoff.
+    "$TMP/sdpsctl" agent --coord "$COORD" --name chaos --poll 20ms \
+        2>>"$TMP/agent.log" &
+    AGENT_PID=$!
+}
+
+# done_cells prints the run's completed-cell count ("D" of "D/T cells").
+done_cells() {
+    "$TMP/sdpsctl" status --coord "$COORD" | awk -v id="$RUN_ID" \
+        '$1 == id { split($(NF-1), a, "/"); print a[1] }'
+}
+
+# wait_done_at_least N: poll until at least N cells are done (or give up
+# after ~5s — on a fast machine the run may already have finished, which
+# still exercises the resume path, just less of it).
+wait_done_at_least() {
+    want="$1"
+    i=0
+    while [ "$i" -lt 100 ]; do
+        d="$(done_cells || echo 0)"
+        [ -n "$d" ] || d=0
+        if [ "$d" -ge "$want" ]; then
+            echo "$d"
+            return
+        fi
+        i=$((i + 1))
+        sleep 0.05
+    done
+    echo "$d"
+}
+
+echo "chaos: starting sdpsd and 1 external agent"
+start_sdpsd
+wait_up
+start_agent
+
+echo "chaos: submitting scenario $SCENARIO (quick, seed 42)"
+RUN_ID="$("$TMP/sdpsctl" submit --coord "$COORD" --scenario "$SCENARIO" --scale quick --seed 42 -q)"
+
+# Fault 1: SIGKILL the agent after its first completed cell; its successor
+# must pick the leased cell back up once the lease TTL expires.
+D="$(wait_done_at_least 1)"
+echo "chaos: killing the external agent with $D cell(s) done"
+kill -9 "$AGENT_PID" 2>/dev/null || true
+wait "$AGENT_PID" 2>/dev/null || true
+AGENT_PID=""
+start_agent
+
+# Fault 2: SIGKILL the coordinator once more progress lands, so the restart
+# happens mid-run and must resume from manifests + journal.
+DONE_BEFORE="$(wait_done_at_least $((D + 1)))"
+echo "chaos: killing the coordinator with $DONE_BEFORE cell(s) done"
+kill -9 "$SDPSD_PID" 2>/dev/null || true
+wait "$SDPSD_PID" 2>/dev/null || true
+SDPSD_PID=""
+
+echo "chaos: restarting the coordinator over the same data directory"
+start_sdpsd
+wait_up
+
+DONE_AFTER="$(done_cells || echo 0)"
+[ -n "$DONE_AFTER" ] || DONE_AFTER=0
+if [ "$DONE_AFTER" -lt "$DONE_BEFORE" ]; then
+    echo "chaos: FAIL — restart lost finished cells ($DONE_AFTER < $DONE_BEFORE)" >&2
+    exit 1
+fi
+echo "chaos: resumed with $DONE_AFTER cell(s) done (had $DONE_BEFORE before the kill)"
+
+echo "chaos: watching $RUN_ID to completion"
+"$TMP/sdpsctl" watch "$RUN_ID" --coord "$COORD"
+"$TMP/sdpsctl" fetch "$RUN_ID" --coord "$COORD" -o "$TMP/distributed.json"
+
+echo "chaos: running the scenario directly for the reference artifact"
+"$TMP/sdpsbench" -scenario "$SCENARIO" -scale quick -seed 42 -json > "$TMP/direct.json"
+
+if ! cmp -s "$TMP/distributed.json" "$TMP/direct.json"; then
+    echo "chaos: FAIL — artifact differs from the direct run after chaos" >&2
+    diff "$TMP/distributed.json" "$TMP/direct.json" | head -20 >&2
+    exit 1
+fi
+echo "chaos: OK — artifact byte-identical to sdpsbench through agent kill + coordinator restart ($(wc -c < "$TMP/direct.json") bytes)"
