@@ -5,13 +5,15 @@
 # allocs/op.  `make smoke` boots the distributed controller (sdpsd + 2
 # agents) and byte-compares its table1 artifact against a direct sdpsbench
 # run.  `make bench-json` snapshots the headline benchmarks into a
-# BENCH_<date>.json for the perf trajectory.
+# BENCH_<date>.json for the perf trajectory; `make compare-gate` diffs a
+# fresh snapshot against the newest committed one and fails on regression
+# (tolerances in scripts/gate-thresholds.json).
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos
+.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos compare-gate
 
-ci: vet build test race bench-smoke scenario-validate chaos
+ci: vet build test race bench-smoke scenario-validate chaos compare-gate
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +37,13 @@ bench:
 # metrics) into BENCH_<date>.json; commit it after perf-relevant PRs.
 bench-json:
 	scripts/bench-baseline.sh
+
+# Perf-regression gate: fresh benchmark snapshot compared against the
+# newest committed BENCH_*.json via `sdpsreport compare --gate`
+# (tolerances in scripts/gate-thresholds.json).  Fails on regression or
+# on benchmark-set drift without a new committed baseline.
+compare-gate:
+	scripts/compare-gate.sh
 
 # Race-check the parallel experiment executor, the speculative
 # sustainable-throughput search (whose probe-arena pool is shared across

@@ -11,6 +11,7 @@
 //	sdpsctl watch run-0001
 //	sdpsctl abort run-0001 --reason "wrong scale"
 //	sdpsctl fetch run-0001 -o table1.json
+//	sdpsctl fetch run-0001 --dir ./fetched   # offline `sdpsreport -from ./fetched/run-0001`
 //	sdpsctl agent --name worker-a --workers 2
 //
 // Every subcommand accepts -coord (default http://127.0.0.1:8372, or
@@ -72,7 +73,7 @@ func usage() {
   status [run-id]
   watch  <run-id>
   abort  <run-id> [--reason TEXT]
-  fetch  <run-id> [-o file]
+  fetch  <run-id> [-o file] [--dir store-dir]
   agent  [--name NAME] [--workers N] [--cell-cache N] [--warm-start]
 
 All commands accept --coord URL (default $SDPSD_COORD or
@@ -242,21 +243,70 @@ func watchRun(cl *ctl.Client, id string, quiet bool) {
 func cmdFetch(pos, args []string) {
 	fs, coord := newFlagSet("fetch")
 	out := fs.String("o", "", "write the artifact here instead of stdout")
+	dir := fs.String("dir", "", "also mirror the run's manifest and result objects into this store directory, so `sdpsreport -from <dir>/<run-id>` works offline")
 	fs.Parse(args)
 	if len(pos) != 1 {
 		fatalf("fetch needs exactly one run id")
 	}
-	data, err := ctl.NewClient(*coord).Artifact(pos[0])
+	cl := ctl.NewClient(*coord)
+	data, err := cl.Artifact(pos[0])
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *dir != "" {
+		if err := mirrorRun(cl, pos[0], *dir); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sdpsctl: run %s mirrored into %s\n", pos[0], *dir)
+	}
 	if *out == "" {
-		os.Stdout.Write(data)
+		if *dir == "" {
+			os.Stdout.Write(data)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// mirrorRun copies a run's manifest plus every addressed object (cell
+// results and the assembled artifact) from the coordinator into a local
+// store directory.  The local copy has the coordinator store's exact
+// layout, so every offline reader (`sdpsreport -from`, `sdpsreport
+// compare`) accepts it.  Content addressing makes re-fetching idempotent.
+func mirrorRun(cl *ctl.Client, runID, dir string) error {
+	m, err := cl.Manifest(runID)
+	if err != nil {
+		return err
+	}
+	st, err := ctl.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	shas := make([]string, 0, len(m.Cells)+1)
+	for _, c := range m.Cells {
+		if c.ResultSHA != "" {
+			shas = append(shas, c.ResultSHA)
+		}
+	}
+	if m.ArtifactSHA != "" {
+		shas = append(shas, m.ArtifactSHA)
+	}
+	for _, sha := range shas {
+		data, err := cl.Object(sha)
+		if err != nil {
+			return err
+		}
+		got, err := st.PutObject(data)
+		if err != nil {
+			return err
+		}
+		if got != sha {
+			return fmt.Errorf("object %s came back as %s (corrupt transfer?)", sha, got)
+		}
+	}
+	return st.SaveRun(m)
 }
 
 func cmdAgent(pos, args []string) {

@@ -1,292 +1,195 @@
-// Command sdpsreport runs the full experiment suite and writes a
-// paper-versus-measured markdown report — the generator behind
-// EXPERIMENTS.md.  For every table it emits side-by-side columns with
-// relative deviations; for every figure it records the qualitative check
-// the paper's text makes about it.
+// Command sdpsreport renders the paper-versus-measured markdown report —
+// the generator behind EXPERIMENTS.md — and compares run artifacts.
 //
-// Usage:
+// Three modes:
 //
 //	sdpsreport -scale full -o EXPERIMENTS.md
+//	    Run the suite in-process and render the report (the classical path).
+//
+//	sdpsreport -from <data-dir|url>[/<run-id>] [-o FILE]
+//	    Render the same report from completed coordinator runs without
+//	    executing anything: cell results are fetched from the run store and
+//	    re-assembled.  With a pinned run ID the report covers that run's
+//	    experiment only; with a whole store, experiments that have no
+//	    completed run at the requested seed/scale fall back to direct
+//	    execution (noted on stderr).
+//
+//	sdpsreport compare [-gate thresholds.json] [-o FILE] <runA> <runB>
+//	    Side-by-side comparison of two artifacts.  Either side may be a
+//	    committed BENCH_*.json baseline, an `sdpsbench -json` artifact
+//	    file, <data-dir>/<run-id>, or http(s)://coordinator/<run-id>.
+//	    With -gate, exits 1 when a deviation breaches its tolerance.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/compare"
 	"repro/internal/core"
 	// Registers the grid experiments declared as scenario specs.
 	_ "repro/internal/scenario"
 )
 
 func main() {
-	var (
-		scale = flag.String("scale", "full", "fidelity: quick | full")
-		seed  = flag.Uint64("seed", 42, "simulation seed")
-		out   = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
+	runReport(os.Args[1:])
+}
 
-	opts := core.Options{Seed: *seed}
-	if *scale == "full" {
-		opts.Scale = core.Full
+func runReport(argv []string) {
+	fs := flag.NewFlagSet("sdpsreport", flag.ExitOnError)
+	var (
+		scale = fs.String("scale", "full", "fidelity: quick | full")
+		seed  = fs.Uint64("seed", 42, "simulation seed")
+		out   = fs.String("o", "", "output file (default stdout)")
+		from  = fs.String("from", "", "render from a coordinator data dir or URL, optionally /<run-id>; no experiments execute")
+		only  = fs.String("only", "", "comma-separated experiment IDs to restrict the report to")
+		date  = fs.String("date", "", "footer date, YYYY-MM-DD (default today; set for reproducible bytes)")
+	)
+	fs.Parse(argv)
+	if fs.NArg() > 0 {
+		fatalf("unexpected argument %q (did you mean `sdpsreport compare`?)", fs.Arg(0))
 	}
 
-	var b strings.Builder
-	writeHeader(&b, *scale, *seed)
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+	opts := compare.SuiteOptions{Scale: *scale, Seed: *seed, Date: *date}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opts.Only = append(opts.Only, id)
+			}
+		}
+	}
 
-	run := func(id string) *core.Outcome {
-		e, err := core.Lookup(id)
+	var text string
+	var err error
+	if *from != "" {
+		text, err = reportFrom(*from, opts)
+	} else {
+		coreOpts := core.Options{Seed: *seed}
+		if *scale == "full" {
+			coreOpts.Scale = core.Full
+		}
+		text, err = compare.RenderSuite(loggedDirect(coreOpts), opts)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	emit(*out, text, "report")
+}
+
+// loggedDirect is the in-process getter with the classical progress lines.
+func loggedDirect(o core.Options) compare.Getter {
+	direct := compare.DirectGetter(o)
+	return func(id string) (core.Artifact, error) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		return direct(id)
+	}
+}
+
+// reportFrom renders from stored runs.  A pinned run ID restricts the
+// report to that run; a whole store renders the full suite (or -only),
+// falling back to direct execution per missing experiment.
+func reportFrom(ref string, opts compare.SuiteOptions) (string, error) {
+	src, runID, err := compare.ParseRef(ref)
+	if err != nil {
+		return "", err
+	}
+	if runID != "" {
+		return compare.RenderRunReport(src, runID, opts.Date)
+	}
+	coreOpts := core.Options{Seed: opts.Seed}
+	if opts.Scale == "full" {
+		coreOpts.Scale = core.Full
+	}
+	get := compare.FallbackGetter(
+		func(id string) (core.Artifact, error) {
+			a, err := compare.StoreGetter(src, opts.Seed, opts.Scale)(id)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "loaded %s from %s\n", id, ref)
+			}
+			return a, err
+		},
+		loggedDirect(coreOpts),
+		func(id string, err error) {
+			fmt.Fprintf(os.Stderr, "no stored run for %s; falling back to direct execution\n", id)
+		},
+	)
+	return compare.RenderSuite(get, opts)
+}
+
+func runCompare(argv []string) {
+	fs := flag.NewFlagSet("sdpsreport compare", flag.ExitOnError)
+	var (
+		out   = fs.String("o", "", "output file (default stdout)")
+		gate  = fs.String("gate", "", "thresholds.json; exit 1 when a deviation breaches its tolerance")
+		coord = fs.String("coord", "", "coordinator URL for bare run-id arguments")
+	)
+	fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fatalf("compare needs exactly two references (baseline, candidate); got %d", fs.NArg())
+	}
+
+	a, err := compare.Load(fs.Arg(0), *coord)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	b, err := compare.Load(fs.Arg(1), *coord)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	c := compare.Align(a, b)
+	emit(*out, compare.Render(c), "comparison")
+
+	if *gate != "" {
+		t, err := compare.LoadThresholds(*gate)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "running %s...\n", id)
-		o, err := e.Run(opts)
-		if err != nil {
-			fatalf("%s: %v", id, err)
+		vs := t.Check(c)
+		fmt.Fprint(os.Stderr, compare.RenderViolations(vs))
+		if len(vs) > 0 {
+			os.Exit(1)
 		}
-		return o
 	}
+}
 
-	writeTable1(&b, run("table1"))
-	writeLatencyTable(&b, "Table II — windowed aggregation latency", run("table2"), core.PaperTable2)
-	writeTable3(&b, run("table3"))
-	writeLatencyTable(&b, "Table IV — windowed join latency", run("table4"), core.PaperTable4)
-	writeFigure(&b, "Figure 4 — aggregation latency over time", run("fig4"),
-		"18 panels regenerated (3 engines × 3 sizes × {100%, 90%}); the paper's qualitative reading — fluctuations shrink at 90% load, Flink 2-node and Storm large-cluster panels fluctuate most — holds; see artifacts/svg/fig4.svg.")
-	writeFigure(&b, "Figure 5 — join latency over time", run("fig5"),
-		"12 panels regenerated; join latencies sit several times above the aggregation panels and Spark shows the stronger fluctuation, as in the paper.")
-	writeExp3(&b, run("exp3"))
-	writeExp4(&b, run("exp4"))
-	writeFigure(&b, "Figure 6 / Experiment 5 — fluctuating workloads", run("fig6"),
-		"Latency tracks the 0.84M→0.28M→0.84M schedule; Storm is the most susceptible; Flink rides the join spikes better than Spark.")
-	writeFig7(&b, run("fig7"))
-	writeFig8(&b, run("fig8"))
-	writeFig9(&b, run("fig9"))
-	writeFig10(&b, run("fig10"))
-	writeFig11(&b, run("fig11"))
-	writeAblations(&b, run("ablation-broker"), run("ablation-guarantees"), run("ablation-disorder"))
-	writeClosing(&b)
-
-	if *out == "" {
-		fmt.Print(b.String())
+// emit writes text to stdout or, atomically (temp file + rename), to a file.
+func emit(out, text, what string) {
+	if out == "" {
+		fmt.Print(text)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+	dir := filepath.Dir(out)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(out)+".tmp-*")
+	if err != nil {
+		fatalf("write %s: %v", out, err)
 	}
-	fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
-}
-
-func writeHeader(b *strings.Builder, scale string, seed uint64) {
-	fmt.Fprintf(b, `# EXPERIMENTS — paper vs. measured
-
-Generated by %s (scale=%s, seed=%d).
-
-This file records, for every table and figure of "Benchmarking Distributed
-Stream Data Processing Systems" (Karimov et al., ICDE 2018), what this
-reproduction measures next to what the paper reports.  The substrate is a
-calibrated simulation (see DESIGN.md §2), so the comparison targets are
-*shape and ordering*: who wins, by roughly what factor, where crossovers
-and failure modes appear.  Sustainable-throughput anchors are calibrated
-(fitted capacity laws), so their agreement is by construction; everything
-else — latency distributions, fluctuation patterns, failure modes,
-crossovers — emerges from the modelled mechanisms and is genuine
-reproduction output.
-
-Regenerate with:
-
-    go run ./cmd/sdpsreport -scale full -o EXPERIMENTS.md
-
-`, "`cmd/sdpsreport`", scale, seed)
-}
-
-func dev(measured, paper float64) string {
-	if paper == 0 {
-		return "—"
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(text); err != nil {
+		tmp.Close()
+		fatalf("write %s: %v", out, err)
 	}
-	d := (measured - paper) / paper * 100
-	return fmt.Sprintf("%+.0f%%", d)
-}
-
-func writeTable1(b *strings.Builder, o *core.Outcome) {
-	paper := core.PaperRates(false)
-	b.WriteString("## Table I — sustainable throughput, windowed aggregation (8s, 4s)\n\n")
-	b.WriteString("| engine | workers | paper | measured | deviation |\n|---|---|---|---|---|\n")
-	for _, eng := range []string{"storm", "spark", "flink"} {
-		for _, w := range []string{"2", "4", "8"} {
-			k := eng + "/" + w
-			fmt.Fprintf(b, "| %s | %s | %.2f M/s | %.2f M/s | %s |\n",
-				eng, w, paper[k]/1e6, o.Metrics[k]/1e6, dev(o.Metrics[k], paper[k]))
-		}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		fatalf("write %s: %v", out, err)
 	}
-	b.WriteString("\nShape checks: Flink flat at the network bound on every size ✓; Storm ≈8% above Spark ✓; both scale sub-linearly ✓.\n\n")
-}
-
-func writeTable3(b *strings.Builder, o *core.Outcome) {
-	paper := core.PaperRates(true)
-	b.WriteString("## Table III — sustainable throughput, windowed join (8s, 4s)\n\n")
-	b.WriteString("| engine | workers | paper | measured | deviation |\n|---|---|---|---|---|\n")
-	for _, eng := range []string{"spark", "flink"} {
-		for _, w := range []string{"2", "4", "8"} {
-			k := eng + "/" + w
-			fmt.Fprintf(b, "| %s | %s | %.2f M/s | %.2f M/s | %s |\n",
-				eng, w, paper[k]/1e6, o.Metrics[k]/1e6, dev(o.Metrics[k], paper[k]))
-		}
+	if err := tmp.Close(); err != nil {
+		fatalf("write %s: %v", out, err)
 	}
-	fmt.Fprintf(b, "\nStorm aside (Experiment 2): naive join measured %.2f M/s on 2 nodes (paper: 0.14 M/s); on 4 nodes the topology stalls (paper: \"memory issues and topology stalls on larger clusters\") — %s.\n\n",
-		o.Metrics["storm-naive/2"]/1e6,
-		map[bool]string{true: "reproduced", false: "NOT reproduced"}[o.Metrics["storm-naive/4/failed"] == 1])
-}
-
-func writeLatencyTable(b *strings.Builder, title string, o *core.Outcome, paper map[string]core.PaperLatency) {
-	fmt.Fprintf(b, "## %s\n\n", title)
-	b.WriteString("Averages and p99, in seconds, at the paper's Table I/III workloads (100%) and at 90% of them.\n\n")
-	b.WriteString("| engine | workers | load | paper avg | measured avg | paper p99 | measured p99 |\n|---|---|---|---|---|---|---|\n")
-	var keys []string
-	for k := range paper {
-		keys = append(keys, k)
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		fatalf("write %s: %v", out, err)
 	}
-	sort.Strings(keys)
-	// Order: engine storm,spark,flink then workers then load desc.
-	rank := map[string]int{"storm": 0, "spark": 1, "flink": 2}
-	sort.SliceStable(keys, func(i, j int) bool {
-		pi, pj := strings.Split(keys[i], "/"), strings.Split(keys[j], "/")
-		if rank[pi[0]] != rank[pj[0]] {
-			return rank[pi[0]] < rank[pj[0]]
-		}
-		if pi[1] != pj[1] {
-			return pi[1] < pj[1]
-		}
-		return pi[2] > pj[2]
-	})
-	for _, k := range keys {
-		p := paper[k]
-		parts := strings.Split(k, "/")
-		mAvg := o.Metrics[k+"/avg"]
-		mP99 := o.Metrics[k+"/p99"]
-		fmt.Fprintf(b, "| %s | %s | %s%% | %.1f | %.1f | %.1f | %.1f |\n",
-			parts[0], parts[1], parts[2], p.Avg, mAvg, p.P99, mP99)
-	}
-	b.WriteString("\n")
-}
-
-func writeExp3(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Experiment 3 — queries with large windows (60s, 60s)\n\n")
-	m := o.Metrics
-	fmt.Fprintf(b, "- Spark, cached windows (default): sustainable %.2f M/s vs %.2f M/s on the (8s,4s) window — a factor of %.1f (paper: \"throughput decreases by 2 times\").\n",
-		m["spark/default/rate"]/1e6, m["spark/smallwindow/rate"]/1e6,
-		m["spark/smallwindow/rate"]/m["spark/default/rate"])
-	fmt.Fprintf(b, "- Latency at the half-rate point: cached %.1f s vs inverse-reduce %.1f s — a factor of %.1f (paper: \"avg latency increases by 10 times\", resolved by the Inverse Reduce Function).\n",
-		m["spark/default/avg_latency"], m["spark/inverse-reduce/avg_latency"],
-		m["spark/default/avg_latency"]/m["spark/inverse-reduce/avg_latency"])
-	fmt.Fprintf(b, "- Recompute (caching disabled): %.2f M/s, the worst strategy (paper: \"performance decreased due to the repeated computation\").\n",
-		m["spark/recompute/rate"]/1e6)
-	fmt.Fprintf(b, "- Inverse-reduce restores %.2f M/s ≈ the small-window rate (paper: \"we managed to overcome this performance issue\").\n",
-		m["spark/inverse-reduce/rate"]/1e6)
-	fmt.Fprintf(b, "- Storm: OOM without spillable state: %v; survives with it: %v (paper: \"we encountered memory exceptions\" unless spill-capable structures are used).\n",
-		m["storm/spill=false/failed"] == 1, m["storm/spill=true/failed"] == 0)
-	fmt.Fprintf(b, "- Flink sustains the network bound on the large window: %v (paper: on-the-fly aggregation makes window size a non-factor).\n\n",
-		m["flink/large/sustainable"] == 1)
-}
-
-func writeExp4(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Experiment 4 — data skew (single-key input)\n\n")
-	m := o.Metrics
-	b.WriteString("| engine | 2-node | 4-node | 8-node | paper |\n|---|---|---|---|---|\n")
-	fmt.Fprintf(b, "| storm | %.2f | %.2f | %.2f | 0.20 M/s, flat |\n", m["storm/2"]/1e6, m["storm/4"]/1e6, m["storm/8"]/1e6)
-	fmt.Fprintf(b, "| spark | %.2f | %.2f | %.2f | 0.53 M/s at 4 nodes, keeps scaling |\n", m["spark/2"]/1e6, m["spark/4"]/1e6, m["spark/8"]/1e6)
-	fmt.Fprintf(b, "| flink | %.2f | %.2f | %.2f | 0.48 M/s, flat |\n", m["flink/2"]/1e6, m["flink/4"]/1e6, m["flink/8"]/1e6)
-	fmt.Fprintf(b, "\nSkewed join: Flink stalls (\"often becomes unresponsive\"): %v; Spark survives with very high latency (measured avg %.1f s).\n\n",
-		m["flink/join_failed"] == 1, m["spark/join_avg_latency"])
-}
-
-func writeFigure(b *strings.Builder, title string, o *core.Outcome, note string) {
-	fmt.Fprintf(b, "## %s\n\n%s\n\n", title, note)
-}
-
-func writeFig7(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Figure 7 — event vs processing time under unsustainable load\n\n")
-	fmt.Fprintf(b, "Spark at ~1.6× its sustainable rate: event-time latency slope %+0.2f s/s (diverging), processing-time slope %+0.3f s/s (flat).  The paper's coordinated-omission warning reproduces: the SUT-internal view hides the overload entirely.\n\n",
-		o.Metrics["event_slope"], o.Metrics["proc_slope"])
-}
-
-func writeFig8(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Figure 8 / Experiment 6 — event vs processing-time latency\n\n")
-	b.WriteString("| engine | event-time mean | processing-time mean |\n|---|---|---|\n")
-	for _, eng := range []string{"storm", "spark", "flink"} {
-		fmt.Fprintf(b, "| %s | %.2f s | %.2f s |\n",
-			eng, o.Metrics[eng+"/event_mean"], o.Metrics[eng+"/proc_mean"])
-	}
-	b.WriteString("\nAs in the paper, the two definitions differ visibly even at sustainable load; Flink shows the largest relative gap (tuple time is dominated by queue wait, not processing), and Spark's gap reflects driver-queue time between receiver bursts.\n\n")
-}
-
-func writeFig9(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Figure 9 / Experiment 8 — throughput over time\n\n")
-	b.WriteString("Coefficient of variation of the per-second pull rate (4 nodes, max sustainable):\n\n")
-	fmt.Fprintf(b, "| engine | CV | paper's reading |\n|---|---|---|\n")
-	fmt.Fprintf(b, "| storm | %.3f | \"Storm still exhibits significant fluctuations\" |\n", o.Metrics["storm/cv"])
-	fmt.Fprintf(b, "| spark | %.3f | \"deployment of several jobs at the same batch interval\" |\n", o.Metrics["spark/cv"])
-	fmt.Fprintf(b, "| flink | %.3f | \"Flink has less fluctuations\" |\n", o.Metrics["flink/cv"])
-	b.WriteString("\nFlink's pull rate is the smoothest, as the paper reports.\n\n")
-}
-
-func writeFig10(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Figure 10 — network and CPU usage\n\n")
-	fmt.Fprintf(b, "Mean CPU load over the run (4-node aggregation at each engine's max rate): storm %.0f%%, spark %.0f%%, flink %.0f%%.  Flink uses the least CPU while moving the most data (network-bound), and Storm/Spark burn roughly 50%% more cycles — the paper's Figure 10 observation.\n\n",
-		o.Metrics["storm/cpu_mean"], o.Metrics["spark/cpu_mean"], o.Metrics["flink/cpu_mean"])
-}
-
-func writeFig11(b *strings.Builder, o *core.Outcome) {
-	b.WriteString("## Figure 11 — Spark scheduler delay vs throughput\n\n")
-	fmt.Fprintf(b, "At overload onset the scheduler delay spikes to %.2f s (mean %.2f s) while the pull rate oscillates (CV %.3f): \"whenever there is even a short spike in the input rate, we can observe a similar behavior in the scheduler delay\".\n\n",
-		o.Metrics["sched_delay_max"], o.Metrics["sched_delay_mean"], o.Metrics["throughput_cv"])
-}
-
-func writeAblations(b *strings.Builder, brk, guar, dis *core.Outcome) {
-	b.WriteString("## Ablations (reproduction extensions, not in the paper's evaluation)\n\n")
-	fmt.Fprintf(b, "**Broker (Section III-A argument).** Direct driver queues sustain %.2f M/s; the same deployment behind a Kafka-style broker caps at %.2f M/s with a %.0f%% higher latency floor — the broker, not the engine, becomes the benchmark bottleneck, which is why the paper generates data on the fly.\n\n",
-		brk.Metrics["direct/rate"]/1e6, brk.Metrics["broker/rate"]/1e6,
-		100*(brk.Metrics["broker/avg_latency"]-brk.Metrics["direct/avg_latency"])/brk.Metrics["direct/avg_latency"])
-	fmt.Fprintf(b, "**Guarantees (future work).** Storm at-least-once %.2f vs at-most-once %.2f M/s; Flink at-least-once %.2f vs exactly-once %.2f M/s.  Stronger guarantees cost a measurable but single-digit-percent share of throughput.\n\n",
-		guar.Metrics["storm/at-least-once"]/1e6, guar.Metrics["storm/at-most-once"]/1e6,
-		guar.Metrics["flink/at-least-once"]/1e6, guar.Metrics["flink/exactly-once"]/1e6)
-	b.WriteString("**Out-of-order input (future work).** With 30% of events up to 2s late, watermark slack trades completeness for latency:\n\n")
-	b.WriteString("| slack | window contributions lost | avg latency |\n|---|---|---|\n")
-	for _, slack := range []string{"0s", "500ms", "2s", "4s"} {
-		fmt.Fprintf(b, "| %s | %.2f%% | %.2f s |\n", slack,
-			100*dis.Metrics["slack="+slack+"/dropped_frac"],
-			dis.Metrics["slack="+slack+"/avg_latency"])
-	}
-	b.WriteString("\n")
-}
-
-func writeClosing(b *strings.Builder) {
-	b.WriteString(`## Known deviations
-
-- **Maximum latencies run lighter than the paper's.**  The paper's max
-  column carries single-sample extremes of a production JVM cluster
-  (17.7s for Storm on 8 nodes); the transient-episode models reproduce
-  the ordering and the growth-with-cluster-size trend, but the extreme
-  tail is thinner.  Quantiles (p90/p95/p99) are the better comparison and
-  land close.
-- **Spark's Table II averages at 100% load run 10-35% high** (e.g. 4.5s
-  vs 3.3s at 4 nodes): at the exact sustainability boundary the model's
-  receiver bursts and straggler jobs queue slightly more than the real
-  system did.  The 90%-load rows land within ~10%.
-- **Sustainable-throughput search noise.**  Definition 5 tolerates
-  bounded fluctuation, so the bisection boundary carries a few percent of
-  noise between seeds, the same tolerance the paper's manual procedure
-  ("we allow a maximum number of events to be queued") has.
-- **Flink 2-node single-key skew** reads slightly above the 4/8-node
-  value because the 2-node transient episodes are softened when the
-  deployment is slot-bound (see flink.capacity); the paper's claim —
-  throughput pinned at one slot regardless of scale — holds.
-`)
-	fmt.Fprintf(b, "\nGenerated %s.\n", time.Now().UTC().Format("2006-01-02"))
+	fmt.Fprintf(os.Stderr, "%s written to %s\n", what, out)
 }
 
 func fatalf(format string, args ...any) {

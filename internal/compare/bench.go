@@ -1,0 +1,92 @@
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// bench.go is the BENCH_*.json schema adapter: the micro-benchmark
+// baselines scripts/bench-baseline.sh emits (one group per benchmark,
+// metrics like ns/op, B/op, allocs/op plus headline custom metrics) fold
+// into the same comparator as experiment artifacts, so the perf
+// trajectory is gated by the same machinery as run-to-run comparisons.
+
+// BenchFile mirrors the JSON scripts/bench-baseline.sh writes.
+type BenchFile struct {
+	Date       string `json:"date"`
+	Commit     string `json:"commit,omitempty"`
+	Dirty      bool   `json:"dirty,omitempty"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Benchmarks []struct {
+		Name    string             `json:"name"`
+		Iters   int64              `json:"iters"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+// IsBenchFile sniffs whether raw JSON is a benchmark baseline (it has a
+// top-level "benchmarks" array) rather than an experiment artifact.
+func IsBenchFile(data []byte) bool {
+	var probe struct {
+		Benchmarks json.RawMessage `json:"benchmarks"`
+	}
+	return json.Unmarshal(data, &probe) == nil && probe.Benchmarks != nil
+}
+
+// DocFromBench adapts baseline bytes into a Doc: one group per benchmark.
+// Iteration counts are deliberately excluded — they depend on -benchtime,
+// not on the code under test.
+func DocFromBench(label, source string, data []byte) (*Doc, error) {
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("compare: parse bench baseline %s: %w", source, err)
+	}
+	stamp := f.Date
+	if f.Commit != "" {
+		c := f.Commit
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		stamp += ", commit " + c
+		if f.Dirty {
+			stamp += " (dirty)"
+		}
+	}
+	if f.CPU != "" {
+		stamp += ", " + f.CPU
+	}
+	doc := &Doc{Label: label, Source: source, Kind: "bench", Stamp: stamp}
+	for _, b := range f.Benchmarks {
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			ri, rj := benchKeyRank(keys[i]), benchKeyRank(keys[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return keys[i] < keys[j]
+		})
+		doc.Groups = append(doc.Groups, Group{Name: b.Name, Keys: keys, Values: b.Metrics})
+	}
+	return doc, nil
+}
+
+// benchKeyRank puts the standard testing metrics first, in the order
+// `go test -bench` prints them; custom metrics follow alphabetically.
+func benchKeyRank(k string) int {
+	switch k {
+	case "ns/op":
+		return 0
+	case "B/op":
+		return 1
+	case "allocs/op":
+		return 2
+	}
+	return 3
+}

@@ -1,0 +1,197 @@
+// Package compare is the artifact-native reporting and run-comparison
+// subsystem: it reads completed runs out of the controller's
+// content-addressed store (a local data directory or a live coordinator),
+// re-assembles their artifacts purely from stored cell results — no cell
+// is ever re-executed — and renders reports and side-by-side comparisons
+// over them.  `sdpsbench -json` artifact files and `BENCH_*.json`
+// micro-benchmark baselines fold into the same comparator through schema
+// adapters, so "did this PR regress throughput, ns/op or allocs/op?" is
+// one gate check (see gate.go) in CI.
+//
+// The comparable unit is a Doc: an ordered set of named metric groups.  An
+// experiment artifact becomes one group (its metrics map) named after the
+// experiment; a benchmark baseline becomes one group per benchmark.  Docs
+// align by (group name, metric key); runs additionally carry their cell
+// IDs so structural drift — cells present on one side only — is reported
+// even when the metric namespaces happen to overlap.
+//
+// Deviation sign convention: side A is the baseline, side B the candidate.
+// Abs = B - A, Rel = (B - A) / |A|, so a positive deviation always means
+// "B is higher".  Rel is undefined when A == 0 (rendered as such, and
+// treated as an unbounded change by the gate).
+//
+// See DESIGN-COMPARE.md for the alignment keys, the deviation semantics
+// and the gate threshold format.
+package compare
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Doc is one comparable document: a labelled, ordered set of metric groups.
+type Doc struct {
+	// Label is the short side name used in table headers ("run-0007",
+	// "BENCH_2026-07-28.json").
+	Label string
+	// Source records where the doc came from (path, URL/run id).
+	Source string
+	// Kind is "artifact" (experiment run) or "bench" (BENCH_*.json).
+	Kind string
+	// Stamp is the provenance detail line: seed/scale for artifacts,
+	// date + commit for benchmark baselines.
+	Stamp string
+	// Cells lists the run's cell IDs when the doc came from a run
+	// manifest; alignment uses it to flag structural drift.
+	Cells []string
+	// Groups are the metric groups in presentation order.
+	Groups []Group
+}
+
+// Group is one named set of metrics.
+type Group struct {
+	Name   string
+	Keys   []string // presentation order
+	Values map[string]float64
+}
+
+// DocFromArtifact adapts a canonical experiment artifact: one group, named
+// after the experiment, holding its metrics map with sorted keys.
+func DocFromArtifact(label, source string, a core.Artifact) *Doc {
+	keys := make([]string, 0, len(a.Metrics))
+	for k := range a.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &Doc{
+		Label:  label,
+		Source: source,
+		Kind:   "artifact",
+		Stamp:  fmt.Sprintf("%s, seed %d, scale %s", a.Experiment, a.Seed, a.Scale),
+		Groups: []Group{{Name: a.Experiment, Keys: keys, Values: a.Metrics}},
+	}
+}
+
+// Row is one aligned metric: present on side A, side B, or both.
+type Row struct {
+	Key      string
+	A, B     float64
+	InA, InB bool
+}
+
+// Abs returns the absolute deviation B - A (0 for one-sided rows).
+func (r Row) Abs() float64 {
+	if !r.InA || !r.InB {
+		return 0
+	}
+	return r.B - r.A
+}
+
+// Rel returns the relative deviation (B - A) / |A| and whether it is
+// defined; it is undefined for one-sided rows and when the baseline is 0.
+func (r Row) Rel() (float64, bool) {
+	if !r.InA || !r.InB || r.A == 0 {
+		return 0, false
+	}
+	return (r.B - r.A) / math.Abs(r.A), true
+}
+
+// Failed reports whether the row is a failure flag ("…/failed" metric) set
+// on either side — comparisons call those out instead of treating them as
+// ordinary numbers.
+func (r Row) Failed() bool {
+	return strings.HasSuffix(r.Key, "/failed") && (r.A == 1 || r.B == 1)
+}
+
+// GroupDiff is one aligned group.
+type GroupDiff struct {
+	Name     string
+	InA, InB bool
+	Rows     []Row
+}
+
+// Comparison is the alignment of two docs.
+type Comparison struct {
+	A, B   *Doc
+	Groups []GroupDiff
+	// CellsOnlyA/B list run cells present on one side only (structural
+	// drift); empty unless both docs carry cell IDs.
+	CellsOnlyA, CellsOnlyB []string
+}
+
+// Align matches two docs group by group and key by key.  Group and row
+// order follow side A, with B-only entries appended in B's order, so the
+// rendering is deterministic.
+func Align(a, b *Doc) *Comparison {
+	c := &Comparison{A: a, B: b}
+	bGroups := map[string]Group{}
+	for _, g := range b.Groups {
+		bGroups[g.Name] = g
+	}
+	seen := map[string]bool{}
+	for _, ga := range a.Groups {
+		seen[ga.Name] = true
+		gb, inB := bGroups[ga.Name]
+		c.Groups = append(c.Groups, alignGroup(ga, gb, true, inB))
+	}
+	for _, gb := range b.Groups {
+		if !seen[gb.Name] {
+			c.Groups = append(c.Groups, alignGroup(Group{Name: gb.Name}, gb, false, true))
+		}
+	}
+	if len(a.Cells) > 0 && len(b.Cells) > 0 {
+		c.CellsOnlyA, c.CellsOnlyB = diffStrings(a.Cells, b.Cells)
+	}
+	return c
+}
+
+func alignGroup(ga, gb Group, inA, inB bool) GroupDiff {
+	d := GroupDiff{Name: ga.Name, InA: inA, InB: inB}
+	if !inA {
+		d.Name = gb.Name
+	}
+	seen := map[string]bool{}
+	for _, k := range ga.Keys {
+		seen[k] = true
+		row := Row{Key: k, A: ga.Values[k], InA: true}
+		if inB {
+			if v, ok := gb.Values[k]; ok {
+				row.B, row.InB = v, true
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	for _, k := range gb.Keys {
+		if !seen[k] {
+			d.Rows = append(d.Rows, Row{Key: k, B: gb.Values[k], InB: true})
+		}
+	}
+	return d
+}
+
+// diffStrings returns the elements of a not in b and of b not in a,
+// preserving each side's order.
+func diffStrings(a, b []string) (onlyA, onlyB []string) {
+	inA, inB := map[string]bool{}, map[string]bool{}
+	for _, s := range a {
+		inA[s] = true
+	}
+	for _, s := range b {
+		inB[s] = true
+	}
+	for _, s := range a {
+		if !inB[s] {
+			onlyA = append(onlyA, s)
+		}
+	}
+	for _, s := range b {
+		if !inA[s] {
+			onlyB = append(onlyB, s)
+		}
+	}
+	return onlyA, onlyB
+}

@@ -1,0 +1,192 @@
+package compare
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRowDeviationMath(t *testing.T) {
+	cases := []struct {
+		name    string
+		row     Row
+		wantAbs float64
+		wantRel float64
+		relOK   bool
+	}{
+		{"increase", Row{Key: "k", A: 100, B: 125, InA: true, InB: true}, 25, 0.25, true},
+		{"decrease", Row{Key: "k", A: 200, B: 150, InA: true, InB: true}, -50, -0.25, true},
+		// |A| in the denominator keeps the sign convention intact for
+		// negative baselines: B above A is still a positive deviation.
+		{"negative baseline", Row{Key: "k", A: -100, B: -50, InA: true, InB: true}, 50, 0.5, true},
+		{"zero baseline", Row{Key: "k", A: 0, B: 3, InA: true, InB: true}, 3, 0, false},
+		{"only in A", Row{Key: "k", A: 7, InA: true}, 0, 0, false},
+		{"only in B", Row{Key: "k", B: 7, InB: true}, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.row.Abs(); got != tc.wantAbs {
+				t.Errorf("Abs() = %v, want %v", got, tc.wantAbs)
+			}
+			rel, ok := tc.row.Rel()
+			if ok != tc.relOK {
+				t.Fatalf("Rel() defined = %v, want %v", ok, tc.relOK)
+			}
+			if ok && math.Abs(rel-tc.wantRel) > 1e-12 {
+				t.Errorf("Rel() = %v, want %v", rel, tc.wantRel)
+			}
+		})
+	}
+}
+
+func TestRowFailedFlag(t *testing.T) {
+	if !(Row{Key: "storm/4/failed", A: 0, B: 1, InA: true, InB: true}).Failed() {
+		t.Error("failure flag set on side B not detected")
+	}
+	if (Row{Key: "storm/4/failed", A: 0, B: 0, InA: true, InB: true}).Failed() {
+		t.Error("unset failure flag reported as failed")
+	}
+	if (Row{Key: "storm/4", A: 1, B: 1, InA: true, InB: true}).Failed() {
+		t.Error("non-flag metric with value 1 reported as failed")
+	}
+}
+
+func TestAlignOneSidedAndDrift(t *testing.T) {
+	a := &Doc{
+		Label: "A",
+		Cells: []string{"c00", "c01", "c02"},
+		Groups: []Group{
+			{Name: "shared", Keys: []string{"x", "onlyA"}, Values: map[string]float64{"x": 1, "onlyA": 2}},
+			{Name: "gone", Keys: []string{"y"}, Values: map[string]float64{"y": 3}},
+		},
+	}
+	b := &Doc{
+		Label: "B",
+		Cells: []string{"c00", "c02", "c03"},
+		Groups: []Group{
+			{Name: "shared", Keys: []string{"x", "onlyB"}, Values: map[string]float64{"x": 4, "onlyB": 5}},
+			{Name: "new", Keys: []string{"z"}, Values: map[string]float64{"z": 6}},
+		},
+	}
+	c := Align(a, b)
+
+	if len(c.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(c.Groups))
+	}
+	// A's order first, then B-only groups appended.
+	shared, gone, added := c.Groups[0], c.Groups[1], c.Groups[2]
+	if shared.Name != "shared" || !shared.InA || !shared.InB {
+		t.Errorf("shared group misaligned: %+v", shared)
+	}
+	if gone.Name != "gone" || !gone.InA || gone.InB {
+		t.Errorf("A-only group misaligned: %+v", gone)
+	}
+	if added.Name != "new" || added.InA || !added.InB {
+		t.Errorf("B-only group misaligned: %+v", added)
+	}
+	// Within the shared group: aligned row, A-only row, B-only appended.
+	wantRows := []Row{
+		{Key: "x", A: 1, B: 4, InA: true, InB: true},
+		{Key: "onlyA", A: 2, InA: true},
+		{Key: "onlyB", B: 5, InB: true},
+	}
+	if len(shared.Rows) != len(wantRows) {
+		t.Fatalf("shared rows = %+v", shared.Rows)
+	}
+	for i, want := range wantRows {
+		if shared.Rows[i] != want {
+			t.Errorf("row %d = %+v, want %+v", i, shared.Rows[i], want)
+		}
+	}
+	if len(c.CellsOnlyA) != 1 || c.CellsOnlyA[0] != "c01" {
+		t.Errorf("CellsOnlyA = %v, want [c01]", c.CellsOnlyA)
+	}
+	if len(c.CellsOnlyB) != 1 || c.CellsOnlyB[0] != "c03" {
+		t.Errorf("CellsOnlyB = %v, want [c03]", c.CellsOnlyB)
+	}
+}
+
+func TestDocFromArtifact(t *testing.T) {
+	d := DocFromArtifact("lbl", "src", core.Artifact{
+		Experiment: "exp", Seed: 7, Scale: "quick",
+		Metrics: map[string]float64{"b": 2, "a": 1},
+	})
+	if d.Kind != "artifact" || len(d.Groups) != 1 || d.Groups[0].Name != "exp" {
+		t.Fatalf("doc = %+v", d)
+	}
+	if d.Groups[0].Keys[0] != "a" || d.Groups[0].Keys[1] != "b" {
+		t.Errorf("keys not sorted: %v", d.Groups[0].Keys)
+	}
+	if d.Stamp != "exp, seed 7, scale quick" {
+		t.Errorf("stamp = %q", d.Stamp)
+	}
+}
+
+// TestCommittedPR5Deltas pins the comparator against the repo's real perf
+// history: the two committed BENCH_2026-07-28*.json snapshots bracket the
+// PR-5 allocation work, and comparing them must reproduce its headline
+// deltas — the Table I allocs/op collapse and the two benchmarks PR-5
+// introduced showing up as structural drift.
+func TestCommittedPR5Deltas(t *testing.T) {
+	load := func(name string) *Doc {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsBenchFile(data) {
+			t.Fatalf("%s not recognised as a bench baseline", name)
+		}
+		d, err := DocFromBench(name, name, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	c := Align(load("BENCH_2026-07-28.json"), load("BENCH_2026-07-28-pr5.json"))
+
+	row := func(group, key string) Row {
+		t.Helper()
+		for _, g := range c.Groups {
+			if g.Name != group {
+				continue
+			}
+			for _, r := range g.Rows {
+				if r.Key == key {
+					return r
+				}
+			}
+		}
+		t.Fatalf("no row %s/%s", group, key)
+		return Row{}
+	}
+
+	allocs := row("Table1SustainableAggregation", "allocs/op")
+	rel, ok := allocs.Rel()
+	if !ok || rel > -0.98 {
+		t.Errorf("Table I allocs/op delta = %v (ok=%v), want < -98%%", rel, ok)
+	}
+	search := row("FindSustainableQuick", "allocs/op")
+	if rel, ok := search.Rel(); !ok || rel > -0.98 {
+		t.Errorf("search allocs/op delta = %v (ok=%v), want < -98%%", rel, ok)
+	}
+	// The simulation is deterministic, so the headline throughput metrics
+	// must not have moved at all across a pure-performance PR.
+	for _, k := range []string{"flink8_ev/s", "spark8_ev/s", "storm8_ev/s"} {
+		if r := row("Table1SustainableAggregation", k); r.Abs() != 0 {
+			t.Errorf("%s moved by %v across PR-5", k, r.Abs())
+		}
+	}
+	drift := map[string]bool{}
+	for _, g := range c.Groups {
+		if !g.InA {
+			drift[g.Name] = true
+		}
+	}
+	if !drift["WindowKeyedFire"] || !drift["FlatTablePutGet"] {
+		t.Errorf("PR-5's new benchmarks not flagged as B-only drift: %v", drift)
+	}
+}

@@ -1,0 +1,183 @@
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// gate.go is the perf-regression gate: per-metric tolerances applied to an
+// aligned comparison, with side A as the accepted baseline and side B as
+// the candidate.  `make compare-gate` runs it in CI against the committed
+// BENCH_*.json baseline; `sdpsreport compare --gate` exposes it directly.
+
+// Rule bounds one metric's allowed movement.  Limits are relative
+// fractions of |A| (0.25 = 25%); a nil limit leaves that direction
+// unbounded.  AbsSlack forgives deviations whose absolute value is within
+// it — essential for near-zero baselines like 0 allocs/op, where any
+// relative bound is meaningless.
+type Rule struct {
+	MaxIncrease *float64 `json:"max_increase,omitempty"`
+	MaxDecrease *float64 `json:"max_decrease,omitempty"`
+	AbsSlack    float64  `json:"abs_slack,omitempty"`
+}
+
+// Thresholds is the gate configuration (the `--gate thresholds.json`
+// format).  Metrics maps a pattern to a rule; patterns are matched against
+// "group/key" and bare "key", exact matches first, then path.Match globs
+// in sorted pattern order.  Unmatched metrics use Default.  Missing
+// selects how structural drift (groups or metrics present on one side
+// only) gates: "ignore" (default) or "fail".
+type Thresholds struct {
+	Default Rule            `json:"default"`
+	Metrics map[string]Rule `json:"metrics,omitempty"`
+	Missing string          `json:"missing,omitempty"`
+}
+
+// LoadThresholds reads a thresholds file.
+func LoadThresholds(file string) (Thresholds, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return Thresholds{}, err
+	}
+	var t Thresholds
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Thresholds{}, fmt.Errorf("compare: parse thresholds %s: %w", file, err)
+	}
+	switch t.Missing {
+	case "", "ignore", "fail":
+	default:
+		return Thresholds{}, fmt.Errorf(`compare: thresholds %s: missing must be "ignore" or "fail", got %q`, file, t.Missing)
+	}
+	return t, nil
+}
+
+// ruleFor picks the rule for one metric.
+func (t Thresholds) ruleFor(group, key string) Rule {
+	if r, ok := t.Metrics[group+"/"+key]; ok {
+		return r
+	}
+	if r, ok := t.Metrics[key]; ok {
+		return r
+	}
+	patterns := make([]string, 0, len(t.Metrics))
+	for p := range t.Metrics {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		if ok, _ := path.Match(p, group+"/"+key); ok {
+			return t.Metrics[p]
+		}
+		if ok, _ := path.Match(p, key); ok {
+			return t.Metrics[p]
+		}
+	}
+	return t.Default
+}
+
+// Violation is one gated metric outside its tolerance.
+type Violation struct {
+	Group, Key string
+	A, B       float64
+	// Detail explains the breach ("+31.2% > max increase 15.0%").
+	Detail string
+}
+
+func (v Violation) String() string {
+	// Structural violations (group or one-sided metric) have no
+	// meaningful A -> B pair to show.
+	if v.Key == "" {
+		return fmt.Sprintf("%s: %s", v.Group, v.Detail)
+	}
+	if strings.Contains(v.Detail, "only in side") {
+		return fmt.Sprintf("%s/%s: %s", v.Group, v.Key, v.Detail)
+	}
+	return fmt.Sprintf("%s/%s: %s -> %s (%s)", v.Group, v.Key, fmtVal(v.A), fmtVal(v.B), v.Detail)
+}
+
+// Check applies the thresholds to an aligned comparison and returns every
+// violation, in the comparison's deterministic order.
+func (t Thresholds) Check(c *Comparison) []Violation {
+	var out []Violation
+	failOnMissing := t.Missing == "fail"
+	for _, g := range c.Groups {
+		if !g.InA || !g.InB {
+			if failOnMissing {
+				side := "B"
+				if g.InA {
+					side = "A"
+				}
+				out = append(out, Violation{Group: g.Name, Detail: "group only in side " + side})
+			}
+			continue
+		}
+		for _, r := range g.Rows {
+			if !r.InA || !r.InB {
+				if failOnMissing {
+					side := "B"
+					if r.InA {
+						side = "A"
+					}
+					out = append(out, Violation{Group: g.Name, Key: r.Key, A: r.A, B: r.B,
+						Detail: "metric only in side " + side})
+				}
+				continue
+			}
+			if v, bad := checkRow(t.ruleFor(g.Name, r.Key), r); bad {
+				v.Group = g.Name
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// checkRow evaluates one aligned metric against its rule.
+func checkRow(rule Rule, r Row) (Violation, bool) {
+	delta := r.B - r.A
+	if delta == 0 || math.Abs(delta) <= rule.AbsSlack {
+		return Violation{}, false
+	}
+	v := Violation{Key: r.Key, A: r.A, B: r.B}
+	if r.A == 0 {
+		// Any change off a zero baseline beyond the slack is an unbounded
+		// relative move: it violates whichever direction is bounded.
+		if delta > 0 && rule.MaxIncrease != nil {
+			v.Detail = fmt.Sprintf("+%s off a zero baseline (max increase %.1f%%)", fmtVal(delta), *rule.MaxIncrease*100)
+			return v, true
+		}
+		if delta < 0 && rule.MaxDecrease != nil {
+			v.Detail = fmt.Sprintf("%s off a zero baseline (max decrease %.1f%%)", fmtVal(delta), *rule.MaxDecrease*100)
+			return v, true
+		}
+		return Violation{}, false
+	}
+	rel := delta / math.Abs(r.A)
+	if rel > 0 && rule.MaxIncrease != nil && rel > *rule.MaxIncrease {
+		v.Detail = fmt.Sprintf("%+.1f%% > max increase %.1f%%", rel*100, *rule.MaxIncrease*100)
+		return v, true
+	}
+	if rel < 0 && rule.MaxDecrease != nil && -rel > *rule.MaxDecrease {
+		v.Detail = fmt.Sprintf("%+.1f%% > max decrease %.1f%%", rel*100, *rule.MaxDecrease*100)
+		return v, true
+	}
+	return Violation{}, false
+}
+
+// RenderViolations formats gate violations for terminals and CI logs.
+func RenderViolations(vs []Violation) string {
+	if len(vs) == 0 {
+		return "compare: gate passed\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "compare: gate FAILED — %d violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package compare
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fptr(v float64) *float64 { return &v }
+
+func TestRuleForPrecedence(t *testing.T) {
+	exact := Rule{MaxIncrease: fptr(0.1)}
+	bare := Rule{MaxIncrease: fptr(0.2)}
+	glob := Rule{MaxIncrease: fptr(0.3)}
+	def := Rule{MaxIncrease: fptr(0.9)}
+	th := Thresholds{
+		Default: def,
+		Metrics: map[string]Rule{
+			"Bench/ns/op": exact,
+			"allocs/op":   bare,
+			"*_ev/s":      glob,
+		},
+	}
+	if r := th.ruleFor("Bench", "ns/op"); *r.MaxIncrease != 0.1 {
+		t.Errorf("group/key exact match lost: %v", *r.MaxIncrease)
+	}
+	if r := th.ruleFor("Other", "allocs/op"); *r.MaxIncrease != 0.2 {
+		t.Errorf("bare key exact match lost: %v", *r.MaxIncrease)
+	}
+	if r := th.ruleFor("Table1", "flink8_ev/s"); *r.MaxIncrease != 0.3 {
+		t.Errorf("glob match lost: %v", *r.MaxIncrease)
+	}
+	if r := th.ruleFor("Table1", "unmatched"); *r.MaxIncrease != 0.9 {
+		t.Errorf("default not applied: %v", *r.MaxIncrease)
+	}
+}
+
+func TestCheckRow(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		row  Row
+		bad  bool
+	}{
+		{"within bound", Rule{MaxIncrease: fptr(0.5)}, Row{A: 100, B: 140, InA: true, InB: true}, false},
+		{"over increase", Rule{MaxIncrease: fptr(0.5)}, Row{A: 100, B: 151, InA: true, InB: true}, true},
+		{"decrease unbounded", Rule{MaxIncrease: fptr(0.5)}, Row{A: 100, B: 1, InA: true, InB: true}, false},
+		{"over decrease", Rule{MaxDecrease: fptr(0.2)}, Row{A: 100, B: 70, InA: true, InB: true}, true},
+		{"abs slack forgives", Rule{MaxIncrease: fptr(0.1), AbsSlack: 20}, Row{A: 10, B: 25, InA: true, InB: true}, false},
+		{"beyond abs slack", Rule{MaxIncrease: fptr(0.1), AbsSlack: 4}, Row{A: 10, B: 25, InA: true, InB: true}, true},
+		{"zero baseline bounded up", Rule{MaxIncrease: fptr(0.1)}, Row{A: 0, B: 1, InA: true, InB: true}, true},
+		{"zero baseline bounded down only", Rule{MaxDecrease: fptr(0.1)}, Row{A: 0, B: 1, InA: true, InB: true}, false},
+		{"zero baseline slack", Rule{MaxIncrease: fptr(0.1), AbsSlack: 2}, Row{A: 0, B: 1, InA: true, InB: true}, false},
+		{"no change", Rule{MaxIncrease: fptr(0)}, Row{A: 5, B: 5, InA: true, InB: true}, false},
+		{"unbounded", Rule{}, Row{A: 1, B: 1e9, InA: true, InB: true}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, bad := checkRow(tc.rule, tc.row)
+			if bad != tc.bad {
+				t.Errorf("bad = %v, want %v (violation %+v)", bad, tc.bad, v)
+			}
+			if bad && v.Detail == "" {
+				t.Error("violation has no detail")
+			}
+		})
+	}
+}
+
+func TestCheckMissingPolicy(t *testing.T) {
+	c := Align(
+		&Doc{Groups: []Group{
+			{Name: "g", Keys: []string{"x", "gone"}, Values: map[string]float64{"x": 1, "gone": 2}},
+			{Name: "dropped", Keys: []string{"y"}, Values: map[string]float64{"y": 3}},
+		}},
+		&Doc{Groups: []Group{
+			{Name: "g", Keys: []string{"x"}, Values: map[string]float64{"x": 1}},
+		}},
+	)
+	if vs := (Thresholds{}).Check(c); len(vs) != 0 {
+		t.Errorf("missing=ignore produced violations: %v", vs)
+	}
+	vs := (Thresholds{Missing: "fail"}).Check(c)
+	if len(vs) != 2 {
+		t.Fatalf("missing=fail: got %d violations (%v), want 2", len(vs), vs)
+	}
+	if vs[0].Key != "gone" || !strings.Contains(vs[0].Detail, "only in side A") {
+		t.Errorf("metric drift violation = %+v", vs[0])
+	}
+	if vs[1].Group != "dropped" || !strings.Contains(vs[1].Detail, "only in side A") {
+		t.Errorf("group drift violation = %+v", vs[1])
+	}
+}
+
+func TestLoadThresholds(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"default": {}, "missing": "fail", "metrics": {"ns/op": {"max_increase": 0.5, "abs_slack": 2}}}`), 0o644)
+	th, err := LoadThresholds(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := th.Metrics["ns/op"]
+	if r.MaxIncrease == nil || *r.MaxIncrease != 0.5 || r.AbsSlack != 2 || r.MaxDecrease != nil {
+		t.Errorf("parsed rule = %+v", r)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"missing": "warn"}`), 0o644)
+	if _, err := LoadThresholds(bad); err == nil {
+		t.Error("invalid missing policy accepted")
+	}
+}
+
+// TestShippedThresholdsParse keeps the committed gate configuration valid.
+func TestShippedThresholdsParse(t *testing.T) {
+	th, err := LoadThresholds(filepath.Join("..", "..", "scripts", "gate-thresholds.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Missing != "fail" {
+		t.Errorf("shipped gate should fail on benchmark-set drift, got missing=%q", th.Missing)
+	}
+	if r := th.ruleFor("AnyBench", "allocs/op"); r.MaxIncrease == nil {
+		t.Error("shipped gate leaves allocs/op increases unbounded")
+	}
+	if r := th.ruleFor("Table1SustainableAggregation", "flink8_ev/s"); r.MaxDecrease == nil {
+		t.Error("shipped gate leaves headline throughput decreases unbounded")
+	}
+}

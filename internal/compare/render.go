@@ -1,0 +1,131 @@
+package compare
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Render formats an aligned comparison as markdown: a provenance header,
+// one side-by-side table per group with absolute and relative deviations,
+// and a structural-drift section when the two sides don't cover the same
+// groups, metrics or cells.
+//
+// Sign convention (see the package comment): Δ = B − A and Δ% = (B − A)/|A|,
+// so positive deviations mean side B is higher.  Δ% is rendered as "n/a"
+// when the baseline is 0, and one-sided entries show "—" for the absent
+// side.
+func Render(c *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Comparison — %s vs %s\n\n", c.A.Label, c.B.Label)
+	b.WriteString(report.MarkdownTable(
+		[]string{"side", "source", "kind", "provenance"},
+		[][]string{
+			{"A (baseline)", c.A.Source, c.A.Kind, c.A.Stamp},
+			{"B (candidate)", c.B.Source, c.B.Kind, c.B.Stamp},
+		}))
+	b.WriteString("\n")
+
+	aligned, onlyA, onlyB := 0, 0, 0
+	var driftGroups []string
+	for _, g := range c.Groups {
+		if !g.InA || !g.InB {
+			side := "B"
+			if g.InA {
+				side = "A"
+			}
+			driftGroups = append(driftGroups, fmt.Sprintf("`%s` (only in %s)", g.Name, side))
+			continue
+		}
+		fmt.Fprintf(&b, "## %s\n\n", g.Name)
+		rows := make([][]string, 0, len(g.Rows))
+		for _, r := range g.Rows {
+			rows = append(rows, renderRow(r))
+			switch {
+			case r.InA && r.InB:
+				aligned++
+			case r.InA:
+				onlyA++
+			default:
+				onlyB++
+			}
+		}
+		b.WriteString(report.MarkdownTable(
+			[]string{"metric", "A", "B", "Δ", "Δ%", "note"}, rows))
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "%d metric(s) aligned", aligned)
+	if onlyA+onlyB > 0 {
+		fmt.Fprintf(&b, ", %d only in A, %d only in B", onlyA, onlyB)
+	}
+	b.WriteString(".\n")
+
+	if len(driftGroups) > 0 || len(c.CellsOnlyA) > 0 || len(c.CellsOnlyB) > 0 {
+		b.WriteString("\n## Structural drift\n\n")
+		for _, d := range driftGroups {
+			fmt.Fprintf(&b, "- group %s\n", d)
+		}
+		if len(c.CellsOnlyA) > 0 {
+			fmt.Fprintf(&b, "- cells only in A: %s\n", strings.Join(c.CellsOnlyA, ", "))
+		}
+		if len(c.CellsOnlyB) > 0 {
+			fmt.Fprintf(&b, "- cells only in B: %s\n", strings.Join(c.CellsOnlyB, ", "))
+		}
+	}
+	return b.String()
+}
+
+// renderRow formats one aligned metric row.
+func renderRow(r Row) []string {
+	a, bv, abs, rel, note := "—", "—", "—", "—", ""
+	if r.InA {
+		a = fmtVal(r.A)
+	}
+	if r.InB {
+		bv = fmtVal(r.B)
+	}
+	switch {
+	case r.InA && r.InB:
+		abs = fmtSigned(r.Abs())
+		if v, ok := r.Rel(); ok {
+			rel = fmt.Sprintf("%+.1f%%", v*100)
+		} else if r.Abs() != 0 {
+			rel = "n/a (baseline 0)"
+		} else {
+			rel = "+0.0%"
+		}
+	case r.InA:
+		note = "only in A"
+	default:
+		note = "only in B"
+	}
+	if r.Failed() {
+		if note != "" {
+			note += "; "
+		}
+		note += "failure flag set"
+	}
+	return []string{"`" + r.Key + "`", a, bv, abs, rel, note}
+}
+
+// fmtVal renders a metric value: integers without a fraction, everything
+// else with four significant digits — deterministic and diff-friendly.
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// fmtSigned is fmtVal with an explicit sign, for deviation columns.
+func fmtSigned(v float64) string {
+	s := fmtVal(v)
+	if v > 0 {
+		s = "+" + s
+	}
+	return s
+}

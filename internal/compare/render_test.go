@@ -1,0 +1,119 @@
+package compare
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/golden/<name>; -update rewrites.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/compare -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestRenderGolden pins the markdown rendering across every row shape:
+// aligned rows, sign handling, a zero baseline, a failure flag, one-sided
+// metrics, one-sided groups and cell drift.
+func TestRenderGolden(t *testing.T) {
+	a := &Doc{
+		Label: "run-0001", Source: "data/run-0001", Kind: "artifact",
+		Stamp: "run run-0001: exp4, seed 42, scale quick",
+		Cells: []string{"storm/2", "storm/4", "legacy/8"},
+		Groups: []Group{
+			{Name: "exp4", Keys: []string{"storm/2", "storm/4", "storm/4/failed", "zero_base", "retired"},
+				Values: map[string]float64{"storm/2": 200000, "storm/4": 198000, "storm/4/failed": 0, "zero_base": 0, "retired": 1.5}},
+			{Name: "calibration", Keys: []string{"drift"}, Values: map[string]float64{"drift": 0.01}},
+		},
+	}
+	b := &Doc{
+		Label: "run-0002", Source: "data/run-0002", Kind: "artifact",
+		Stamp: "run run-0002: exp4, seed 42, scale quick",
+		Cells: []string{"storm/2", "storm/4", "flink/8"},
+		Groups: []Group{
+			{Name: "exp4", Keys: []string{"storm/2", "storm/4", "storm/4/failed", "zero_base", "added"},
+				Values: map[string]float64{"storm/2": 210000, "storm/4": 99000, "storm/4/failed": 1, "zero_base": 0.125, "added": 7}},
+			{Name: "extension", Keys: []string{"new"}, Values: map[string]float64{"new": 2}},
+		},
+	}
+	checkGolden(t, "render.md", Render(Align(a, b)))
+}
+
+// TestRenderBenchGolden pins the bench-adapter path end to end: parse two
+// synthetic BENCH files, align, render.
+func TestRenderBenchGolden(t *testing.T) {
+	aRaw := []byte(`{
+  "date": "2026-01-01", "commit": "aaaaaaaaaaaaaaaaaaaa", "dirty": false,
+  "goos": "linux", "goarch": "amd64", "cpu": "TestCPU", "gomaxprocs": 1,
+  "benchmarks": [
+    {"name": "Hot", "iters": 1000, "metrics": {"ns/op": 100, "B/op": 0, "allocs/op": 0, "ev/s": 5000}}
+  ]
+}`)
+	bRaw := []byte(`{
+  "date": "2026-02-02", "commit": "bbbbbbbbbbbbbbbbbbbb", "dirty": true,
+  "goos": "linux", "goarch": "amd64", "cpu": "TestCPU", "gomaxprocs": 1,
+  "benchmarks": [
+    {"name": "Hot", "iters": 900, "metrics": {"ns/op": 110, "B/op": 16, "allocs/op": 1, "ev/s": 4900}}
+  ]
+}`)
+	for _, raw := range [][]byte{aRaw, bRaw} {
+		if !IsBenchFile(raw) {
+			t.Fatal("synthetic bench file not recognised")
+		}
+	}
+	a, err := DocFromBench("old", "old.json", aRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DocFromBench("new", "new.json", bRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration counts are benchtime artifacts, not comparable metrics.
+	for _, d := range []*Doc{a, b} {
+		for _, k := range d.Groups[0].Keys {
+			if k == "iters" {
+				t.Fatal("iters leaked into comparable metrics")
+			}
+		}
+	}
+	checkGolden(t, "render-bench.md", Render(Align(a, b)))
+}
+
+func TestRenderViolationsGolden(t *testing.T) {
+	th := Thresholds{
+		Metrics: map[string]Rule{
+			"ns/op":     {MaxIncrease: fptr(0.05)},
+			"allocs/op": {MaxIncrease: fptr(0.0)},
+		},
+		Missing: "fail",
+	}
+	c := Align(
+		&Doc{Groups: []Group{{Name: "Hot", Keys: []string{"ns/op", "allocs/op", "gone"},
+			Values: map[string]float64{"ns/op": 100, "allocs/op": 0, "gone": 1}}}},
+		&Doc{Groups: []Group{{Name: "Hot", Keys: []string{"ns/op", "allocs/op"},
+			Values: map[string]float64{"ns/op": 131, "allocs/op": 2}}}},
+	)
+	checkGolden(t, "violations.txt", RenderViolations(th.Check(c)))
+	if got := RenderViolations(nil); got != "compare: gate passed\n" {
+		t.Errorf("empty violations rendered %q", got)
+	}
+}

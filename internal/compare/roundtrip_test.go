@@ -1,0 +1,227 @@
+package compare
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+)
+
+// rtExecutions counts every cell execution of the round-trip experiment;
+// the --from path must never move it.
+var rtExecutions atomic.Int64
+
+func init() {
+	// Registered (not a test-local resolver) because the --from path
+	// resolves through ctl.ResolveSpec → core.Lookup, exactly like
+	// production.
+	core.Register(core.Experiment{
+		ID:    "compare-rt",
+		Title: "round-trip synthetic experiment",
+		Cells: func(o core.Options) []core.Cell {
+			cells := make([]core.Cell, 4)
+			for i := range cells {
+				i := i
+				cells[i] = core.Cell{
+					ID: fmt.Sprintf("c%02d", i),
+					Run: func(ctx context.Context, o core.Options) (any, error) {
+						rtExecutions.Add(1)
+						return map[string]any{"cell": i, "v": int(o.Seed) * (i + 1)}, nil
+					},
+				}
+			}
+			return cells
+		},
+		Assemble: func(o core.Options, raws [][]byte) (*core.Outcome, error) {
+			var b strings.Builder
+			sum := 0.0
+			for _, raw := range raws {
+				var r struct {
+					Cell int     `json:"cell"`
+					V    float64 `json:"v"`
+				}
+				if err := json.Unmarshal(raw, &r); err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(&b, "cell %d -> %.0f\n", r.Cell, r.V)
+				sum += r.V
+			}
+			return &core.Outcome{Text: b.String(), Metrics: map[string]float64{"sum": sum}}, nil
+		},
+	})
+}
+
+// completeRun drives a run through an in-process coordinator + agent and
+// returns the coordinator, store dir and run ID once the run is done.
+func completeRun(t *testing.T, seed uint64) (*ctl.Coordinator, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := ctl.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := ctl.NewCoordinator(store, ctl.CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := coord.Submit(ctl.RunSpec{Experiment: "compare-rt", Seed: seed, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	agent := &ctl.Agent{Name: "rt", API: coord, Poll: time.Millisecond}
+	go agent.Run(ctx)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		r, err := coord.Run(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status == ctl.RunDone {
+			return coord, dir, info.ID
+		}
+		if r.Status == ctl.RunFailed || time.Now().After(deadline) {
+			t.Fatalf("run did not complete: %+v", r)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFromReportByteIdentical is the subsystem's core guarantee: rendering
+// a report from a completed run's store is byte-identical to rendering it
+// from a direct in-process execution, and re-executes zero cells.
+func TestFromReportByteIdentical(t *testing.T) {
+	_, dir, runID := completeRun(t, 42)
+	const date = "2026-03-04"
+
+	direct, err := RenderSuite(DirectGetter(core.Options{Seed: 42}),
+		SuiteOptions{Scale: "quick", Seed: 42, Date: date, Only: []string{"compare-rt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := rtExecutions.Load()
+	src, err := OpenStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := RenderRunReport(src, runID, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rtExecutions.Load(); got != before {
+		t.Fatalf("--from path executed %d cell(s); must execute zero", got-before)
+	}
+	if fromStore != direct {
+		t.Errorf("--from report differs from direct report\n--- from ---\n%s\n--- direct ---\n%s", fromStore, direct)
+	}
+}
+
+// TestAssembleRunMatchesStoredArtifact: the re-assembled artifact must be
+// byte-identical to the artifact the coordinator stored at completion.
+func TestAssembleRunMatchesStoredArtifact(t *testing.T) {
+	coord, dir, runID := completeRun(t, 7)
+	src, err := OpenStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, m, err := AssembleRun(src, runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 4 {
+		t.Fatalf("manifest has %d cells, want 4", len(m.Cells))
+	}
+	got, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := coord.Artifact(runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("re-assembled artifact differs from the coordinator's stored artifact")
+	}
+}
+
+func TestFindRunAndFallback(t *testing.T) {
+	_, dir, runID := completeRun(t, 42)
+	src, err := OpenStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FindRun(src, "compare-rt", 42, "quick")
+	if err != nil || got != runID {
+		t.Errorf("FindRun = %q, %v; want %q", got, err, runID)
+	}
+	if _, err := FindRun(src, "compare-rt", 43, "quick"); !errors.Is(err, ErrNoRun) {
+		t.Errorf("FindRun wrong seed: err = %v, want ErrNoRun", err)
+	}
+
+	var fellBack []string
+	get := FallbackGetter(
+		StoreGetter(src, 43, "quick"),
+		DirectGetter(core.Options{Seed: 43}),
+		func(id string, err error) { fellBack = append(fellBack, id) },
+	)
+	if _, err := get("compare-rt"); err != nil {
+		t.Fatalf("fallback getter failed: %v", err)
+	}
+	if len(fellBack) != 1 || fellBack[0] != "compare-rt" {
+		t.Errorf("fallback not observed: %v", fellBack)
+	}
+	// A hit must not fall back.
+	fellBack = nil
+	hit := FallbackGetter(StoreGetter(src, 42, "quick"), DirectGetter(core.Options{Seed: 42}),
+		func(id string, err error) { fellBack = append(fellBack, id) })
+	if _, err := hit("compare-rt"); err != nil {
+		t.Fatal(err)
+	}
+	if len(fellBack) != 0 {
+		t.Errorf("store hit still fell back: %v", fellBack)
+	}
+}
+
+// TestLoadRunDocAndCompare: Load() resolves <dir>/<run-id> refs into docs
+// (carrying cell IDs) and two runs at different seeds align cleanly.
+func TestLoadRunDocAndCompare(t *testing.T) {
+	_, dirA, runA := completeRun(t, 42)
+	_, dirB, runB := completeRun(t, 43)
+	a, err := Load(dirA+"/"+runA, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(dirB+"/"+runB, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != "artifact" || len(a.Cells) != 4 {
+		t.Fatalf("run doc = %+v", a)
+	}
+	if !strings.Contains(a.Stamp, "run "+runA) || !strings.Contains(a.Stamp, "seed 42") {
+		t.Errorf("run stamp = %q", a.Stamp)
+	}
+	c := Align(a, b)
+	if len(c.CellsOnlyA) != 0 || len(c.CellsOnlyB) != 0 {
+		t.Errorf("identical cell sets flagged as drift: %v / %v", c.CellsOnlyA, c.CellsOnlyB)
+	}
+	row := c.Groups[0].Rows[0]
+	if row.Key != "sum" || !row.InA || !row.InB || row.Abs() != 10 {
+		// sum = seed * (1+2+3+4); 43*10 - 42*10 = 10.
+		t.Errorf("aligned run metrics wrong: %+v", row)
+	}
+	// The whole-store ref (no run ID) is not a comparable side.
+	if _, err := Load(dirA, ""); err == nil {
+		t.Error("whole-store ref accepted as a comparison side")
+	}
+}

@@ -1,0 +1,234 @@
+package compare
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+)
+
+// A Source is a read-only view of a controller's run store: the manifests
+// (cell → result-object maps) and the content-addressed objects.  Two
+// implementations exist: a coordinator data directory on local disk
+// (including one produced by `sdpsctl fetch --dir`) and a live coordinator
+// over its REST API.
+type Source interface {
+	// Runs lists run summaries in submission order.
+	Runs() ([]ctl.RunInfo, error)
+	// Manifest loads one run's persisted manifest.
+	Manifest(id string) (*ctl.RunManifest, error)
+	// Object fetches a stored object by SHA-256 address.
+	Object(sha string) ([]byte, error)
+}
+
+// storeSource reads a coordinator data directory directly.
+type storeSource struct{ s *ctl.Store }
+
+// OpenStoreDir opens a coordinator data directory (it must contain runs/)
+// as a Source.
+func OpenStoreDir(dir string) (Source, error) {
+	if !ctl.IsStoreDir(dir) {
+		return nil, fmt.Errorf("compare: %s is not a coordinator data directory (no runs/)", dir)
+	}
+	s, err := ctl.NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return storeSource{s}, nil
+}
+
+func (src storeSource) Runs() ([]ctl.RunInfo, error) {
+	ms, err := src.s.LoadRuns()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ctl.RunInfo, len(ms))
+	for i, m := range ms {
+		out[i] = manifestInfo(m)
+	}
+	return out, nil
+}
+
+func (src storeSource) Manifest(id string) (*ctl.RunManifest, error) { return src.s.LoadRun(id) }
+func (src storeSource) Object(sha string) ([]byte, error)            { return src.s.GetObject(sha) }
+
+// manifestInfo summarises a persisted manifest the way the coordinator's
+// status endpoint would.
+func manifestInfo(m *ctl.RunManifest) ctl.RunInfo {
+	done := 0
+	for _, c := range m.Cells {
+		if c.ResultSHA != "" {
+			done++
+		}
+	}
+	return ctl.RunInfo{
+		ID: m.ID, Spec: m.Spec, Status: m.Status, Error: m.Error,
+		CellsTotal: len(m.Cells), CellsDone: done, ArtifactSHA: m.ArtifactSHA,
+	}
+}
+
+// clientSource reads a live coordinator over HTTP.
+type clientSource struct{ c *ctl.Client }
+
+// NewClientSource wraps a coordinator client as a Source.
+func NewClientSource(c *ctl.Client) Source { return clientSource{c} }
+
+func (src clientSource) Runs() ([]ctl.RunInfo, error)                 { return src.c.Runs() }
+func (src clientSource) Manifest(id string) (*ctl.RunManifest, error) { return src.c.Manifest(id) }
+func (src clientSource) Object(sha string) ([]byte, error)            { return src.c.Object(sha) }
+
+// AssembleRun re-assembles a run's canonical artifact purely from its
+// manifest and the stored cell results: the spec resolves through the same
+// path the coordinator and agents use, every cell's result object is
+// fetched by address, and the experiment's Assemble folds them — nothing
+// executes, so this works offline and proves a manifest is
+// report-complete.  The bytes are identical to the run's stored artifact
+// (and to a direct single-process run of the same spec) by construction.
+func AssembleRun(src Source, runID string) (core.Artifact, *ctl.RunManifest, error) {
+	m, err := src.Manifest(runID)
+	if err != nil {
+		return core.Artifact{}, nil, err
+	}
+	exp, o, err := ctl.ResolveSpec(m.Spec)
+	if err != nil {
+		return core.Artifact{}, nil, fmt.Errorf("compare: resolve run %s: %w", runID, err)
+	}
+	cells := exp.Cells(o)
+	if len(cells) != len(m.Cells) {
+		return core.Artifact{}, nil, fmt.Errorf("compare: run %s: experiment %s enumerates %d cells here, manifest has %d (version skew?)",
+			runID, m.Spec.Experiment, len(cells), len(m.Cells))
+	}
+	results := make([][]byte, len(m.Cells))
+	var missing []string
+	for i, cm := range m.Cells {
+		if cm.ResultSHA == "" {
+			missing = append(missing, cm.ID)
+			continue
+		}
+		data, err := src.Object(cm.ResultSHA)
+		if err != nil {
+			return core.Artifact{}, nil, fmt.Errorf("compare: run %s cell %s: %w", runID, cm.ID, err)
+		}
+		results[i] = data
+	}
+	if len(missing) > 0 {
+		return core.Artifact{}, nil, fmt.Errorf("compare: run %s is not report-complete (status %s): %d/%d cells have no stored result (%s)",
+			runID, m.Status, len(missing), len(m.Cells), strings.Join(truncate(missing, 5), ", "))
+	}
+	out, err := exp.Assemble(o, results)
+	if err != nil {
+		return core.Artifact{}, nil, fmt.Errorf("compare: assemble run %s: %w", runID, err)
+	}
+	return core.NewArtifact(exp, o, out), m, nil
+}
+
+// ErrNoRun is returned by FindRun when no completed run matches.
+var ErrNoRun = errors.New("compare: no completed run found")
+
+// FindRun returns the newest completed, unreplicated run of an experiment
+// at the given seed and scale.
+func FindRun(src Source, experiment string, seed uint64, scale string) (string, error) {
+	runs, err := src.Runs()
+	if err != nil {
+		return "", err
+	}
+	for i := len(runs) - 1; i >= 0; i-- {
+		r := runs[i]
+		if r.Status == ctl.RunDone && r.Spec.Experiment == experiment &&
+			r.Spec.Seed == seed && r.Spec.Scale == scale && r.Spec.Replicate == 0 {
+			return r.ID, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %s (seed %d, scale %s)", ErrNoRun, experiment, seed, scale)
+}
+
+// ParseRef resolves an `--from`-style run reference into a Source and an
+// optional pinned run ID:
+//
+//	<data-dir>                whole store
+//	<data-dir>/<run-id>       one run in a store
+//	http(s)://host:port           whole coordinator
+//	http(s)://host:port/<run-id>  one run on a coordinator
+func ParseRef(ref string) (Source, string, error) {
+	if strings.HasPrefix(ref, "http://") || strings.HasPrefix(ref, "https://") {
+		base, runID := ref, ""
+		if i := strings.LastIndex(ref, "/"); i >= 0 && looksLikeRunID(ref[i+1:]) {
+			base, runID = ref[:i], ref[i+1:]
+		}
+		return NewClientSource(ctl.NewClient(base)), runID, nil
+	}
+	if ctl.IsStoreDir(ref) {
+		src, err := OpenStoreDir(ref)
+		return src, "", err
+	}
+	dir, base := filepath.Dir(ref), filepath.Base(ref)
+	if looksLikeRunID(base) && ctl.IsStoreDir(dir) {
+		src, err := OpenStoreDir(dir)
+		return src, base, err
+	}
+	return nil, "", fmt.Errorf("compare: %s is neither a coordinator data directory, <dir>/<run-id>, nor a coordinator URL", ref)
+}
+
+// looksLikeRunID matches coordinator-issued run IDs ("run-0007").
+func looksLikeRunID(s string) bool { return strings.HasPrefix(s, "run-") && !strings.Contains(s, "/") }
+
+// Load resolves one side of a comparison into a Doc.  A ref may be:
+//
+//   - a JSON file: an experiment artifact (`sdpsbench -json` output or a
+//     fetched run artifact) or a BENCH_*.json benchmark baseline;
+//   - <data-dir>/<run-id> or http(s)://coordinator/<run-id>: the run's
+//     artifact re-assembled from stored cell results;
+//   - a bare run ID, resolved against coord (when non-empty).
+func Load(ref, coord string) (*Doc, error) {
+	if fi, err := os.Stat(ref); err == nil && fi.Mode().IsRegular() {
+		data, err := os.ReadFile(ref)
+		if err != nil {
+			return nil, err
+		}
+		label := filepath.Base(ref)
+		if IsBenchFile(data) {
+			return DocFromBench(label, ref, data)
+		}
+		a, err := core.DecodeArtifact(data)
+		if err != nil || a.Experiment == "" {
+			return nil, fmt.Errorf("compare: %s is neither a benchmark baseline nor an experiment artifact", ref)
+		}
+		return DocFromArtifact(label, ref, a), nil
+	}
+	if looksLikeRunID(ref) && coord != "" {
+		return loadRunDoc(NewClientSource(ctl.NewClient(coord)), ref, coord+"/"+ref)
+	}
+	src, runID, err := ParseRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	if runID == "" {
+		return nil, fmt.Errorf("compare: %s names a whole store; compare needs a file or <source>/<run-id>", ref)
+	}
+	return loadRunDoc(src, runID, ref)
+}
+
+func loadRunDoc(src Source, runID, source string) (*Doc, error) {
+	a, m, err := AssembleRun(src, runID)
+	if err != nil {
+		return nil, err
+	}
+	doc := DocFromArtifact(runID, source, a)
+	doc.Stamp = fmt.Sprintf("run %s: %s", m.ID, doc.Stamp)
+	for _, c := range m.Cells {
+		doc.Cells = append(doc.Cells, c.ID)
+	}
+	return doc, nil
+}
+
+// truncate caps a string list at n entries, appending an ellipsis marker.
+func truncate(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return append(append([]string(nil), s[:n]...), "…")
+}

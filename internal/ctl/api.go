@@ -14,6 +14,8 @@ import (
 //	GET  /api/v1/runs                     list runs
 //	GET  /api/v1/runs/{id}                one run, with per-cell detail
 //	GET  /api/v1/runs/{id}/artifact       canonical artifact bytes
+//	GET  /api/v1/runs/{id}/manifest       persisted RunManifest (cell -> result SHA map)
+//	GET  /api/v1/objects/{sha}            stored object bytes (cell result or artifact)
 //	GET  /api/v1/runs/{id}/events         SSE progress stream
 //	POST /api/v1/runs/{id}/abort          {"reason"} -> RunInfo (run fails, nothing re-queues)
 //	POST /api/v1/agents                   {"name"} -> {"agent_id"}
@@ -58,6 +60,26 @@ func NewHandler(c *Coordinator) http.Handler {
 
 	mux.HandleFunc("GET /api/v1/runs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
 		data, err := c.Artifact(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	mux.HandleFunc("GET /api/v1/runs/{id}/manifest", func(w http.ResponseWriter, r *http.Request) {
+		m, err := c.Manifest(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+
+	mux.HandleFunc("GET /api/v1/objects/{sha}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := c.Object(r.PathValue("sha"))
 		if err != nil {
 			writeErr(w, statusFor(err), err)
 			return

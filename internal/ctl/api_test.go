@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -95,6 +96,74 @@ func TestHTTPEndToEndWithRemoteAgents(t *testing.T) {
 	}
 	if err := cl.Complete("lease-9999", nil); !errors.Is(err, ErrStaleLease) {
 		t.Fatalf("409 not mapped: %v", err)
+	}
+}
+
+// TestHTTPManifestAndObjects covers the read-side endpoints that
+// artifact-native reporting (internal/compare) consumes: the persisted
+// manifest maps every cell to a result object, and each object — cell
+// results and the assembled artifact — is fetchable by address.
+func TestHTTPManifestAndObjects(t *testing.T) {
+	exp := testExperiment("synth", 3, nil)
+	c, _ := newTestCoordinator(t, CoordinatorOptions{Resolve: resolverFor(exp)})
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	spec := RunSpec{Experiment: "synth", Seed: 7, Scale: "quick"}
+	info, err := cl.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := &Agent{Name: "remote", API: NewClient(srv.URL), Poll: 2 * time.Millisecond, Resolve: resolverFor(exp)}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.Run(ctx)
+	}()
+	if err := cl.Watch(context.Background(), info.ID, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	wg.Wait()
+
+	m, err := cl.Manifest(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != info.ID || m.Status != RunDone || m.ArtifactSHA == "" {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+	if len(m.Cells) != 3 {
+		t.Fatalf("manifest has %d cells, want 3", len(m.Cells))
+	}
+	for i, cm := range m.Cells {
+		if cm.ResultSHA == "" {
+			t.Fatalf("cell %d has no result SHA: %+v", i, cm)
+		}
+		if _, err := cl.Object(cm.ResultSHA); err != nil {
+			t.Fatalf("fetch cell object %s: %v", cm.ResultSHA, err)
+		}
+	}
+	art, err := cl.Object(m.ArtifactSHA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cl.Artifact(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(art, direct) {
+		t.Fatal("artifact object differs from the artifact endpoint")
+	}
+	if _, err := cl.Manifest("run-9999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("manifest 404 not mapped: %v", err)
+	}
+	if _, err := cl.Object(strings.Repeat("ab", 32)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("object 404 not mapped: %v", err)
 	}
 }
 

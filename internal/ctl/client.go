@@ -196,6 +196,24 @@ func (c *Client) Artifact(id string) ([]byte, error) {
 	return data, err
 }
 
+// Manifest fetches a run's persisted manifest (the cell → result-object
+// map).  Read-only and idempotent, so it retries on transport errors.
+func (c *Client) Manifest(id string) (*RunManifest, error) {
+	var m RunManifest
+	err := c.doRetry("GET", "/api/v1/runs/"+id+"/manifest", nil, &m)
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Object fetches a stored object (cell result or artifact) by address.
+func (c *Client) Object(sha string) ([]byte, error) {
+	var data []byte
+	err := c.doRetry("GET", "/api/v1/objects/"+sha, nil, &data)
+	return data, err
+}
+
 // Abort cancels a queued or running run; the run fails with the reason and
 // nothing is re-queued.
 func (c *Client) Abort(id, reason string) (RunInfo, error) {

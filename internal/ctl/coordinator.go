@@ -330,6 +330,26 @@ func (c *Coordinator) Artifact(id string) ([]byte, error) {
 	return c.store.GetObject(sha)
 }
 
+// Manifest returns a copy of a run's persisted manifest — the cell →
+// result-object map read-side consumers (sdpsreport --from, sdpsctl fetch
+// --dir) use to re-assemble artifacts from the store.
+func (c *Coordinator) Manifest(id string) (*RunManifest, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: run %s", ErrNotFound, id)
+	}
+	m := r.m
+	m.Cells = append([]CellManifest(nil), r.m.Cells...)
+	return &m, nil
+}
+
+// Object serves a stored object (cell result or artifact) by address.
+func (c *Coordinator) Object(sha string) ([]byte, error) {
+	return c.store.GetObject(sha)
+}
+
 // Abort cancels a run: queued cells are dropped, live leases are revoked
 // (their late Complete/Fail calls get ErrStaleLease, so nothing is
 // re-queued) and the run moves to RunFailed with an "aborted" reason.

@@ -215,6 +215,15 @@ type AgentAPI interface {
 	Fail(leaseID string, reason string) error
 }
 
+// ResolveSpec resolves a persisted RunSpec into its experiment and
+// defaulted options against the process experiment registry — the same
+// resolution path the coordinator and agents use, exported for read-side
+// consumers (internal/compare) that re-assemble artifacts from stored cell
+// results without executing anything.
+func ResolveSpec(spec RunSpec) (core.Experiment, core.Options, error) {
+	return validateSpec(core.Lookup, spec)
+}
+
 // validateSpec resolves the spec into a runnable experiment: an inline
 // scenario compiles through internal/scenario, anything else resolves
 // against the experiment registry, and a replication request wraps the

@@ -142,6 +142,30 @@ func (s *Store) SaveRun(m *RunManifest) error {
 	return nil
 }
 
+// LoadRun reads one persisted manifest by run ID.
+func (s *Store) LoadRun(id string) (*RunManifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, "runs", id+".json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: run %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("ctl: load run %s: %w", id, err)
+	}
+	var m RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("ctl: load run %s: %w", id, err)
+	}
+	return &m, nil
+}
+
+// IsStoreDir reports whether dir looks like a coordinator data directory
+// (it has a runs/ subdirectory).  Read paths use it to avoid creating
+// store scaffolding inside arbitrary directories.
+func IsStoreDir(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, "runs"))
+	return err == nil && fi.IsDir()
+}
+
 // LoadRuns reads every persisted manifest, sorted by run ID (submission
 // order, since IDs embed the submission sequence).
 func (s *Store) LoadRuns() ([]*RunManifest, error) {

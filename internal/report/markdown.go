@@ -1,0 +1,33 @@
+package report
+
+import "strings"
+
+// MarkdownTable renders a GitHub-flavoured markdown table: one header row,
+// the separator line, then one line per row.  Cells are emitted verbatim;
+// callers own number formatting.  Rows shorter than the header are padded
+// with empty cells, longer ones are truncated to it.
+func MarkdownTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	writeMarkdownRow(&b, header, len(header))
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMarkdownRow(&b, sep, len(header))
+	for _, r := range rows {
+		writeMarkdownRow(&b, r, len(header))
+	}
+	return b.String()
+}
+
+func writeMarkdownRow(b *strings.Builder, cells []string, width int) {
+	b.WriteString("|")
+	for i := 0; i < width; i++ {
+		c := ""
+		if i < len(cells) {
+			c = cells[i]
+		}
+		b.WriteString(" " + c + " |")
+	}
+	b.WriteString("\n")
+}

@@ -9,12 +9,23 @@
 # what makes regressions diffable: `make bench-json`, then compare against
 # the previous BENCH_*.json.
 #
-# BENCH_DATE overrides the date stamp (for reproducible filenames in CI).
+# BENCH_DATE overrides the date stamp (for reproducible filenames in CI);
+# BENCH_OUT overrides the output path entirely.  The snapshot records the
+# producing git commit and a dirty flag, so `sdpsreport compare` can say
+# exactly which trees are being compared.
 set -eu
 cd "$(dirname "$0")/.."
 
 date_tag=${BENCH_DATE:-$(date +%F)}
-out=BENCH_${date_tag}.json
+out=${BENCH_OUT:-BENCH_${date_tag}.json}
+
+# Provenance: which tree produced this snapshot.  A dirty flag marks
+# baselines that cannot be reproduced from any commit.
+commit=$(git rev-parse HEAD 2>/dev/null || echo "")
+dirty=false
+if [ -n "$commit" ] && ! git diff --quiet HEAD 2>/dev/null; then
+	dirty=true
+fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -32,7 +43,7 @@ run -bench='BenchmarkFlatTablePutGet' -benchmem ./internal/flat/
 run -bench='BenchmarkFindSustainableQuick' -benchtime=1x -benchmem ./internal/driver/
 run -bench='BenchmarkTable1SustainableAggregation' -benchtime=1x -benchmem .
 
-awk -v date="$date_tag" '
+awk -v date="$date_tag" -v commit="$commit" -v dirty="$dirty" '
 BEGIN { n = 0; gomaxprocs = 1 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -54,6 +65,10 @@ BEGIN { n = 0; gomaxprocs = 1 }
 END {
 	printf "{\n"
 	printf "  \"date\": \"%s\",\n", date
+	if (commit != "") {
+		printf "  \"commit\": \"%s\",\n", commit
+		printf "  \"dirty\": %s,\n", dirty
+	}
 	printf "  \"goos\": \"%s\",\n", goos
 	printf "  \"goarch\": \"%s\",\n", goarch
 	printf "  \"cpu\": \"%s\",\n", cpu

@@ -29,6 +29,7 @@ echo "chaos: building binaries"
 go build -o "$TMP/sdpsd" ./cmd/sdpsd
 go build -o "$TMP/sdpsctl" ./cmd/sdpsctl
 go build -o "$TMP/sdpsbench" ./cmd/sdpsbench
+go build -o "$TMP/sdpsreport" ./cmd/sdpsreport
 
 start_sdpsd() {
     # No in-process agents: the single external agent executes cells
@@ -135,3 +136,18 @@ if ! cmp -s "$TMP/distributed.json" "$TMP/direct.json"; then
     exit 1
 fi
 echo "chaos: OK — artifact byte-identical to sdpsbench through agent kill + coordinator restart ($(wc -c < "$TMP/direct.json") bytes)"
+
+# Final pass: the recovered run must be report-complete — sdpsreport -from
+# re-assembles it offline from the post-chaos store (manifest + objects)
+# without executing anything.
+echo "chaos: rendering a report from the recovered run's store"
+if ! "$TMP/sdpsreport" -from "$TMP/data/$RUN_ID" -date 2026-01-01 > "$TMP/report.md"; then
+    echo "chaos: FAIL — sdpsreport -from could not re-assemble the recovered run" >&2
+    exit 1
+fi
+if ! grep -q "crash-recovery" "$TMP/report.md"; then
+    echo "chaos: FAIL — report from recovered run lacks the scenario section" >&2
+    head -40 "$TMP/report.md" >&2
+    exit 1
+fi
+echo "chaos: OK — sdpsreport -from rendered the recovered run ($(wc -c < "$TMP/report.md") bytes)"

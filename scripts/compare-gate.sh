@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# compare-gate: the perf-regression gate `make ci` runs.
+#
+# Takes a fresh micro-benchmark snapshot (scripts/bench-baseline.sh into a
+# temp file) and compares it against the newest committed BENCH_*.json via
+# `sdpsreport compare --gate scripts/gate-thresholds.json`.  The gate fails
+# (exit 1) when any metric moves past its tolerance — allocs/op is tight
+# (the zero-alloc hot paths must stay zero-alloc), ns/op is loose enough
+# to absorb shared-CI timing noise but catches order-of-magnitude
+# regressions, and the headline *_ev/s throughput metrics may not drop.
+# Benchmark renames/additions fail structurally ("missing": "fail") until
+# a new baseline is committed alongside them.
+#
+# GATE_BASELINE overrides the baseline file; the full comparison table is
+# printed either way.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Newest committed baseline by its embedded "date" stamp — filename order
+# is wrong for suffixed stamps ("...-pr5" sorts before ".json").
+newest_baseline() {
+	for f in BENCH_*.json; do
+		[ -f "$f" ] || continue
+		printf '%s\t%s\n' "$(sed -n 's/.*"date": *"\([^"]*\)".*/\1/p' "$f" | head -1)" "$f"
+	done | sort | tail -1 | cut -f2
+}
+
+baseline=${GATE_BASELINE:-$(newest_baseline)}
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+	echo "compare-gate: no committed BENCH_*.json baseline found" >&2
+	exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "compare-gate: snapshotting benchmarks..." >&2
+BENCH_OUT=$tmp/bench-now.json scripts/bench-baseline.sh
+
+echo "compare-gate: gating against $baseline" >&2
+go run ./cmd/sdpsreport compare -gate scripts/gate-thresholds.json \
+	"$baseline" "$tmp/bench-now.json"
