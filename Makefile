@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos compare-gate
+.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos compare-gate profile
 
 ci: vet build test race bench-smoke scenario-validate chaos compare-gate
 
@@ -37,6 +37,17 @@ bench:
 # metrics) into BENCH_<date>.json; commit it after perf-relevant PRs.
 bench-json:
 	scripts/bench-baseline.sh
+
+# Profile a representative run (table1, quick scale) with the bench
+# binary's own -cpuprofile/-memprofile flags; inspect with
+# `go tool pprof out/profile/{cpu,mem}.pprof`.  Override the experiment
+# or scale with PROFILE_ARGS="-exp fig9 -scale full".
+PROFILE_ARGS ?= -exp table1
+profile:
+	mkdir -p out/profile
+	$(GO) run ./cmd/sdpsbench $(PROFILE_ARGS) \
+		-cpuprofile out/profile/cpu.pprof -memprofile out/profile/mem.pprof > out/profile/run.txt
+	@echo "profiles: out/profile/cpu.pprof out/profile/mem.pprof (run text in out/profile/run.txt)"
 
 # Perf-regression gate: fresh benchmark snapshot compared against the
 # newest committed BENCH_*.json via `sdpsreport compare --gate`

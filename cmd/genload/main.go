@@ -108,18 +108,18 @@ func main() {
 				if q.PopBatch(batch, 4096) == 0 {
 					break
 				}
-				for i := range batch.Events {
-					e := &batch.Events[i]
+				c := batch.Columns()
+				for i := 0; i < batch.Len(); i++ {
 					n++
-					w += e.Weight
+					w += c.Weight[i]
 					if *events {
 						enc.Encode(eventJSON{
-							Stream:    e.Stream.String(),
-							UserID:    e.UserID,
-							GemPackID: e.GemPackID,
-							Price:     e.Price,
-							EventTime: int64(e.EventTime / time.Millisecond),
-							Weight:    e.Weight,
+							Stream:    c.Stream[i].String(),
+							UserID:    c.UserID[i],
+							GemPackID: c.GemPackID[i],
+							Price:     c.Price[i],
+							EventTime: int64(c.EventTime[i] / time.Millisecond),
+							Weight:    c.Weight[i],
 						})
 					}
 				}

@@ -28,6 +28,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -49,8 +51,35 @@ func main() {
 		reps     = flag.Int("replicate", 0, "run the experiment N times with different seeds and report cross-seed spread")
 		asJSON   = flag.Bool("json", false, "print the canonical machine-readable artifact instead of text")
 		verbose  = flag.Bool("v", false, "report each finished experiment cell on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle to live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {

@@ -257,13 +257,13 @@ func TestRuntimePullStampsAndTracks(t *testing.T) {
 	cfg.Sources.Queue(0).Push(tuple.Event{GemPackID: 5, EventTime: time.Second, Weight: 10})
 	cfg.Sources.Queue(1).Push(tuple.Event{GemPackID: 5, EventTime: 2 * time.Second, Weight: 10})
 
-	events, w := rt.Pull(10, 3*time.Second)
-	if len(events) != 2 || w != 20 {
-		t.Fatalf("pull: %d events weight %d", len(events), w)
+	batch, w := rt.Pull(10, 3*time.Second)
+	if batch.Len() != 2 || w != 20 {
+		t.Fatalf("pull: %d events weight %d", batch.Len(), w)
 	}
-	for _, e := range events {
-		if e.IngestTime != 3*time.Second {
-			t.Fatalf("ingest time not stamped: %v", e.IngestTime)
+	for _, it := range batch.Columns().IngestTime {
+		if it != 3*time.Second {
+			t.Fatalf("ingest time not stamped: %v", it)
 		}
 	}
 	if rt.Watermark != 2*time.Second {

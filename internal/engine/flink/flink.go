@@ -237,12 +237,10 @@ func (j *job) capacity(now sim.Time) float64 {
 func (j *job) tick(now sim.Time) {
 	cap := j.capacity(now)
 	budget := j.rt.TupleBudget(cap, j.rt.Cfg.EventWeight)
-	events, _ := j.rt.Pull(budget, now)
+	batch, _ := j.rt.Pull(budget, now)
 
 	if j.agg != nil {
-		for i := range events {
-			j.agg.Add(&events[i])
-		}
+		j.agg.AddBatch(batch)
 		if j.emissionStalled {
 			return
 		}
@@ -255,9 +253,7 @@ func (j *job) tick(now sim.Time) {
 	}
 
 	// Windowed join.
-	for i := range events {
-		j.joinBuf.Add(&events[i])
-	}
+	j.joinBuf.AddBatch(batch)
 	j.checkJoinSkew(now)
 	if j.emissionStalled {
 		return

@@ -80,20 +80,16 @@ func (j *job) LateDropped() int64 {
 
 func (j *job) tick(now sim.Time) {
 	budget := j.rt.TupleBudget(j.netCap, j.rt.Cfg.EventWeight)
-	events, _ := j.rt.Pull(budget, now)
+	batch, _ := j.rt.Pull(budget, now)
 	wm := j.rt.FireWatermark()
 	if j.agg != nil {
-		for i := range events {
-			j.agg.Add(&events[i])
-		}
+		j.agg.AddBatch(batch)
 		for _, r := range j.agg.Fire(wm) {
 			j.rt.EmitAgg(r, time.Duration(now))
 		}
 		return
 	}
-	for i := range events {
-		j.joinBuf.Add(&events[i])
-	}
+	j.joinBuf.AddBatch(batch)
 	for _, fw := range j.joinBuf.Fire(wm) {
 		for _, r := range j.joinBuf.HashJoin(fw) {
 			j.rt.EmitJoin(r, time.Duration(now))

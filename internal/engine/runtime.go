@@ -149,13 +149,18 @@ func (rt *Runtime) TupleBudget(capEvPerSec float64, weight int64) int {
 // Pull pops up to n tuples from the sources into the runtime's reusable
 // batch, stamps their ingestion time, advances the watermark, feeds the
 // hot-key tracker, and charges network bytes for moving them into the
-// cluster.  Returns the pulled events and their total real-event weight.
+// cluster.  Returns the pulled batch and its total real-event weight.
 //
-// The returned slice aliases the runtime's pull batch and is valid only
-// until the next Pull: engines that keep events across ticks (Storm's
+// The post-pull bookkeeping streams over individual columns: the ingest
+// stamp writes one column, the watermark scan reads only event times, and
+// the hot-key feed reads only keys and weights — none of it strides whole
+// Event records.
+//
+// The returned batch is the runtime's reusable pull batch and is valid
+// only until the next Pull: engines that keep events across ticks (Storm's
 // spout buffer, the window operators' buffered state) must copy the values
-// out, which appending to a []tuple.Event or adding to window state does.
-func (rt *Runtime) Pull(n int, now sim.Time) ([]tuple.Event, int64) {
+// out, which pushing into a queue or adding to window state does.
+func (rt *Runtime) Pull(n int, now sim.Time) (*tuple.Batch, int64) {
 	// Fault injection happens here and only here: every engine model's
 	// ingestion funnels through Pull, so scaling the budget by the
 	// schedule's capacity factor models killed workers and stalls
@@ -165,27 +170,32 @@ func (rt *Runtime) Pull(n int, now sim.Time) ([]tuple.Event, int64) {
 	}
 	rt.pullBatch.Reset()
 	rt.Cfg.Sources.PopBatch(rt.pullBatch, n)
-	events := rt.pullBatch.Events
-	var weight int64
-	for i := range events {
-		e := &events[i]
-		e.IngestTime = now
-		if e.EventTime > rt.Watermark {
-			rt.Watermark = e.EventTime
+	c := rt.pullBatch.Columns()
+	for i := range c.IngestTime {
+		c.IngestTime[i] = now
+	}
+	wm := rt.Watermark
+	for _, et := range c.EventTime {
+		if et > wm {
+			wm = et
 		}
-		rt.HotKeys.Observe(e.Key(), e.Weight)
-		weight += e.Weight
+	}
+	rt.Watermark = wm
+	var weight int64
+	for i := range c.GemPackID {
+		rt.HotKeys.Observe(c.GemPackID[i], c.Weight[i])
+		weight += c.Weight[i]
 	}
 	if weight > 0 {
 		rt.Cfg.Cluster.SpreadNetwork(int64(rt.NetBytesPerEvent * float64(weight)))
 		rt.Cfg.Cluster.SpreadCPU(rt.CPUPerMEvent * float64(weight) / 1e6)
 	}
-	rt.sinceDecay += len(events)
+	rt.sinceDecay += rt.pullBatch.Len()
 	if rt.sinceDecay >= rt.decayEvery {
 		rt.HotKeys.Decay()
 		rt.sinceDecay = 0
 	}
-	return events, weight
+	return rt.pullBatch, weight
 }
 
 // EmitAgg sends one windowed-aggregation result to the sink with

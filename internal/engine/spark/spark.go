@@ -245,20 +245,16 @@ func (j *job) tick(now sim.Time) {
 		burst = 1.22
 	}
 	budget := j.rt.TupleBudget(j.rng.Perturb(j.receiverRate*burst, 0.05), j.rt.Cfg.EventWeight)
-	events, w := j.rt.Pull(budget, now)
+	batch, w := j.rt.Pull(budget, now)
 	j.batchWeight += w
 	// DStream semantics: events are bucketed by the block/batch they
 	// arrive in, not by their event time — the receiver writes blocks as
 	// data comes.  Provenance keeps the true event times.
 	at := time.Duration(now)
 	if j.agg != nil {
-		for i := range events {
-			j.agg.AddAt(&events[i], at)
-		}
+		j.agg.AddBatchAt(batch, at)
 	} else {
-		for i := range events {
-			j.joinBuf.AddAt(&events[i], at)
-		}
+		j.joinBuf.AddBatchAt(batch, at)
 	}
 
 	// Batch boundary: close the batch into a job.

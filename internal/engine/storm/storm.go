@@ -319,10 +319,8 @@ func (j *job) tick(now sim.Time) {
 // spout buffer (copying them out of the runtime's reused pull batch).
 func (j *job) pull(now sim.Time, evBudget float64) {
 	n := j.rt.TupleBudget(evBudget/j.rt.Cfg.Tick.Seconds(), j.rt.Cfg.EventWeight)
-	events, _ := j.rt.Pull(n, now)
-	for i := range events {
-		j.inflight.Push(events[i])
-	}
+	batch, _ := j.rt.Pull(n, now)
+	j.inflight.PushFromBatch(batch)
 }
 
 // process routes one tuple into window state and advances the processed

@@ -353,6 +353,14 @@ func (g *Generator) TotalWeight() int64 { return g.totalWeight }
 
 // tick generates this interval's events and distributes them round-robin
 // over the instance queues.
+//
+// The tick fills the staging batch column by column: the draw-free columns
+// (event time, weight, ingest time) are bulk-filled with tight vector
+// loops, and the RNG-derived columns are filled by fillDrawn in strict row
+// order — the per-event draw sequence is part of the artifacts' bit
+// identity (goldens, distributed smoke), so only columns that consume no
+// randomness may be batched out of row order.  TestGeneratorDrawOrder pins
+// this.
 func (g *Generator) tick(now sim.Time) {
 	if g.stopped {
 		return
@@ -368,70 +376,104 @@ func (g *Generator) tick(now sim.Time) {
 	if n == 0 {
 		return
 	}
-	span := float64(g.cfg.Tick)
 	// Stage the tick's events in a recycled batch, then scatter them
 	// round-robin over the instance queues.  The batch is the only event
-	// storage the generator ever allocates; Push copies values into the
-	// queue rings.
+	// storage the generator ever allocates; Scatter copies column
+	// segments into the queue rings.
 	batch := g.pool.Get()
-	for i := 0; i < n; i++ {
-		// Event times increase within the tick (per-instance streams
-		// are in order, which keeps watermarks simple, matching the
-		// paper's in-order generation).
-		et := intervalStart + time.Duration((float64(i)+0.5)/float64(n)*span)
-		batch.Append(g.makeEvent(et))
+	cols := batch.Extend(n)
+	// Event times increase within the tick (per-instance streams are in
+	// order, which keeps watermarks simple, matching the paper's in-order
+	// generation).  The float expression is kept identical to the
+	// historical per-row computation so event times stay bit-equal.
+	span := float64(g.cfg.Tick)
+	nf := float64(n)
+	for i := range cols.EventTime {
+		cols.EventTime[i] = intervalStart + time.Duration((float64(i)+0.5)/nf*span)
 	}
+	w := g.cfg.EventsPerTuple
+	for i := range cols.Weight {
+		cols.Weight[i] = w
+	}
+	// Ingest time is stamped by the SUT at pull; events leave the
+	// generator with a zero column (Extend exposes stale slab content).
+	for i := range cols.IngestTime {
+		cols.IngestTime[i] = 0
+	}
+	g.fillDrawn(cols, n)
 	if g.cfg.Tap != nil {
-		for i := range batch.Events {
-			g.cfg.Tap(&batch.Events[i])
+		for i := 0; i < n; i++ {
+			e := cols.Row(i)
+			g.cfg.Tap(&e)
 		}
 	}
-	size := g.queues.Size()
-	for i := range batch.Events {
-		q := g.queues.Queue(i % size)
-		q.Push(batch.Events[i]) // overflow is detected by the driver via q.Overflowed()
-		g.totalWeight += batch.Events[i].Weight
-	}
+	g.queues.Scatter(batch) // overflow is detected by the driver via Overflowed()
+	g.totalWeight += int64(n) * w
 	g.pool.Put(batch)
 }
 
-// makeEvent draws one event.
-func (g *Generator) makeEvent(et time.Duration) tuple.Event {
-	if g.cfg.DisorderProb > 0 && g.rng.Bool(g.cfg.DisorderProb) {
-		et -= time.Duration(g.rng.Float64() * float64(g.cfg.DisorderMax))
-		if et < 0 {
-			et = 0
+// fillDrawn fills the RNG-derived columns (stream, user, key, price, and
+// the disorder shift of event time) row by row.  Row order is load-bearing:
+// every draw must come off the generator's stream in exactly the order the
+// historical row-at-a-time makeEvent consumed it.
+func (g *Generator) fillDrawn(c tuple.Cols, n int) {
+	rng := g.rng
+	if g.cfg.AdsShare == 0 && g.cfg.DisorderProb == 0 {
+		// Purchases-only in-order fast path: the aggregation grids'
+		// steady state.  Draw order per row: user, key, price.
+		users := g.cfg.Users
+		keys := g.cfg.Keys
+		maxPrice := int(g.cfg.MaxPrice)
+		if maxPrice <= 0 {
+			maxPrice = 100
 		}
-	}
-	e := tuple.Event{
-		EventTime: et,
-		Weight:    g.cfg.EventsPerTuple,
-	}
-	if g.cfg.AdsShare > 0 && g.rng.Bool(g.cfg.AdsShare) {
-		e.Stream = tuple.Ads
-		if len(g.recentPurchases) > 0 && g.rng.Bool(g.cfg.MatchProb) {
-			// A matching ad: propose a gem pack the user recently
-			// bought (the paper's use-case joins ads to resulting
-			// purchases; the correlation direction is symmetric for
-			// the benchmark's purposes).
-			p := g.recentPurchases[g.rng.Intn(len(g.recentPurchases))]
-			e.UserID, e.GemPackID = p.user, p.pack
-		} else {
-			e.UserID = int64(g.rng.Intn(g.cfg.Users))
-			e.GemPackID = g.cfg.Keys.Next(g.rng)
+		for i := 0; i < n; i++ {
+			u := int64(rng.Intn(users))
+			k := keys.Next(rng)
+			c.Stream[i] = tuple.Purchases
+			c.UserID[i] = u
+			c.GemPackID[i] = k
+			c.Price[i] = int64(rng.Intn(maxPrice)) + 1
+			g.remember(purchaseID{user: u, pack: k})
 		}
-		return e
+		return
 	}
-	e.Stream = tuple.Purchases
-	e.UserID = int64(g.rng.Intn(g.cfg.Users))
-	e.GemPackID = g.cfg.Keys.Next(g.rng)
-	maxPrice := g.cfg.MaxPrice
-	if maxPrice <= 0 {
-		maxPrice = 100
+	for i := 0; i < n; i++ {
+		if g.cfg.DisorderProb > 0 && rng.Bool(g.cfg.DisorderProb) {
+			et := c.EventTime[i] - time.Duration(rng.Float64()*float64(g.cfg.DisorderMax))
+			if et < 0 {
+				et = 0
+			}
+			c.EventTime[i] = et
+		}
+		if g.cfg.AdsShare > 0 && rng.Bool(g.cfg.AdsShare) {
+			c.Stream[i] = tuple.Ads
+			c.Price[i] = 0
+			if len(g.recentPurchases) > 0 && rng.Bool(g.cfg.MatchProb) {
+				// A matching ad: propose a gem pack the user recently
+				// bought (the paper's use-case joins ads to resulting
+				// purchases; the correlation direction is symmetric for
+				// the benchmark's purposes).
+				p := g.recentPurchases[rng.Intn(len(g.recentPurchases))]
+				c.UserID[i], c.GemPackID[i] = p.user, p.pack
+			} else {
+				c.UserID[i] = int64(rng.Intn(g.cfg.Users))
+				c.GemPackID[i] = g.cfg.Keys.Next(rng)
+			}
+			continue
+		}
+		c.Stream[i] = tuple.Purchases
+		u := int64(rng.Intn(g.cfg.Users))
+		k := g.cfg.Keys.Next(rng)
+		c.UserID[i] = u
+		c.GemPackID[i] = k
+		maxPrice := g.cfg.MaxPrice
+		if maxPrice <= 0 {
+			maxPrice = 100
+		}
+		c.Price[i] = int64(rng.Intn(int(maxPrice))) + 1
+		g.remember(purchaseID{user: u, pack: k})
 	}
-	e.Price = int64(g.rng.Intn(int(maxPrice))) + 1
-	g.remember(purchaseID{user: e.UserID, pack: e.GemPackID})
-	return e
 }
 
 func (g *Generator) remember(p purchaseID) {
@@ -440,5 +482,7 @@ func (g *Generator) remember(p purchaseID) {
 		return
 	}
 	g.recentPurchases[g.reservoirNext] = p
-	g.reservoirNext = (g.reservoirNext + 1) % reservoirSize
+	if g.reservoirNext++; g.reservoirNext == reservoirSize {
+		g.reservoirNext = 0
+	}
 }

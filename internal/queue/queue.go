@@ -10,14 +10,17 @@
 // long — Storm dropping connections under overload — is detected here and
 // treated as a failure, exactly as the paper prescribes.
 //
-// Events are stored by value in a power-of-two ring buffer, so the steady
-// state allocates nothing: pushes copy into the ring, pops copy out, and
-// the ring only grows (never shrinks) until it fits the deployment's peak
-// backlog.
+// Events are stored by value in a power-of-two ring, columnar like the
+// batches that feed it (one parallel ring per Event field), so the steady
+// state allocates nothing and bulk transfers move column segments instead
+// of striding 56-byte records: pushes copy into the rings, pops copy out,
+// and the rings only grow (never shrink) until they fit the deployment's
+// peak backlog.  See DESIGN-PERF.md §9 for the columnar memory model.
 package queue
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/tuple"
 )
@@ -37,11 +40,18 @@ type Queue struct {
 	// buffer and the experiment is halted.
 	capWeight int64
 
-	// buf is a power-of-two ring; head and tail are free-running
-	// counters masked by len(buf)-1.  tail-head is the live count.
-	buf  []tuple.Event
-	head uint64
-	tail uint64
+	// The ring is columnar: seven parallel power-of-two slices of equal
+	// length; head and tail are free-running counters masked by
+	// len(ring)-1.  tail-head is the live count.
+	stream     []tuple.StreamID
+	userID     []int64
+	gemPackID  []int64
+	price      []int64
+	eventTime  []time.Duration
+	ingestTime []time.Duration
+	wcol       []int64
+	head       uint64
+	tail       uint64
 
 	weight   int64
 	totalIn  int64 // cumulative real-event weight pushed
@@ -59,7 +69,7 @@ func New(name string, capWeight int64) *Queue {
 func (q *Queue) Name() string { return q.name }
 
 // Reset empties the queue and clears all accounting (weight, totals,
-// overflow), keeping the grown ring so a reused run performs no ring
+// overflow), keeping the grown rings so a reused run performs no ring
 // growth (see driver.Probe).
 func (q *Queue) Reset() {
 	q.head, q.tail = 0, 0
@@ -67,34 +77,55 @@ func (q *Queue) Reset() {
 	q.overflow = false
 }
 
-// grow doubles the ring (or allocates the initial one), relinearising the
+// ringSize returns the current ring capacity.
+func (q *Queue) ringSize() int { return len(q.wcol) }
+
+// relinearize copies the live ring segment of one column in FIFO order
+// into dst (len(dst) >= live count).
+func relinearize[T any](dst, ring []T, head uint64, n int) {
+	if n == 0 || len(ring) == 0 {
+		return
+	}
+	h := int(head & uint64(len(ring)-1))
+	c := copy(dst, ring[h:min(h+n, len(ring))])
+	if c < n {
+		copy(dst[c:], ring[:n-c])
+	}
+}
+
+// grow doubles the rings (or allocates the initial ones), relinearising the
 // live events at the front.
 func (q *Queue) grow() {
-	size := 2 * len(q.buf)
+	size := 2 * q.ringSize()
 	if size < minRingSize {
 		size = minRingSize
 	}
-	next := make([]tuple.Event, size)
-	n := q.copyOut(next)
-	q.buf = next
+	n := int(q.tail - q.head)
+	stream := make([]tuple.StreamID, size)
+	userID := make([]int64, size)
+	gemPackID := make([]int64, size)
+	price := make([]int64, size)
+	eventTime := make([]time.Duration, size)
+	ingestTime := make([]time.Duration, size)
+	wcol := make([]int64, size)
+	relinearize(stream, q.stream, q.head, n)
+	relinearize(userID, q.userID, q.head, n)
+	relinearize(gemPackID, q.gemPackID, q.head, n)
+	relinearize(price, q.price, q.head, n)
+	relinearize(eventTime, q.eventTime, q.head, n)
+	relinearize(ingestTime, q.ingestTime, q.head, n)
+	relinearize(wcol, q.wcol, q.head, n)
+	q.stream, q.userID, q.gemPackID, q.price = stream, userID, gemPackID, price
+	q.eventTime, q.ingestTime, q.wcol = eventTime, ingestTime, wcol
 	q.head = 0
 	q.tail = uint64(n)
 }
 
-// copyOut copies the live events in FIFO order into dst and returns how
-// many were copied.
-func (q *Queue) copyOut(dst []tuple.Event) int {
-	n := int(q.tail - q.head)
-	if n == 0 || len(q.buf) == 0 {
-		return 0
+// reserve grows the rings until they can hold n more events.
+func (q *Queue) reserve(n int) {
+	for q.ringSize()-int(q.tail-q.head) < n {
+		q.grow()
 	}
-	mask := uint64(len(q.buf) - 1)
-	h := int(q.head & mask)
-	c := copy(dst, q.buf[h:min(h+n, len(q.buf))])
-	if c < n {
-		c += copy(dst[c:], q.buf[:n-c])
-	}
-	return c
 }
 
 // Push appends an event.  It returns false — and marks the queue
@@ -105,10 +136,17 @@ func (q *Queue) Push(e tuple.Event) bool {
 		q.overflow = true
 		return false
 	}
-	if int(q.tail-q.head) == len(q.buf) {
+	if int(q.tail-q.head) == q.ringSize() {
 		q.grow()
 	}
-	q.buf[q.tail&uint64(len(q.buf)-1)] = e
+	i := q.tail & uint64(q.ringSize()-1)
+	q.stream[i] = e.Stream
+	q.userID[i] = e.UserID
+	q.gemPackID[i] = e.GemPackID
+	q.price[i] = e.Price
+	q.eventTime[i] = e.EventTime
+	q.ingestTime[i] = e.IngestTime
+	q.wcol[i] = e.Weight
 	q.tail++
 	q.weight += e.Weight
 	q.totalIn += e.Weight
@@ -128,21 +166,98 @@ func (q *Queue) PushBatch(events []tuple.Event) int {
 	return len(events)
 }
 
+// scatterCol copies every stride-th element of src starting at start into
+// the ring from free-running position t.
+func scatterCol[T any](ring []T, t, mask uint64, src []T, start, stride int) {
+	j := t
+	for i := start; i < len(src); i += stride {
+		ring[j&mask] = src[i]
+		j++
+	}
+}
+
+// pushCols bulk-pushes the strided row subset {start, start+stride, ...}
+// of a columnar view, preserving per-event Push semantics.  When the whole
+// subset fits under the capacity bound the columns move with per-column
+// strided copies and one accounting update; otherwise it falls back to
+// per-event Push so overflow detection is bit-identical to the row path.
+func (q *Queue) pushCols(c tuple.Cols, start, stride int) {
+	n := len(c.Weight)
+	if start >= n || stride <= 0 {
+		return
+	}
+	count := (n - start + stride - 1) / stride
+	var wsum int64
+	for i := start; i < n; i += stride {
+		wsum += c.Weight[i]
+	}
+	if q.capWeight > 0 && q.weight+wsum > q.capWeight {
+		for i := start; i < n; i += stride {
+			q.Push(c.Row(i))
+		}
+		return
+	}
+	q.reserve(count)
+	mask := uint64(q.ringSize() - 1)
+	t := q.tail
+	scatterCol(q.stream, t, mask, c.Stream, start, stride)
+	scatterCol(q.userID, t, mask, c.UserID, start, stride)
+	scatterCol(q.gemPackID, t, mask, c.GemPackID, start, stride)
+	scatterCol(q.price, t, mask, c.Price, start, stride)
+	scatterCol(q.eventTime, t, mask, c.EventTime, start, stride)
+	scatterCol(q.ingestTime, t, mask, c.IngestTime, start, stride)
+	scatterCol(q.wcol, t, mask, c.Weight, start, stride)
+	q.tail += uint64(count)
+	q.weight += wsum
+	q.totalIn += wsum
+}
+
+// PushFromBatch pushes every row of the batch in order — the bulk
+// column-to-column transfer engines use to move a pulled batch into an
+// internal buffer (Storm's spout-to-bolt queue).  Semantics match pushing
+// the rows one by one.
+func (q *Queue) PushFromBatch(b *tuple.Batch) {
+	q.pushCols(b.Columns(), 0, 1)
+}
+
+// row materializes the ring entry at masked index i.
+func (q *Queue) row(i uint64) tuple.Event {
+	return tuple.Event{
+		Stream:     q.stream[i],
+		UserID:     q.userID[i],
+		GemPackID:  q.gemPackID[i],
+		Price:      q.price[i],
+		EventTime:  q.eventTime[i],
+		IngestTime: q.ingestTime[i],
+		Weight:     q.wcol[i],
+	}
+}
+
 // Pop removes and returns the oldest event; ok is false if the queue is
 // empty.
 func (q *Queue) Pop() (e tuple.Event, ok bool) {
 	if q.head == q.tail {
 		return tuple.Event{}, false
 	}
-	e = q.buf[q.head&uint64(len(q.buf)-1)]
+	e = q.row(q.head & uint64(q.ringSize()-1))
 	q.head++
 	q.weight -= e.Weight
 	q.totalOut += e.Weight
 	return e, true
 }
 
+// popSeg copies the two FIFO segments [h, h+n) mod ringSize of one column
+// into dst.
+func popSeg[T any](dst, ring []T, h int, n int) {
+	c := copy(dst, ring[h:min(h+n, len(ring))])
+	if c < n {
+		copy(dst[c:], ring[:n-c])
+	}
+}
+
 // PopBatch appends up to max events in FIFO order to dst and returns how
-// many were moved.  The copies in dst are owned by the caller.
+// many were moved.  The copies in dst are owned by the caller; columns
+// move as at most two contiguous segments each.
 func (q *Queue) PopBatch(dst *tuple.Batch, max int) int {
 	n := int(q.tail - q.head)
 	if n > max {
@@ -151,15 +266,58 @@ func (q *Queue) PopBatch(dst *tuple.Batch, max int) int {
 	if n <= 0 {
 		return 0
 	}
-	mask := uint64(len(q.buf) - 1)
-	for i := 0; i < n; i++ {
-		e := q.buf[(q.head+uint64(i))&mask]
-		dst.Append(e)
-		q.weight -= e.Weight
-		q.totalOut += e.Weight
+	c := dst.Extend(n)
+	h := int(q.head & uint64(q.ringSize()-1))
+	popSeg(c.Stream, q.stream, h, n)
+	popSeg(c.UserID, q.userID, h, n)
+	popSeg(c.GemPackID, q.gemPackID, h, n)
+	popSeg(c.Price, q.price, h, n)
+	popSeg(c.EventTime, q.eventTime, h, n)
+	popSeg(c.IngestTime, q.ingestTime, h, n)
+	popSeg(c.Weight, q.wcol, h, n)
+	var wsum int64
+	for _, w := range c.Weight {
+		wsum += w
 	}
 	q.head += uint64(n)
+	q.weight -= wsum
+	q.totalOut += wsum
 	return n
+}
+
+// gatherCol copies count ring elements starting at free-running position h
+// into dst at positions offset, offset+stride, ...
+func gatherCol[T any](dst []T, offset, stride int, ring []T, h, mask uint64, count int) {
+	j := offset
+	for r := 0; r < count; r++ {
+		dst[j] = ring[(h+uint64(r))&mask]
+		j += stride
+	}
+}
+
+// popStrided removes count events from the head, writing row r to the
+// strided positions offset+r*stride of the columnar view — the bulk leg of
+// the group's round-robin drain.
+func (q *Queue) popStrided(c tuple.Cols, offset, stride, count int) {
+	mask := uint64(q.ringSize() - 1)
+	h := q.head
+	gatherCol(c.Stream, offset, stride, q.stream, h, mask, count)
+	gatherCol(c.UserID, offset, stride, q.userID, h, mask, count)
+	gatherCol(c.GemPackID, offset, stride, q.gemPackID, h, mask, count)
+	gatherCol(c.Price, offset, stride, q.price, h, mask, count)
+	gatherCol(c.EventTime, offset, stride, q.eventTime, h, mask, count)
+	gatherCol(c.IngestTime, offset, stride, q.ingestTime, h, mask, count)
+	var wsum int64
+	j := offset
+	for r := 0; r < count; r++ {
+		w := q.wcol[(h+uint64(r))&mask]
+		c.Weight[j] = w
+		wsum += w
+		j += stride
+	}
+	q.head += uint64(count)
+	q.weight -= wsum
+	q.totalOut += wsum
 }
 
 // Peek returns a copy of the oldest event without removing it; ok is false
@@ -168,7 +326,7 @@ func (q *Queue) Peek() (e tuple.Event, ok bool) {
 	if q.head == q.tail {
 		return tuple.Event{}, false
 	}
-	return q.buf[q.head&uint64(len(q.buf)-1)], true
+	return q.row(q.head & uint64(q.ringSize()-1)), true
 }
 
 // Len returns the number of buffered simulated events.
@@ -268,17 +426,61 @@ func (g *Group) Overflowed() bool {
 	return false
 }
 
+// Scatter distributes the batch's rows round-robin over the member queues
+// (row i to queue i mod size), preserving each queue's arrival order —
+// the generator's fan-out.  Each queue receives its strided row subset as
+// per-column bulk copies; capacity bounds and overflow marking behave
+// exactly as if the rows had been Pushed one by one in row order.
+func (g *Group) Scatter(b *tuple.Batch) {
+	size := len(g.queues)
+	n := b.Len()
+	if size == 0 || n == 0 {
+		return
+	}
+	c := b.Columns()
+	for qi := 0; qi < size && qi < n; qi++ {
+		g.queues[qi].pushCols(c, qi, size)
+	}
+}
+
 // PopBatch appends up to max events to dst, removed round-robin across the
 // queues one event at a time, preserving approximate arrival fairness.  It
 // moves fewer than max only when the group is drained.  The round-robin
 // cursor persists across calls so no queue is starved.
+//
+// The rounds in which every member can contribute — the steady-state bulk
+// of a balanced drain — move as strided per-column copies; the uneven tail
+// falls back to the event-at-a-time rotation.  The interleaving in dst is
+// identical to the historical per-event implementation.
 func (g *Group) PopBatch(dst *tuple.Batch, max int) int {
-	if max <= 0 || len(g.queues) == 0 {
+	size := len(g.queues)
+	if max <= 0 || size == 0 {
 		return 0
 	}
-	moved, idle := 0, 0
-	for moved < max && idle < len(g.queues) {
-		q := g.queues[g.next%len(g.queues)]
+	// Full rounds: while every queue holds at least one event, each round
+	// takes exactly one event per queue in cursor order.
+	minLen := -1
+	for _, q := range g.queues {
+		if n := q.Len(); minLen < 0 || n < minLen {
+			minLen = n
+		}
+	}
+	rounds := max / size
+	if rounds > minLen {
+		rounds = minLen
+	}
+	moved := 0
+	if rounds > 0 {
+		c := dst.Extend(rounds * size)
+		for k := 0; k < size; k++ {
+			g.queues[(g.next+k)%size].popStrided(c, k, size, rounds)
+		}
+		g.next += rounds * size
+		moved = rounds * size
+	}
+	idle := 0
+	for moved < max && idle < size {
+		q := g.queues[g.next%size]
 		g.next++
 		if e, ok := q.Pop(); ok {
 			dst.Append(e)

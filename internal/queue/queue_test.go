@@ -169,9 +169,9 @@ func TestQueuePushPopBatch(t *testing.T) {
 	if n := q.PopBatch(b, 30); n != 30 || b.Len() != 30 {
 		t.Fatalf("PopBatch moved %d (batch %d), want 30", n, b.Len())
 	}
-	for i, e := range b.Events {
-		if e.UserID != int64(i) {
-			t.Fatalf("batch order broken at %d: %+v", i, e)
+	for i, uid := range b.Columns().UserID {
+		if uid != int64(i) {
+			t.Fatalf("batch order broken at %d: %+v", i, b.Row(i))
 		}
 	}
 	if q.Len() != 70 || q.Weight() != 140 || q.TotalOut() != 60 {
@@ -181,8 +181,8 @@ func TestQueuePushPopBatch(t *testing.T) {
 	if n := q.PopBatch(b, 1000); n != 70 || b.Len() != 100 {
 		t.Fatalf("draining PopBatch moved %d (batch %d)", n, b.Len())
 	}
-	if b.Events[99].UserID != 99 {
-		t.Fatalf("appended batch order broken: %+v", b.Events[99])
+	if b.Columns().UserID[99] != 99 {
+		t.Fatalf("appended batch order broken: %+v", b.Row(99))
 	}
 }
 
@@ -240,8 +240,8 @@ func TestGroupRoundRobinFairness(t *testing.T) {
 	}
 	// Round-robin: exactly two events from each queue.
 	seen := map[int64]int{}
-	for _, e := range b.Events {
-		seen[e.UserID/100]++
+	for _, uid := range b.Columns().UserID {
+		seen[uid/100]++
 	}
 	for i := int64(0); i < 4; i++ {
 		if seen[i] != 2 {

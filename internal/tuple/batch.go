@@ -1,45 +1,201 @@
 package tuple
 
-// Batch is a reusable slab of events moved through the driver pipeline by
-// value.  It is the unit of transfer between the generator, the driver
-// queues and the engines' source operators: events are copied into and out
-// of batches instead of being allocated one-by-one on the heap, which keeps
-// the simulation hot path allocation-free after warm-up.
+import "time"
+
+// Cols is the columnar (struct-of-arrays) view of a Batch: one parallel
+// slice per Event field, all sharing the batch's length.  Hot loops that
+// touch only a few fields — the generator's per-tick fill, ingestion
+// stamping, watermark scans, window folds — stream over exactly the
+// columns they need instead of striding 56-byte Event records, which is
+// what makes the batch pipeline cache-friendly (DESIGN-PERF.md §9).
+//
+// A Cols is a set of views into the batch's slabs: it is valid until the
+// batch is next Appended to, Extended, or Reset, and writes through it
+// mutate the batch.
+type Cols struct {
+	Stream     []StreamID
+	UserID     []int64
+	GemPackID  []int64
+	Price      []int64
+	EventTime  []time.Duration
+	IngestTime []time.Duration
+	Weight     []int64
+}
+
+// Row materializes row i of the view as an Event value.
+func (c Cols) Row(i int) Event {
+	return Event{
+		Stream:     c.Stream[i],
+		UserID:     c.UserID[i],
+		GemPackID:  c.GemPackID[i],
+		Price:      c.Price[i],
+		EventTime:  c.EventTime[i],
+		IngestTime: c.IngestTime[i],
+		Weight:     c.Weight[i],
+	}
+}
+
+// Batch is a reusable columnar slab of events moved through the driver
+// pipeline by value.  It is the unit of transfer between the generator,
+// the driver queues and the engines' source operators: events are copied
+// into and out of batches instead of being allocated one-by-one on the
+// heap, which keeps the simulation hot path allocation-free after warm-up.
+//
+// The storage is struct-of-arrays: seven parallel column slices, always
+// equal in length and capacity.  Row-oriented call sites use Append/Row;
+// column-streaming call sites use Columns/Extend.
 //
 // Ownership rules (see DESIGN-PERF.md):
 //
 //   - The party that filled a batch owns it until it hands the batch (or
 //     its events) off; receivers that need events beyond the hand-off must
 //     copy the values out.
-//   - Reset does not zero the slab; a recycled batch may expose stale
-//     Event values through re-slicing, so consumers must only read
-//     Events[:Len()].
+//   - Reset does not zero the slabs; a recycled batch may expose stale
+//     values through Extend, so Extend callers must overwrite every cell
+//     of every column in the region they claim.
 type Batch struct {
-	// Events is the slab.  Callers may read and reorder Events freely but
-	// must go through Append/Reset to change its length so capacity is
-	// retained across reuse.
-	Events []Event
+	cols Cols
 }
 
 // NewBatch returns an empty batch with the given slab capacity.
 func NewBatch(capacity int) *Batch {
-	return &Batch{Events: make([]Event, 0, capacity)}
+	b := &Batch{}
+	b.alloc(capacity)
+	return b
+}
+
+// alloc replaces every column with a fresh empty slab of the given
+// capacity, preserving nothing.
+func (b *Batch) alloc(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	b.cols = Cols{
+		Stream:     make([]StreamID, 0, capacity),
+		UserID:     make([]int64, 0, capacity),
+		GemPackID:  make([]int64, 0, capacity),
+		Price:      make([]int64, 0, capacity),
+		EventTime:  make([]time.Duration, 0, capacity),
+		IngestTime: make([]time.Duration, 0, capacity),
+		Weight:     make([]int64, 0, capacity),
+	}
 }
 
 // Len returns the number of events in the batch.
-func (b *Batch) Len() int { return len(b.Events) }
+func (b *Batch) Len() int { return len(b.cols.Weight) }
 
-// Reset empties the batch, retaining the slab for reuse.
-func (b *Batch) Reset() { b.Events = b.Events[:0] }
+// Cap returns the slab capacity (shared by every column).
+func (b *Batch) Cap() int { return cap(b.cols.Weight) }
+
+// Reset empties the batch, retaining the slabs for reuse.
+func (b *Batch) Reset() {
+	b.cols.Stream = b.cols.Stream[:0]
+	b.cols.UserID = b.cols.UserID[:0]
+	b.cols.GemPackID = b.cols.GemPackID[:0]
+	b.cols.Price = b.cols.Price[:0]
+	b.cols.EventTime = b.cols.EventTime[:0]
+	b.cols.IngestTime = b.cols.IngestTime[:0]
+	b.cols.Weight = b.cols.Weight[:0]
+}
+
+// Columns returns the columnar view of the current contents.  The view is
+// valid until the next Append, Extend or Reset; writes through it mutate
+// the batch.
+func (b *Batch) Columns() Cols { return b.cols }
+
+// Row materializes row i as an Event value.
+func (b *Batch) Row(i int) Event { return b.cols.Row(i) }
+
+// grow reallocates every column to hold at least need rows, copying the
+// live prefix.  All columns stay capacity-aligned.
+func (b *Batch) grow(need int) {
+	newCap := 2 * b.Cap()
+	if newCap < 64 {
+		newCap = 64
+	}
+	if newCap < need {
+		newCap = need
+	}
+	old := b.cols
+	n := b.Len()
+	b.alloc(newCap)
+	b.cols.Stream = b.cols.Stream[:n]
+	b.cols.UserID = b.cols.UserID[:n]
+	b.cols.GemPackID = b.cols.GemPackID[:n]
+	b.cols.Price = b.cols.Price[:n]
+	b.cols.EventTime = b.cols.EventTime[:n]
+	b.cols.IngestTime = b.cols.IngestTime[:n]
+	b.cols.Weight = b.cols.Weight[:n]
+	copy(b.cols.Stream, old.Stream)
+	copy(b.cols.UserID, old.UserID)
+	copy(b.cols.GemPackID, old.GemPackID)
+	copy(b.cols.Price, old.Price)
+	copy(b.cols.EventTime, old.EventTime)
+	copy(b.cols.IngestTime, old.IngestTime)
+	copy(b.cols.Weight, old.Weight)
+}
+
+// Extend appends n rows of unspecified content and returns a view of the
+// appended region for the caller to fill.  A recycled slab exposes stale
+// values, so the caller must overwrite every cell of every column it did
+// not mean to leave — this is the bulk-fill entry point for producers
+// (the generator's per-tick fill, the queues' bulk drains).
+func (b *Batch) Extend(n int) Cols {
+	if n <= 0 {
+		return Cols{}
+	}
+	old := b.Len()
+	if old+n > b.Cap() {
+		b.grow(old + n)
+	}
+	b.cols.Stream = b.cols.Stream[:old+n]
+	b.cols.UserID = b.cols.UserID[:old+n]
+	b.cols.GemPackID = b.cols.GemPackID[:old+n]
+	b.cols.Price = b.cols.Price[:old+n]
+	b.cols.EventTime = b.cols.EventTime[:old+n]
+	b.cols.IngestTime = b.cols.IngestTime[:old+n]
+	b.cols.Weight = b.cols.Weight[:old+n]
+	return Cols{
+		Stream:     b.cols.Stream[old:],
+		UserID:     b.cols.UserID[old:],
+		GemPackID:  b.cols.GemPackID[old:],
+		Price:      b.cols.Price[old:],
+		EventTime:  b.cols.EventTime[old:],
+		IngestTime: b.cols.IngestTime[old:],
+		Weight:     b.cols.Weight[old:],
+	}
+}
 
 // Append copies one event into the batch.
-func (b *Batch) Append(e Event) { b.Events = append(b.Events, e) }
+func (b *Batch) Append(e Event) {
+	n := b.Len()
+	if n == b.Cap() {
+		b.grow(n + 1)
+	}
+	b.cols.Stream = append(b.cols.Stream, e.Stream)
+	b.cols.UserID = append(b.cols.UserID, e.UserID)
+	b.cols.GemPackID = append(b.cols.GemPackID, e.GemPackID)
+	b.cols.Price = append(b.cols.Price, e.Price)
+	b.cols.EventTime = append(b.cols.EventTime, e.EventTime)
+	b.cols.IngestTime = append(b.cols.IngestTime, e.IngestTime)
+	b.cols.Weight = append(b.cols.Weight, e.Weight)
+}
+
+// AppendRowsTo materializes every row onto dst and returns the extended
+// slice — the row-compatibility bridge for consumers that still want
+// []Event (external bindings, oracles, tests).
+func (b *Batch) AppendRowsTo(dst []Event) []Event {
+	for i, n := 0, b.Len(); i < n; i++ {
+		dst = append(dst, b.cols.Row(i))
+	}
+	return dst
+}
 
 // Weight returns the total real-event weight of the batch.
 func (b *Batch) Weight() int64 {
 	var w int64
-	for i := range b.Events {
-		w += b.Events[i].Weight
+	for _, v := range b.cols.Weight {
+		w += v
 	}
 	return w
 }
@@ -79,9 +235,17 @@ func (p *BatchPool) Get() *Batch {
 
 // Put returns a batch to the free list.  The caller must not touch the
 // batch afterwards: its slab will be handed to the next Get.
+//
+// Put also promotes the pool's fresh-batch capacity to the largest slab it
+// has seen, so a Get that cannot recycle (the free list momentarily empty
+// under a deep pipeline) starts at the workload's grown capacity class
+// instead of re-growing from the initial slab every reuse cycle.
 func (p *BatchPool) Put(b *Batch) {
 	if b == nil {
 		return
+	}
+	if c := b.Cap(); c > p.slabCap {
+		p.slabCap = c
 	}
 	b.Reset()
 	p.free = append(p.free, b)

@@ -1,6 +1,7 @@
 package tuple
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -13,10 +14,10 @@ func TestBatchAppendResetRetainsSlab(t *testing.T) {
 	if b.Len() != 10 || b.Weight() != 20 {
 		t.Fatalf("len=%d weight=%d", b.Len(), b.Weight())
 	}
-	grown := cap(b.Events)
+	grown := b.Cap()
 	b.Reset()
-	if b.Len() != 0 || cap(b.Events) != grown {
-		t.Fatalf("reset must keep the slab: len=%d cap=%d (was %d)", b.Len(), cap(b.Events), grown)
+	if b.Len() != 0 || b.Cap() != grown {
+		t.Fatalf("reset must keep the slab: len=%d cap=%d (was %d)", b.Len(), b.Cap(), grown)
 	}
 }
 
@@ -53,7 +54,8 @@ func TestBatchPoolNoAliasingAcrossRecycling(t *testing.T) {
 	b.Append(Event{UserID: 7, GemPackID: 3, Price: 42, EventTime: time.Second, Weight: 5})
 
 	// A consumer copies the value out (what queues and window state do).
-	kept := b.Events[0]
+	kept := b.Row(0)
+	slab := b.Columns().UserID[:1]
 	p.Put(b)
 
 	// The next tick reuses the slab and overwrites it.
@@ -63,7 +65,7 @@ func TestBatchPoolNoAliasingAcrossRecycling(t *testing.T) {
 	if kept.UserID != 7 || kept.Price != 42 || kept.Weight != 5 {
 		t.Fatalf("copied-out value corrupted by slab reuse: %+v", kept)
 	}
-	if &b2.Events[0] != &b.Events[:1][0] {
+	if &b2.Columns().UserID[0] != &slab[0] {
 		// Same slab must have been reused — otherwise this test isn't
 		// exercising aliasing at all.
 		t.Fatal("pool failed to reuse the slab")
@@ -75,5 +77,126 @@ func TestBatchPoolPutNil(t *testing.T) {
 	p.Put(nil) // must not panic
 	if got := p.Get(); got == nil || got.Len() != 0 {
 		t.Fatal("pool must survive a nil Put")
+	}
+}
+
+// TestBatchPoolRetainsGrownCapacityClass pins the fresh-batch sizing fix:
+// once a batch has grown past the pool's initial slab capacity, a Get that
+// cannot recycle (free list empty) must start at the grown capacity class,
+// not re-grow from the initial slab every cycle.
+func TestBatchPoolRetainsGrownCapacityClass(t *testing.T) {
+	p := NewBatchPool(8)
+	b := p.Get()
+	for i := 0; i < 1000; i++ {
+		b.Append(Event{UserID: int64(i)})
+	}
+	grown := b.Cap()
+	if grown < 1000 {
+		t.Fatalf("batch did not grow: cap=%d", grown)
+	}
+	p.Put(b)
+
+	// Drain the free list, then ask for one more: the fresh batch must be
+	// born at the promoted capacity class.
+	_ = p.Get()
+	fresh := p.Get()
+	if fresh.Cap() < grown {
+		t.Fatalf("fresh batch cap=%d, want >= grown %d (pool forgot the capacity class)", fresh.Cap(), grown)
+	}
+}
+
+// TestBatchColumnarEquivalentToRows is the columnar≡AoS property test: a
+// batch driven through a random interleaving of Append / Extend+fill /
+// Reset / pool-recycle must stay row-for-row identical to a plain []Event
+// mirror of the same operations.
+func TestBatchColumnarEquivalentToRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mkEvent := func() Event {
+		return Event{
+			Stream:     StreamID(rng.Intn(2)),
+			UserID:     rng.Int63n(1000),
+			GemPackID:  rng.Int63n(100),
+			Price:      rng.Int63n(100),
+			EventTime:  time.Duration(rng.Int63n(1e9)),
+			IngestTime: time.Duration(rng.Int63n(1e9)),
+			Weight:     rng.Int63n(50) + 1,
+		}
+	}
+	check := func(b *Batch, mirror []Event) {
+		if b.Len() != len(mirror) {
+			t.Fatalf("len diverged: batch %d mirror %d", b.Len(), len(mirror))
+		}
+		c := b.Columns()
+		for i, want := range mirror {
+			if got := b.Row(i); got != want {
+				t.Fatalf("row %d diverged: got %+v want %+v", i, got, want)
+			}
+			if c.Row(i) != want {
+				t.Fatalf("column view row %d diverged", i)
+			}
+		}
+		if rows := b.AppendRowsTo(nil); len(rows) != len(mirror) {
+			t.Fatalf("AppendRowsTo length %d, want %d", len(rows), len(mirror))
+		}
+		var w int64
+		for _, e := range mirror {
+			w += e.Weight
+		}
+		if b.Weight() != w {
+			t.Fatalf("weight diverged: batch %d mirror %d", b.Weight(), w)
+		}
+	}
+
+	pool := NewBatchPool(4)
+	b := pool.Get()
+	var mirror []Event
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(10) {
+		case 0: // reset in place
+			b.Reset()
+			mirror = mirror[:0]
+		case 1: // recycle through the pool (stale slabs must not leak)
+			pool.Put(b)
+			b = pool.Get()
+			mirror = mirror[:0]
+		case 2, 3: // bulk Extend + per-column fill
+			n := rng.Intn(17)
+			events := make([]Event, n)
+			for i := range events {
+				events[i] = mkEvent()
+			}
+			c := b.Extend(n)
+			for i, e := range events {
+				c.Stream[i] = e.Stream
+				c.UserID[i] = e.UserID
+				c.GemPackID[i] = e.GemPackID
+				c.Price[i] = e.Price
+				c.EventTime[i] = e.EventTime
+				c.IngestTime[i] = e.IngestTime
+				c.Weight[i] = e.Weight
+			}
+			mirror = append(mirror, events...)
+		default: // row Append
+			e := mkEvent()
+			b.Append(e)
+			mirror = append(mirror, e)
+		}
+		check(b, mirror)
+	}
+}
+
+// BenchmarkBatchColumnAppend pins the cost of staging one row into a warm
+// columnar batch (the per-event unit of work behind every bulk fill); it
+// must stay allocation-free.
+func BenchmarkBatchColumnAppend(b *testing.B) {
+	batch := NewBatch(1024)
+	e := Event{Stream: 1, UserID: 7, GemPackID: 3, Price: 42, EventTime: time.Second, Weight: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch.Len() == batch.Cap() {
+			batch.Reset()
+		}
+		batch.Append(e)
 	}
 }

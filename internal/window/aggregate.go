@@ -21,10 +21,22 @@ type Agg struct {
 
 // add folds one event in.
 func (g *Agg) add(e *tuple.Event) {
-	g.Sum += e.Price
+	g.addVals(e.Price, e.Weight, e.EventTime, e.IngestTime)
+}
+
+// addVals folds one event given by its aggregation-relevant fields — the
+// column-streaming form of add: batch folds read only the price, weight,
+// event-time and ingest-time columns.
+func (g *Agg) addVals(price, weight int64, et, it time.Duration) {
+	g.Sum += price
 	g.Count++
-	g.Weight += e.Weight
-	g.Prov.Observe(e)
+	g.Weight += weight
+	if et > g.Prov.MaxEventTime {
+		g.Prov.MaxEventTime = et
+	}
+	if it > g.Prov.MaxProcTime {
+		g.Prov.MaxProcTime = it
+	}
 }
 
 // merge folds another partial aggregate in (pane -> window assembly).
@@ -95,6 +107,30 @@ func (ia *IncrementalAggregator) Add(e *tuple.Event) {
 			*n++
 		}
 		g.add(e)
+	}
+}
+
+// AddBatch folds every event of the batch in row order, streaming over the
+// key, price, weight, event-time and ingest-time columns — the stream and
+// user columns are never touched on the aggregation path.  Equivalent to
+// calling Add row by row.
+func (ia *IncrementalAggregator) AddBatch(b *tuple.Batch) {
+	c := b.Columns()
+	for i, et := range c.EventTime {
+		ia.scratch = ia.scratch[:0]
+		ia.asg.AssignTo(et, &ia.scratch)
+		for _, w := range ia.scratch {
+			if w.End <= ia.firedThrough {
+				ia.lateDropped++
+				continue
+			}
+			g, fresh := ia.state.Upsert(flat.K2(c.GemPackID[i], int64(w.End)))
+			if fresh {
+				n, _ := ia.ends.Upsert(flat.K(int64(w.End)))
+				*n++
+			}
+			g.addVals(c.Price[i], c.Weight[i], et, c.IngestTime[i])
+		}
 	}
 }
 

@@ -216,6 +216,41 @@ func (tb *TwoStreamBuffer) AddAt(e *tuple.Event, at time.Duration) int64 {
 	return tb.Purchases.AddAt(e, at)
 }
 
+// AddBatch routes every row of the batch by its stream column in row
+// order, each at its own event time, and returns total state growth in
+// bytes.  Equivalent to calling Add row by row.  The buffered window slabs
+// are row-form (the join probe consumes whole records), so rows
+// materialize here at the columnar/row boundary.
+func (tb *TwoStreamBuffer) AddBatch(b *tuple.Batch) int64 {
+	c := b.Columns()
+	var grew int64
+	for i, n := 0, b.Len(); i < n; i++ {
+		e := c.Row(i)
+		if c.Stream[i] == tuple.Ads {
+			grew += tb.Ads.AddAt(&e, e.EventTime)
+		} else {
+			grew += tb.Purchases.AddAt(&e, e.EventTime)
+		}
+	}
+	return grew
+}
+
+// AddBatchAt is AddBatch with every row assigned by the shared arrival
+// time at (micro-batch block semantics); see PaneAggregator.AddAt.
+func (tb *TwoStreamBuffer) AddBatchAt(b *tuple.Batch, at time.Duration) int64 {
+	c := b.Columns()
+	var grew int64
+	for i, n := 0, b.Len(); i < n; i++ {
+		e := c.Row(i)
+		if c.Stream[i] == tuple.Ads {
+			grew += tb.Ads.AddAt(&e, at)
+		} else {
+			grew += tb.Purchases.AddAt(&e, at)
+		}
+	}
+	return grew
+}
+
 // FiredJoinWindow pairs both sides of one fired window.
 type FiredJoinWindow struct {
 	Window    ID

@@ -85,6 +85,55 @@ func (pa *PaneAggregator) AddAt(e *tuple.Event, at time.Duration) {
 	g.add(e)
 }
 
+// AddBatch folds every event of the batch at its own event time, row
+// order, streaming only the columns the pane fold reads.  Equivalent to
+// calling Add row by row.
+func (pa *PaneAggregator) AddBatch(b *tuple.Batch) {
+	c := b.Columns()
+	for i, et := range c.EventTime {
+		pa.addAtCols(c, i, et)
+	}
+}
+
+// AddBatchAt folds every event of the batch into the single pane
+// containing the shared arrival time at — a micro-batch block write.  The
+// pane lookup and lateness check hoist out of the loop entirely; only the
+// key, price, weight and provenance columns stream.  Equivalent to calling
+// AddAt row by row.
+func (pa *PaneAggregator) AddBatchAt(b *tuple.Batch, at time.Duration) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	p := pa.asg.PaneOf(at)
+	if p.End+pa.asg.Size-pa.asg.Slide <= pa.firedThrough {
+		pa.lateDropped += int64(n)
+		return
+	}
+	c := b.Columns()
+	for i := 0; i < n; i++ {
+		g, fresh := pa.panes.Upsert(flat.K2(c.GemPackID[i], int64(p.End)))
+		if fresh && p.End > pa.maxEnd {
+			pa.maxEnd = p.End
+		}
+		g.addVals(c.Price[i], c.Weight[i], c.EventTime[i], c.IngestTime[i])
+	}
+}
+
+// addAtCols folds row i into the pane containing time at.
+func (pa *PaneAggregator) addAtCols(c tuple.Cols, i int, at time.Duration) {
+	p := pa.asg.PaneOf(at)
+	if p.End+pa.asg.Size-pa.asg.Slide <= pa.firedThrough {
+		pa.lateDropped++
+		return
+	}
+	g, fresh := pa.panes.Upsert(flat.K2(c.GemPackID[i], int64(p.End)))
+	if fresh && p.End > pa.maxEnd {
+		pa.maxEnd = p.End
+	}
+	g.addVals(c.Price[i], c.Weight[i], c.EventTime[i], c.IngestTime[i])
+}
+
 // Fire assembles and returns the aggregate of every window with
 // End <= watermark, then retires panes that no live window can need
 // (panes with end <= watermark - Size + Slide).  The returned slice is

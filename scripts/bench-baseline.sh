@@ -36,6 +36,7 @@ run() {
 
 : >"$raw"
 run -bench='BenchmarkKernelSchedule' -benchmem ./internal/sim/
+run -bench='BenchmarkBatchColumnAppend' -benchmem ./internal/tuple/
 run -bench='BenchmarkQueuePushPop|BenchmarkQueueBatchTransfer' -benchmem ./internal/queue/
 run -bench='BenchmarkGeneratorTick' -benchmem ./internal/generator/
 run -bench='BenchmarkWindowAggregate|BenchmarkWindowKeyedFire' -benchmem ./internal/window/

@@ -14,9 +14,9 @@ out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
 if ! go test -run=NONE \
-	-bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate|BenchmarkWindowKeyedFire|BenchmarkKernelSchedule|BenchmarkFlatTablePutGet' \
+	-bench='BenchmarkQueuePushPop|BenchmarkGeneratorTick|BenchmarkWindowAggregate|BenchmarkWindowKeyedFire|BenchmarkKernelSchedule|BenchmarkFlatTablePutGet|BenchmarkBatchColumnAppend' \
 	-benchtime=1x -benchmem \
-	./internal/queue/ ./internal/generator/ ./internal/window/ ./internal/sim/ ./internal/flat/ >"$out" 2>&1; then
+	./internal/queue/ ./internal/generator/ ./internal/window/ ./internal/sim/ ./internal/flat/ ./internal/tuple/ >"$out" 2>&1; then
 	cat "$out"
 	exit 1
 fi
