@@ -11,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos compare-gate profile
+.PHONY: ci vet build test bench-smoke bench bench-json race smoke scenario-validate chaos compare-gate fuzz profile
 
-ci: vet build test race bench-smoke scenario-validate chaos compare-gate
+ci: vet build test race bench-smoke fuzz scenario-validate chaos compare-gate
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +69,15 @@ race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/scenario/ -run 'TestTable1Shape'
 	GOMAXPROCS=4 $(GO) test -race ./internal/core/ -run 'TestReplicate|TestExp4Shape'
 	$(GO) test -race -short ./internal/ctl/
+
+# Seed-corpus fuzz pass: each fuzz target's seed corpus runs as unit
+# tests, guarding the decode → Validate → evaluate paths (the
+# coordinator's validateSpec among them) against panics on malformed
+# fault schedules and scenario JSON.  Longer exploratory runs:
+# `go test -fuzz FuzzSpecJSON ./internal/scenario/`.
+fuzz:
+	$(GO) test -run 'FuzzScheduleValidate' ./internal/fault/
+	$(GO) test -run 'FuzzSpecJSON' ./internal/scenario/
 
 # Every shipped scenario spec must parse, validate and compile.
 scenario-validate:

@@ -203,12 +203,14 @@ func cmdWatch(pos, args []string) {
 }
 
 // watchRun streams a run's events to stderr and exits non-zero if the run
-// fails, so scripts can gate on it.
+// fails, so scripts can gate on it.  The watch reconnects on stream drops
+// and coordinator outages (WatchRetry), so a coordinator restart mid-run
+// doesn't end it early.
 func watchRun(cl *ctl.Client, id string, quiet bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var final ctl.RunStatus
-	err := cl.Watch(ctx, id, func(ev ctl.Event) {
+	err := cl.WatchRetry(ctx, id, func(ev ctl.Event) {
 		switch ev.Type {
 		case "cell":
 			if !quiet {

@@ -263,6 +263,48 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(Event)) error {
 	return fmt.Errorf("ctl: event stream ended before the run did")
 }
 
+// WatchRetry is Watch with reconnection: a dropped event stream or an
+// unreachable coordinator (a restart mid-run, a network blip) re-subscribes
+// under jittered exponential backoff instead of silently ending the watch.
+// The coordinator's event endpoint opens every stream with a full run
+// snapshot, so a reconnect never misses the terminal event: if the run
+// finished during the outage, the first event of the new stream ends the
+// watch.  Returns nil when the run reaches a terminal status and ctx's
+// error on cancellation; HTTP-level rejections (unknown run, conflict)
+// surface immediately — they are answers from a healthy coordinator, not
+// outages.  The backoff resets whenever a connection delivers at least one
+// event, so a long watch that drops twice an hour reconnects quickly both
+// times.
+func (c *Client) WatchRetry(ctx context.Context, id string, fn func(Event)) error {
+	bo := newBackoff(200*time.Millisecond, 5*time.Second)
+	for {
+		progressed := false
+		err := c.Watch(ctx, id, func(ev Event) {
+			progressed = true
+			fn(ev)
+		})
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrConflict) || errors.Is(err, ErrStaleLease) {
+			return err
+		}
+		if progressed {
+			bo.Reset()
+		}
+		t := time.NewTimer(bo.Next())
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
 // Register implements AgentAPI.
 func (c *Client) Register(name string) (string, error) {
 	var out struct {

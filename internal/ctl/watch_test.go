@@ -1,0 +1,150 @@
+package ctl
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchRetrySurvivesCoordinatorRestart kills the coordinator's HTTP
+// server mid-watch (dropping the SSE stream), restarts a coordinator over
+// the same store on the same address, and finishes the run with an agent
+// against the restarted coordinator: WatchRetry must ride through the
+// outage on its backoff and still observe the terminal run event.  A plain
+// Watch would have ended with a stream-drop error the moment the first
+// server died.
+func TestWatchRetrySurvivesCoordinatorRestart(t *testing.T) {
+	exp := testExperiment("synth", 3, nil)
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewCoordinator(store, CoordinatorOptions{Resolve: resolverFor(exp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := &http.Server{Handler: NewHandler(c1)}
+	go srv1.Serve(ln)
+
+	cl := NewClient("http://" + addr)
+	info, err := cl.Submit(RunSpec{Experiment: "synth", Seed: 11, Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var events []Event
+	first := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.WatchRetry(context.Background(), info.ID, func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+			once.Do(func() { close(first) })
+		})
+	}()
+	select {
+	case <-first: // the opening run snapshot arrived; the stream is live
+	case <-time.After(10 * time.Second):
+		t.Fatal("no opening snapshot event")
+	}
+
+	// The outage: the server dies under the live stream.  No agents have
+	// leased anything yet, so the run is still fully pending in the
+	// journal.
+	srv1.Close()
+
+	// Restart: a fresh coordinator over the same store (journal replay)
+	// serving on the same address, plus an agent to finish the run.
+	c2 := reopenCoordinator(t, store, CoordinatorOptions{Resolve: resolverFor(exp)})
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv2 := &http.Server{Handler: NewHandler(c2)}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := &Agent{Name: "remote", API: NewClient("http://" + addr), Poll: 2 * time.Millisecond, Resolve: resolverFor(exp)}
+	agentDone := make(chan struct{})
+	go func() {
+		defer close(agentDone)
+		a.Run(ctx)
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WatchRetry across the restart: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch did not complete after the coordinator restart")
+	}
+	cancel()
+	<-agentDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	last := events[len(events)-1]
+	if last.Type != "run" || last.Status != RunDone {
+		t.Fatalf("last watched event = %+v, want the terminal run-done event", last)
+	}
+}
+
+// TestWatchRetryRejectionsSurfaceImmediately: answers from a healthy
+// coordinator (unknown run) are not outages and must not retry.
+func TestWatchRetryRejectionsSurfaceImmediately(t *testing.T) {
+	exp := testExperiment("synth", 1, nil)
+	c, _ := newTestCoordinator(t, CoordinatorOptions{Resolve: resolverFor(exp)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: NewHandler(c)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	cl := NewClient("http://" + ln.Addr().String())
+
+	start := time.Now()
+	err = cl.WatchRetry(context.Background(), "run-9999", func(Event) {})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("watch of unknown run: %v, want ErrNotFound", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("a 404 should not have waited out retries")
+	}
+
+	// And cancellation wins over reconnection: point the client at a dead
+	// address and cancel mid-backoff.
+	dead := NewClient("http://" + ln.Addr().String())
+	srvDead, _ := net.Listen("tcp", "127.0.0.1:0")
+	dead.base = "http://" + srvDead.Addr().String()
+	srvDead.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if err := dead.WatchRetry(ctx, "run-0001", func(Event) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled watch of dead coordinator: %v, want context.Canceled", err)
+	}
+}

@@ -150,6 +150,16 @@ type Engine interface {
 	Deploy(k *sim.Kernel, cfg Config) (Job, error)
 }
 
+// RecoveryModeler is implemented by engines whose deployments carry a
+// state-recovery cost model (all four models do).  The scenario layer uses
+// it to derive the per-engine restore metrics of the recovery-series
+// measure without deploying anything; the same Recovery is bound to the
+// runtime at Deploy, so the derived metrics and the injected restore tails
+// always agree.
+type RecoveryModeler interface {
+	Recovery() fault.Recovery
+}
+
 // Job is one running benchmark query on one engine.
 type Job interface {
 	// Start begins ingestion and processing.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/window"
@@ -68,6 +69,25 @@ func New(opts Options) *Engine { return &Engine{opts: opts.withDefaults()} }
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "flink" }
+
+// restoreCost is the fixed state-reload time a restarted Flink worker pays
+// before reprocessing from the last checkpoint: fetch the snapshot from the
+// state backend and rebuild operator state.
+const restoreCost = 2 * time.Second
+
+// Recovery implements engine.RecoveryModeler: Flink restores a crashed
+// worker from the last periodic checkpoint, paying a fixed reload cost plus
+// the expected half checkpoint interval of lost progress.  The interval is
+// the same knob the exactly-once barrier machinery uses, so tightening
+// checkpoints trades steady-state throughput for cheaper recovery — the
+// fault-tolerance trade-off of the paper's §5.
+func (e *Engine) Recovery() fault.Recovery {
+	return fault.Recovery{
+		Kind:               fault.RecoveryCheckpoint,
+		CheckpointInterval: e.opts.CheckpointInterval,
+		RestoreCost:        restoreCost,
+	}
+}
 
 // Calibration constants.  Capacity laws are in real events/second; see
 // engine.CapacityLaw for the functional form and DESIGN.md §5 for the
@@ -152,6 +172,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 		skewSince: -1,
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
+	j.rt.Recovery = e.Recovery()
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/window"
@@ -26,6 +27,11 @@ func New() *Engine { return &Engine{} }
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "ideal" }
+
+// Recovery implements engine.RecoveryModeler: the ideal engine restores
+// state for free — the zero recovery model — so its recovery curve is the
+// lower bound the real engine models are compared against.
+func (e *Engine) Recovery() fault.Recovery { return fault.Recovery{} }
 
 type job struct {
 	rt      *engine.Runtime

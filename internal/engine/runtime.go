@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/tuple"
 	"repro/internal/window"
@@ -34,6 +35,13 @@ type Runtime struct {
 	// through the engine (ingest + shuffle).
 	NetBytesPerEvent float64
 
+	// Recovery is the engine's state-recovery cost model, set by the
+	// engine model at deploy time.  It only matters to checkpoint-restore
+	// fault events: a restarted worker stays at zero capacity for
+	// Recovery.Restore(outage) after its restart.  The zero value is
+	// instant recovery (the ideal engine).
+	Recovery fault.Recovery
+
 	ticker     *sim.Ticker
 	failed     bool
 	failReason string
@@ -45,6 +53,11 @@ type Runtime struct {
 	// pullBatch is the reusable slab Pull drains the sources into; its
 	// events are valid until the next Pull.
 	pullBatch *tuple.Batch
+
+	// faultBuf is the reusable per-worker capacity vector for schedules
+	// with per-worker fault kinds (fault.Schedule.ScaleVec); legacy
+	// schedules never touch it.
+	faultBuf []float64
 
 	decayEvery int
 	sinceDecay int
@@ -92,6 +105,7 @@ func (rt *Runtime) rebind(k *sim.Kernel, cfg Config) {
 	rt.HotKeys.Reset()
 	rt.CPUPerMEvent = 30
 	rt.NetBytesPerEvent = float64(tuple.WireSizeBytes)
+	rt.Recovery = fault.Recovery{}
 	rt.ticker = nil
 	rt.failed = false
 	rt.failReason = ""
@@ -163,10 +177,13 @@ func (rt *Runtime) TupleBudget(capEvPerSec float64, weight int64) int {
 func (rt *Runtime) Pull(n int, now sim.Time) (*tuple.Batch, int64) {
 	// Fault injection happens here and only here: every engine model's
 	// ingestion funnels through Pull, so scaling the budget by the
-	// schedule's capacity factor models killed workers and stalls
-	// uniformly across engines (see internal/fault).
+	// schedule's capacity factor models every fault kind uniformly across
+	// engines (see internal/fault).  Legacy schedules (kills and stalls)
+	// take the scalar path inside ScaleVec, bit-identical to pre-vector
+	// builds; per-worker schedules evaluate the capacity vector under
+	// this deployment's engine recovery model.
 	if s := rt.Cfg.Faults; !s.Empty() {
-		n = s.Scale(n, now, rt.Cfg.Cluster.Workers())
+		n, rt.faultBuf = s.ScaleVec(n, now, rt.Cfg.Cluster.Workers(), rt.Recovery, rt.faultBuf)
 	}
 	rt.pullBatch.Reset()
 	rt.Cfg.Sources.PopBatch(rt.pullBatch, n)

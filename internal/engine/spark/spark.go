@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/window"
@@ -70,6 +71,21 @@ func New(opts Options) *Engine { return &Engine{opts: opts.withDefaults()} }
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "spark" }
+
+// lineageRecomputeFactor is the seconds of lineage recomputation a
+// restarted Spark worker pays per second of outage: lost RDD partitions
+// recompute from their narrow-dependency ancestors, which is faster than
+// the original processing because shuffle inputs of completed stages are
+// still materialised.
+const lineageRecomputeFactor = 0.6
+
+// Recovery implements engine.RecoveryModeler: Spark recomputes lost
+// partitions from lineage, so restore time is proportional to the progress
+// lost while the worker was down (the paper's §5 contrast with Flink's
+// checkpoint restore — cheap for short outages, expensive for long ones).
+func (e *Engine) Recovery() fault.Recovery {
+	return fault.Recovery{Kind: fault.RecoveryLineage, RecomputeFactor: lineageRecomputeFactor}
+}
 
 // Calibration constants (see DESIGN.md §5).
 var (
@@ -160,6 +176,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 		schedDelaySeries: metrics.NewSeries("spark.scheduler_delay_s"),
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
+	j.rt.Recovery = e.Recovery()
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:

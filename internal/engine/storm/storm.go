@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -76,6 +77,20 @@ func New(opts Options) *Engine { return &Engine{opts: opts.withDefaults()} }
 
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "storm" }
+
+// replayRate is the multiple of the normal ingest rate at which un-acked
+// records replay after a Storm worker restart: the spout re-emits from the
+// source queues with no state to rebuild, bounded only by the acker
+// pipeline's headroom over steady state.
+const replayRate = 1.5
+
+// Recovery implements engine.RecoveryModeler: Storm replays the records
+// that went un-acked during the outage at replayRate × the normal rate —
+// no state snapshot, no lineage, just at-least-once redelivery (the
+// paper's §5 record-replay recovery).
+func (e *Engine) Recovery() fault.Recovery {
+	return fault.Recovery{Kind: fault.RecoveryReplay, ReplayRate: replayRate}
+}
 
 // Calibration constants (see DESIGN.md §5).
 var (
@@ -154,6 +169,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 		inflight: cfg.ScratchQueue("spout-inflight"),
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
+	j.rt.Recovery = e.Recovery()
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:

@@ -1,22 +1,26 @@
 // Package fault models deterministic fault schedules for the simulated
 // deployments: kill an engine worker at a virtual time and restart it later,
-// or stall the SUT's ingestion path for a bounded interval.  A Schedule is a
-// pure function of virtual time — no goroutines, no wall clock, no RNG — so
-// a faulted run is exactly as reproducible as a fault-free one: the same
-// seed and the same schedule always produce the same artifact, which is what
+// stall the SUT's ingestion path for a bounded interval, partition the
+// cluster into groups, pin a straggler factor to one worker, or take a
+// worker through a full crash → restart → state-restore cycle whose restore
+// cost follows the engine's recovery architecture.  A Schedule is a pure
+// function of virtual time — no goroutines, no wall clock, no RNG — so a
+// faulted run is exactly as reproducible as a fault-free one: the same seed
+// and the same schedule always produce the same artifact, which is what
 // lets recovery behaviour be golden-tested and byte-compared between the
 // distributed controller and a direct run.
 //
 // The injection point is the engine runtime's source pull (engine.Runtime
 // .Pull): every engine model converts its capacity law into a per-tick tuple
 // budget and pulls that many tuples from the driver queues, so scaling the
-// pull budget by the schedule's capacity factor models both fault kinds
-// without touching any engine model.  A killed worker removes its 1/n share
-// of cluster capacity until it restarts; a stall multiplies capacity by a
-// configured factor for its duration.  Input keeps arriving at the offered
-// rate throughout, so the backlog that accumulates during the fault — and
-// the time the SUT takes to drain it afterwards — is the measured recovery
-// behaviour (scenario measure kind "recovery-series").
+// pull budget by the schedule's capacity factor models every fault kind
+// without touching any engine model.  The legacy kinds (kill-worker, stall)
+// evaluate as a cluster scalar; the per-worker kinds (partition,
+// slow-worker, checkpoint-restore) evaluate as a per-worker capacity vector
+// (Factors) whose mean scales the budget.  Input keeps arriving at the
+// offered rate throughout, so the backlog that accumulates during the fault
+// — and the time the SUT takes to drain it afterwards — is the measured
+// recovery behaviour (scenario measure kind "recovery-series").
 package fault
 
 import (
@@ -33,27 +37,115 @@ const (
 	// KindStall multiplies ingestion capacity by Factor during
 	// [At, At+For) — a transient queue/link stall.
 	KindStall = "stall"
+	// KindPartition splits the workers listed in Groups at At: the largest
+	// group (ties: the first listed) keeps its capacity, every other
+	// group's workers run at Factor (0 = fully unreachable) until the
+	// partition heals For later (For 0 = it never heals).  Workers not
+	// listed in any group side with the majority.
+	KindPartition = "partition"
+	// KindSlowWorker pins a straggler factor to one worker: worker
+	// Worker's capacity is multiplied by Factor during [At, At+For).
+	KindSlowWorker = "slow-worker"
+	// KindCheckpointRestore crashes worker Worker at At, restarts it
+	// RestartAfter later, and keeps its capacity at zero for a further
+	// restore period derived from the engine's Recovery model — the
+	// checkpoint/lineage/replay cost the paper's §5 compares across
+	// engines.  RestartAfter must be positive: a worker that never
+	// restarts never restores (use kill-worker for that).
+	KindCheckpointRestore = "checkpoint-restore"
 )
+
+// Recovery model kinds: how an engine rebuilds a restarted worker's state.
+const (
+	// RecoveryInstant restores state for free (the ideal engine, and the
+	// zero value of Recovery).
+	RecoveryInstant = "instant"
+	// RecoveryCheckpoint restarts from the last periodic checkpoint
+	// (Flink-style): restore pays a fixed state-reload cost plus the
+	// reprocessing of the expected half checkpoint interval of progress
+	// lost since the last checkpoint.
+	RecoveryCheckpoint = "checkpoint"
+	// RecoveryLineage recomputes lost partitions from lineage
+	// (Spark-style): restore time is proportional to the progress lost
+	// while the worker was down.
+	RecoveryLineage = "lineage"
+	// RecoveryReplay re-plays un-acked records from the sources
+	// (Storm-style): the records that queued during the outage replay at
+	// a multiple of the normal rate.
+	RecoveryReplay = "replay"
+)
+
+// Recovery is an engine's state-recovery cost model, bound to the runtime
+// by each engine model at deploy time.  The zero value is instant recovery.
+type Recovery struct {
+	// Kind selects the model (Recovery* constants).
+	Kind string
+	// CheckpointInterval is the period between checkpoints
+	// (RecoveryCheckpoint); the expected lost progress is half of it.
+	CheckpointInterval time.Duration
+	// RestoreCost is the fixed state-reload time on restart
+	// (RecoveryCheckpoint).
+	RestoreCost time.Duration
+	// RecomputeFactor is the lineage-recompute time per second of outage
+	// (RecoveryLineage).
+	RecomputeFactor float64
+	// ReplayRate is the multiple of the normal rate at which lost records
+	// replay (RecoveryReplay); higher replays faster.
+	ReplayRate float64
+}
+
+// Restore returns how long a worker that was down for the given outage
+// stays at zero capacity after its restart, under this recovery model.
+// Deterministic: the per-engine recovery comparison of the recovery-series
+// measure is this function evaluated per engine.
+func (r Recovery) Restore(down time.Duration) time.Duration {
+	if down <= 0 {
+		return 0
+	}
+	switch r.Kind {
+	case RecoveryCheckpoint:
+		return r.RestoreCost + r.CheckpointInterval/2
+	case RecoveryLineage:
+		return time.Duration(float64(down) * r.RecomputeFactor)
+	case RecoveryReplay:
+		if r.ReplayRate > 0 {
+			return time.Duration(float64(down) / r.ReplayRate)
+		}
+		return down
+	}
+	return 0
+}
 
 // Event is one scheduled fault.
 type Event struct {
 	Kind string `json:"kind"`
-	// Worker is the 0-based index of the worker to kill (KindKillWorker).
+	// Worker is the 0-based index of the worker the fault targets
+	// (KindKillWorker, KindSlowWorker, KindCheckpointRestore).
 	Worker int `json:"worker,omitempty"`
 	// At is the virtual time the fault strikes.
 	At time.Duration `json:"at"`
-	// RestartAfter is how long a killed worker stays down; 0 means it
-	// never restarts within the run.
+	// RestartAfter is how long a killed worker stays down; for
+	// KindKillWorker 0 means it never restarts within the run, for
+	// KindCheckpointRestore it must be positive.
 	RestartAfter time.Duration `json:"restart_after,omitempty"`
-	// For is a stall's duration.
+	// For is the duration of a stall or slow-worker window, or the time
+	// until a partition heals (0 = never within the run).
 	For time.Duration `json:"for,omitempty"`
-	// Factor is the capacity multiplier during a stall, in [0, 1);
-	// 0 (the default) is a complete stall.
+	// Factor is the capacity multiplier while the fault is active, in
+	// [0, 1): the whole cluster for a stall, the minority groups for a
+	// partition (0, the default, is a complete loss), the straggler for a
+	// slow-worker (where 0 is invalid — a dead worker is a kill).
 	Factor float64 `json:"factor,omitempty"`
+	// Groups partitions the workers (KindPartition): each inner list is
+	// one side of the split.
+	Groups [][]int `json:"groups,omitempty"`
 }
 
-// End returns the virtual time the event's effect ends: restart for a kill
-// (runEnd when it never restarts), expiry for a stall.
+// End returns the virtual time the event's direct effect ends: restart for
+// a kill or checkpoint-restore (runEnd for a kill that never restarts),
+// heal for a partition (runEnd when it never heals), expiry for a stall or
+// slow-worker window.  A checkpoint-restore's restore tail extends past
+// End by Recovery.Restore(RestartAfter).
 func (e Event) End(runEnd time.Duration) time.Duration {
 	switch e.Kind {
 	case KindKillWorker:
@@ -61,13 +153,36 @@ func (e Event) End(runEnd time.Duration) time.Duration {
 			return runEnd
 		}
 		return e.At + e.RestartAfter
-	case KindStall:
+	case KindCheckpointRestore:
+		return e.At + e.RestartAfter
+	case KindStall, KindSlowWorker:
+		return e.At + e.For
+	case KindPartition:
+		if e.For <= 0 {
+			return runEnd
+		}
 		return e.At + e.For
 	}
 	return e.At
 }
 
-// active reports whether the event affects capacity at instant now.
+// Permanent reports whether the event's effect never ends within any run:
+// a kill without a restart, or a partition that never heals.  Permanent
+// faults have no recovery — the recovery-series derivation reports the
+// -1 "never recovered" sentinel for them and skips restore metrics.
+func (e Event) Permanent() bool {
+	switch e.Kind {
+	case KindKillWorker:
+		return e.RestartAfter <= 0
+	case KindPartition:
+		return e.For <= 0
+	}
+	return false
+}
+
+// active reports whether the event affects capacity at instant now
+// (checkpoint-restore excludes its model-dependent restore tail, which
+// only Factors can evaluate).
 func (e Event) active(now time.Duration) bool {
 	if now < e.At {
 		return false
@@ -75,8 +190,12 @@ func (e Event) active(now time.Duration) bool {
 	switch e.Kind {
 	case KindKillWorker:
 		return e.RestartAfter <= 0 || now < e.At+e.RestartAfter
-	case KindStall:
+	case KindCheckpointRestore:
+		return now < e.At+e.RestartAfter
+	case KindStall, KindSlowWorker:
 		return now < e.At+e.For
+	case KindPartition:
+		return e.For <= 0 || now < e.At+e.For
 	}
 	return false
 }
@@ -88,7 +207,7 @@ type Schedule struct {
 	Events []Event `json:"events"`
 }
 
-// Validate checks every event.  workers, when positive, bounds the kill
+// Validate checks every event.  workers, when positive, bounds the worker
 // targets (a schedule compiled into a grid is validated against the
 // smallest cluster it will run on); pass 0 to skip the bound.
 func (s *Schedule) Validate(workers int) error {
@@ -100,13 +219,22 @@ func (s *Schedule) Validate(workers int) error {
 		if e.At < 0 {
 			return fmt.Errorf("%s: at must be >= 0, got %v", where, e.At)
 		}
-		switch e.Kind {
-		case KindKillWorker:
+		checkWorker := func() error {
 			if e.Worker < 0 {
 				return fmt.Errorf("%s: worker must be >= 0, got %d", where, e.Worker)
 			}
 			if workers > 0 && e.Worker >= workers {
 				return fmt.Errorf("%s: worker %d does not exist on a %d-worker cluster", where, e.Worker, workers)
+			}
+			return nil
+		}
+		if e.Kind != KindPartition && e.Groups != nil {
+			return fmt.Errorf("%s: groups apply to %q faults only", where, KindPartition)
+		}
+		switch e.Kind {
+		case KindKillWorker:
+			if err := checkWorker(); err != nil {
+				return err
 			}
 			if e.RestartAfter < 0 {
 				return fmt.Errorf("%s: restart_after must be >= 0, got %v", where, e.RestartAfter)
@@ -124,8 +252,63 @@ func (s *Schedule) Validate(workers int) error {
 			if e.Worker != 0 || e.RestartAfter != 0 {
 				return fmt.Errorf("%s: worker/restart_after apply to %q faults only", where, KindKillWorker)
 			}
+		case KindSlowWorker:
+			if err := checkWorker(); err != nil {
+				return err
+			}
+			if e.For <= 0 {
+				return fmt.Errorf("%s: a slow-worker window needs for > 0", where)
+			}
+			if e.Factor <= 0 || e.Factor >= 1 {
+				return fmt.Errorf("%s: straggler factor must be in (0,1), got %v (a dead worker is a %q)", where, e.Factor, KindKillWorker)
+			}
+			if e.RestartAfter != 0 {
+				return fmt.Errorf("%s: restart_after applies to %q faults only", where, KindKillWorker)
+			}
+		case KindCheckpointRestore:
+			if err := checkWorker(); err != nil {
+				return err
+			}
+			if e.RestartAfter <= 0 {
+				return fmt.Errorf("%s: restart_after must be > 0 (a worker that never restarts never restores; use %q)", where, KindKillWorker)
+			}
+			if e.For != 0 || e.Factor != 0 {
+				return fmt.Errorf("%s: for/factor apply to %q faults only", where, KindStall)
+			}
+		case KindPartition:
+			if len(e.Groups) < 2 {
+				return fmt.Errorf("%s: a partition needs at least 2 groups", where)
+			}
+			seen := map[int]bool{}
+			for gi, g := range e.Groups {
+				if len(g) == 0 {
+					return fmt.Errorf("%s: group %d is empty", where, gi)
+				}
+				for _, w := range g {
+					if w < 0 {
+						return fmt.Errorf("%s: group %d: worker must be >= 0, got %d", where, gi, w)
+					}
+					if workers > 0 && w >= workers {
+						return fmt.Errorf("%s: group %d: worker %d does not exist on a %d-worker cluster", where, gi, w, workers)
+					}
+					if seen[w] {
+						return fmt.Errorf("%s: worker %d appears in more than one group", where, w)
+					}
+					seen[w] = true
+				}
+			}
+			if e.For < 0 {
+				return fmt.Errorf("%s: for must be >= 0 (0 = never heals), got %v", where, e.For)
+			}
+			if e.Factor < 0 || e.Factor >= 1 {
+				return fmt.Errorf("%s: factor must be in [0,1), got %v", where, e.Factor)
+			}
+			if e.Worker != 0 || e.RestartAfter != 0 {
+				return fmt.Errorf("%s: worker/restart_after apply to %q faults only", where, KindKillWorker)
+			}
 		default:
-			return fmt.Errorf("fault %d: unknown kind %q (%s | %s)", i, e.Kind, KindKillWorker, KindStall)
+			return fmt.Errorf("fault %d: unknown kind %q (%s | %s | %s | %s | %s)", i, e.Kind,
+				KindKillWorker, KindStall, KindPartition, KindSlowWorker, KindCheckpointRestore)
 		}
 	}
 	return nil
@@ -134,13 +317,119 @@ func (s *Schedule) Validate(workers int) error {
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
 
+// PerWorker reports whether the schedule needs the per-worker factor
+// vector: it contains at least one partition, slow-worker or
+// checkpoint-restore event.  Legacy schedules (kills and stalls only)
+// evaluate through the scalar Factor path, bit-identical to pre-vector
+// builds.
+func (s *Schedule) PerWorker() bool {
+	if s == nil {
+		return false
+	}
+	for i := range s.Events {
+		switch s.Events[i].Kind {
+		case KindPartition, KindSlowWorker, KindCheckpointRestore:
+			return true
+		}
+	}
+	return false
+}
+
+// majorityGroup returns the index of the partition side that keeps its
+// capacity: the largest group, ties resolved to the first listed.
+func majorityGroup(groups [][]int) int {
+	maj := 0
+	for gi, g := range groups {
+		if len(g) > len(groups[maj]) {
+			maj = gi
+		}
+	}
+	return maj
+}
+
+// Factors fills out with each worker's capacity factor at instant now, in
+// [0, 1] per worker, and returns it (grown when cap(out) < workers, so a
+// caller-held buffer is reused allocation-free in steady state).  rec is
+// the deployment's engine recovery model; it only affects
+// checkpoint-restore events, whose restore tail keeps the restarted
+// worker at zero capacity for rec.Restore(RestartAfter).  Effects compose
+// multiplicatively per worker; a worker killed by overlapping events is
+// simply down (0×0 = 0).  A nil or empty schedule yields all ones.
+func (s *Schedule) Factors(now time.Duration, workers int, rec Recovery, out []float64) []float64 {
+	if workers < 0 {
+		workers = 0
+	}
+	if cap(out) < workers {
+		out = make([]float64, workers)
+	}
+	out = out[:workers]
+	for i := range out {
+		out[i] = 1
+	}
+	if s == nil {
+		return out
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !e.active(now) {
+			// A checkpoint-restore's restore tail extends past active().
+			if e.Kind != KindCheckpointRestore {
+				continue
+			}
+			restart := e.At + e.RestartAfter
+			if now < e.At || now >= restart+rec.Restore(e.RestartAfter) {
+				continue
+			}
+		}
+		switch e.Kind {
+		case KindKillWorker, KindCheckpointRestore:
+			if e.Worker < workers {
+				out[e.Worker] = 0
+			}
+		case KindStall:
+			for j := range out {
+				out[j] *= e.Factor
+			}
+		case KindSlowWorker:
+			if e.Worker < workers {
+				out[e.Worker] *= e.Factor
+			}
+		case KindPartition:
+			maj := majorityGroup(e.Groups)
+			for gi, g := range e.Groups {
+				if gi == maj {
+					continue
+				}
+				for _, w := range g {
+					if w < workers {
+						out[w] *= e.Factor
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Factor returns the cluster's capacity multiplier at instant now, in
-// [0, 1]: the surviving-worker share times every active stall's factor.
-// Killing the same worker twice in overlapping windows counts it down once.
-// A nil or empty schedule always returns 1.
+// [0, 1].  For legacy schedules (kills and stalls only) it is the
+// surviving-worker share times every active stall's factor, computed
+// exactly as pre-vector builds did; killing the same worker twice in
+// overlapping windows counts it down once.  For per-worker schedules it is
+// the mean of Factors under an instant recovery model (engine-specific
+// restore tails need Factors with the deployment's Recovery).  A nil or
+// empty schedule always returns 1.
 func (s *Schedule) Factor(now time.Duration, workers int) float64 {
 	if s == nil || len(s.Events) == 0 {
 		return 1
+	}
+	if workers > 0 && s.PerWorker() {
+		out := s.Factors(now, workers, Recovery{}, nil)
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		return sum / float64(workers)
 	}
 	f := 1.0
 	var downMask uint64
@@ -177,4 +466,29 @@ func (s *Schedule) Scale(n int, now time.Duration, workers int) int {
 		return n
 	}
 	return int(float64(n) * f)
+}
+
+// ScaleVec is Scale with the per-worker topology threaded through: for
+// legacy schedules it is exactly Scale (bit-identical to pre-vector
+// builds), for per-worker schedules it fills buf with Factors under the
+// deployment's recovery model and scales the budget by the vector's mean.
+// It returns the scaled budget and the (possibly grown) buffer, so the
+// engine runtime's hot path stays allocation-free.
+func (s *Schedule) ScaleVec(n int, now time.Duration, workers int, rec Recovery, buf []float64) (int, []float64) {
+	if s == nil || len(s.Events) == 0 || n <= 0 {
+		return n, buf
+	}
+	if workers <= 0 || !s.PerWorker() {
+		return s.Scale(n, now, workers), buf
+	}
+	buf = s.Factors(now, workers, rec, buf)
+	sum := 0.0
+	for _, v := range buf {
+		sum += v
+	}
+	f := sum / float64(workers)
+	if f >= 1 {
+		return n, buf
+	}
+	return int(float64(n) * f), buf
 }

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzScheduleValidate feeds arbitrary JSON through the exact decode →
+// Validate → evaluate path the coordinator's validateSpec uses for the
+// faults block: nothing a client submits may panic the control plane, and
+// any schedule Validate accepts must evaluate to bounded factors.
+func FuzzScheduleValidate(f *testing.F) {
+	seeds := []string{
+		`{"events":[]}`,
+		`{"events":[{"kind":"kill-worker","worker":1,"at":30000000000,"restart_after":10000000000}]}`,
+		`{"events":[{"kind":"kill-worker","worker":0,"at":1000000000}]}`,
+		`{"events":[{"kind":"stall","at":10000000000,"for":5000000000,"factor":0.25}]}`,
+		`{"events":[{"kind":"partition","at":15000000000,"for":8000000000,"groups":[[0,1,2],[3]]}]}`,
+		`{"events":[{"kind":"partition","at":0,"factor":0.5,"groups":[[0],[1,2]]}]}`,
+		`{"events":[{"kind":"slow-worker","worker":2,"at":32000000000,"for":8000000000,"factor":0.4}]}`,
+		`{"events":[{"kind":"checkpoint-restore","worker":1,"at":50000000000,"restart_after":5000000000}]}`,
+		`{"events":[{"kind":"meteor","at":0}]}`,
+		`{"events":[{"kind":"partition","at":0,"groups":[[0,0],[1]]}]}`,
+		`{"events":[{"kind":"kill-worker","worker":-9,"at":-5}]}`,
+		`{"events":null}`,
+		`{}`,
+		`[]`,
+		`{"events":[{"kind":"stall","at":9223372036854775807,"for":9223372036854775807}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	rec := Recovery{Kind: RecoveryCheckpoint, CheckpointInterval: 10 * time.Second, RestoreCost: 2 * time.Second}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		const workers = 4
+		if err := s.Validate(workers); err != nil {
+			return
+		}
+		var buf []float64
+		for _, now := range []time.Duration{0, time.Second, 30 * time.Second, time.Hour} {
+			f := s.Factor(now, workers)
+			if f < 0 || f > 1 || f != f {
+				t.Fatalf("Factor(%v) = %v out of [0,1] for valid schedule %s", now, f, data)
+			}
+			buf = s.Factors(now, workers, rec, buf)
+			for w, v := range buf {
+				if v < 0 || v > 1 || v != v {
+					t.Fatalf("Factors(%v)[%d] = %v out of [0,1] for valid schedule %s", now, w, v, data)
+				}
+			}
+			if n, _ := s.ScaleVec(1000, now, workers, rec, buf); n < 0 || n > 1000 {
+				t.Fatalf("ScaleVec(1000, %v) = %d out of range for valid schedule %s", now, n, data)
+			}
+		}
+	})
+}

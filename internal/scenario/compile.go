@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/generator"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -652,10 +654,33 @@ func assembleSeries(s Spec, o core.Options, pts []point, heading string, raws []
 	}, nil
 }
 
+// recoveryModelFor returns the recovery cost model of the named engine —
+// the same Recovery its Deploy binds to the runtime, so derived metrics
+// and injected restore tails always agree.  Unknown engines (or engines
+// without a model) recover instantly.
+func recoveryModelFor(name string) fault.Recovery {
+	eng, err := core.EngineByName(name)
+	if err != nil {
+		return fault.Recovery{}
+	}
+	if m, ok := eng.(engine.RecoveryModeler); ok {
+		return m.Recovery()
+	}
+	return fault.Recovery{}
+}
+
 // assembleRecovery renders the recovery-series artefact: a throughput panel
 // and a queue-depth panel per grid point, plus per-fault metrics — the
-// relative throughput dip during each fault window and the time the backlog
-// takes to drain back to its pre-fault level once the fault ends.
+// relative throughput dip during each fault window, the time the backlog
+// takes to drain back to its pre-fault level once the fault ends, and for
+// checkpoint-restore faults the engine's modeled restore time and replayed
+// tuple count.  recovery_s semantics are pinned: -1 is the "never
+// recovered" sentinel, reported both when a drainable backlog never drains
+// within the run and — by definition, without scanning — for permanent
+// faults (a kill without restart, an unhealed partition), which also carry
+// no restore metrics.  Per grid point, recovery_cost_s sums the modeled
+// restore time across faults, which is where the per-engine recovery
+// comparison (checkpoint vs lineage vs replay) surfaces.
 func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws [][]byte) (*core.Outcome, error) {
 	o = o.WithDefaults()
 	faults := buildFaults(s.Faults)
@@ -670,21 +695,52 @@ func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws 
 		}
 		label := labelFor(s, p)
 		base := metricBase(s, p)
+		recModel := recoveryModelFor(p.engine)
 		panels = append(panels,
 			report.FigurePanel{Title: label + " throughput", Series: r.Throughput, Unit: " ev/s"},
 			report.FigurePanel{Title: label + " queue depth", Series: r.Depth, Unit: " ev"},
 		)
+		totalRestore := 0.0
 		for fi, e := range faults.Events {
-			dip, rec := faultRecovery(r.Throughput, r.Depth, e.At, e.End(runEnd))
+			dip, rec, baseline := faultRecovery(r.Throughput, r.Depth, e.At, e.End(runEnd))
 			metricsOut[fmt.Sprintf("%s/fault%d/dip", base, fi)] = dip
+			if e.Permanent() {
+				// A fault that never ends within the run never recovers:
+				// the sentinel holds by definition, and restore metrics
+				// would be garbage, so none are emitted.
+				metricsOut[fmt.Sprintf("%s/fault%d/recovery_s", base, fi)] = -1
+				fmt.Fprintf(&sb, "%s: fault %d (%s at %s): throughput dip %.0f%%, permanent — never recovers\n",
+					label, fi, e.Kind, e.At, dip*100)
+				continue
+			}
 			metricsOut[fmt.Sprintf("%s/fault%d/recovery_s", base, fi)] = rec
 			recStr := "not within the run"
 			if rec >= 0 {
 				recStr = fmt.Sprintf("%.1fs", rec)
 			}
-			fmt.Fprintf(&sb, "%s: fault %d (%s at %s): throughput dip %.0f%%, backlog recovery %s\n",
+			fmt.Fprintf(&sb, "%s: fault %d (%s at %s): throughput dip %.0f%%, backlog recovery %s",
 				label, fi, e.Kind, e.At, dip*100, recStr)
+			if e.Kind == fault.KindCheckpointRestore {
+				// The engine-modeled part of the outage: state restore
+				// after restart, and the tuples the restoring worker
+				// reprocesses at its pre-fault per-worker rate.
+				restore := recModel.Restore(e.RestartAfter).Seconds()
+				replayed := 0.0
+				if p.workers > 0 {
+					replayed = baseline / float64(p.workers) * restore
+				}
+				metricsOut[fmt.Sprintf("%s/fault%d/restore_s", base, fi)] = restore
+				metricsOut[fmt.Sprintf("%s/fault%d/replayed_tuples", base, fi)] = replayed
+				totalRestore += restore
+				kindStr := recModel.Kind
+				if kindStr == "" {
+					kindStr = fault.RecoveryInstant
+				}
+				fmt.Fprintf(&sb, ", %s restore %.1fs (%.0f tuples replayed)", kindStr, restore, replayed)
+			}
+			sb.WriteString("\n")
 		}
+		metricsOut[base+"/recovery_cost_s"] = totalRestore
 	}
 	return &core.Outcome{
 		Text:    report.Figure(heading, panels) + sb.String(),
@@ -700,8 +756,9 @@ func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws 
 // the time after end until the queue depth first drains back within 10% of
 // its pre-fault level (relative to the fault-era peak), in seconds: 0 when
 // the fault left no backlog, -1 when the backlog never drains in the run.
-func faultRecovery(th, depth *metrics.Series, start, end time.Duration) (dip, recovery float64) {
-	baseline, n := 0.0, 0
+// baseline is the pre-fault mean throughput the dip is measured against.
+func faultRecovery(th, depth *metrics.Series, start, end time.Duration) (dip, recovery, baseline float64) {
+	n := 0
 	for _, pt := range th.Points {
 		if pt.T >= start {
 			break
@@ -730,21 +787,21 @@ func faultRecovery(th, depth *metrics.Series, start, end time.Duration) (dip, re
 		}
 	}
 
-	baseDepth, n := 0.0, 0
+	baseDepth, dn := 0.0, 0
 	peak := 0.0
 	for _, pt := range depth.Points {
 		if pt.T < start {
 			baseDepth += pt.V
-			n++
+			dn++
 		} else if pt.V > peak {
 			peak = pt.V
 		}
 	}
-	if n > 0 {
-		baseDepth /= float64(n)
+	if dn > 0 {
+		baseDepth /= float64(dn)
 	}
 	if peak <= baseDepth {
-		return dip, 0 // the fault never built a backlog
+		return dip, 0, baseline // the fault never built a backlog
 	}
 	threshold := baseDepth + 0.1*(peak-baseDepth)
 	for _, pt := range depth.Points {
@@ -752,8 +809,8 @@ func faultRecovery(th, depth *metrics.Series, start, end time.Duration) (dip, re
 			continue
 		}
 		if pt.V <= threshold {
-			return dip, (pt.T - end).Seconds()
+			return dip, (pt.T - end).Seconds(), baseline
 		}
 	}
-	return dip, -1
+	return dip, -1, baseline
 }

@@ -84,7 +84,10 @@ type Spec struct {
 	Measure Measure `json:"measure"`
 	// Faults is the deterministic fault schedule injected into every
 	// grid cell: kill engine worker i at virtual time t (restarting
-	// after a delay), or stall ingestion for a bounded interval.  The
+	// after a delay), stall ingestion for a bounded interval, partition
+	// the workers into groups, pin a straggler factor to one worker, or
+	// crash a worker through a full checkpoint-restore cycle whose
+	// restore cost depends on the engine's recovery model.  The
 	// schedule is part of the cell identity, so faulted cells cache and
 	// replay like any other.  Required (non-empty) for the
 	// recovery-series measure; forbidden with sustainable.
@@ -146,20 +149,32 @@ type Measure struct {
 // Fault is one scheduled fault: the spec-level mirror of fault.Event with
 // human-readable durations ("30s").
 type Fault struct {
-	// Kind is "kill-worker" or "stall".
+	// Kind is "kill-worker", "stall", "partition", "slow-worker" or
+	// "checkpoint-restore".
 	Kind string `json:"kind"`
-	// Worker is the 0-based index of the worker to kill (kill-worker).
+	// Worker is the 0-based index of the targeted worker (kill-worker,
+	// slow-worker, checkpoint-restore).
 	Worker int `json:"worker,omitempty"`
 	// At is the virtual time the fault strikes.
 	At Duration `json:"at"`
-	// RestartAfter is how long a killed worker stays down (0 = never
-	// restarts within the run).
+	// RestartAfter is how long a killed worker stays down (kill-worker:
+	// 0 = never restarts within the run; checkpoint-restore: must be
+	// positive, and the restart is followed by an engine-dependent
+	// restore period).
 	RestartAfter Duration `json:"restart_after,omitempty"`
-	// For is a stall's duration.
+	// For is the duration of a stall or slow-worker window, or the time
+	// until a partition heals (0 = never).
 	For Duration `json:"for,omitempty"`
-	// Factor is the capacity multiplier during a stall, in [0,1)
-	// (0 = complete stall).
+	// Factor is the capacity multiplier while the fault is active, in
+	// [0,1): the whole cluster for a stall, the minority groups for a
+	// partition (0 = complete loss), the straggler for a slow-worker
+	// (where it must be positive).
 	Factor float64 `json:"factor,omitempty"`
+	// Groups partitions the workers (partition): each inner list is one
+	// side of the split; the largest group keeps its capacity, every
+	// other group runs at Factor, unlisted workers side with the
+	// majority.
+	Groups [][]int `json:"groups,omitempty"`
 }
 
 // buildFaults lowers the spec faults onto a fault.Schedule (nil when the
@@ -177,6 +192,7 @@ func buildFaults(fs []Fault) *fault.Schedule {
 			RestartAfter: f.RestartAfter.D(),
 			For:          f.For.D(),
 			Factor:       f.Factor,
+			Groups:       f.Groups,
 		}
 	}
 	return s

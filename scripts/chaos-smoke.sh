@@ -2,11 +2,15 @@
 # Chaos smoke test for the fault-hardened control plane: run the
 # crash-recovery scenario (which itself injects engine faults) on a small
 # deployment, then inject real process faults into that deployment — the
-# external agent is SIGKILLed and restarted mid-run, and the coordinator is
-# SIGKILLed and restarted over the same data directory.  The restarted
-# coordinator must resume from its manifests + write-ahead journal without
-# losing finished cells, and the final artifact must still be byte-identical
-# to a direct sdpsbench run of the same scenario and seed.
+# external agent is SIGKILLed and restarted mid-run, the coordinator is
+# SIGKILLed and restarted over the same data directory, and finally an agent
+# is SIGSTOPped past the lease TTL and SIGCONTed (a frozen-but-alive
+# straggler whose lease expires, re-queues to a second agent, and whose
+# post-thaw Complete arrives stale).  The restarted coordinator must resume
+# from its manifests + write-ahead journal without losing finished cells,
+# the stale Complete must be rejected without disturbing the re-run, and the
+# final artifact must still be byte-identical to a direct sdpsbench run of
+# the same scenario and seed.
 #
 # Usage: scripts/chaos-smoke.sh [port]   (invoked by `make chaos`)
 set -eu
@@ -17,9 +21,14 @@ SCENARIO="examples/scenarios/crash-recovery.json"
 TMP="$(mktemp -d)"
 SDPSD_PID=""
 AGENT_PID=""
+AGENT2_PID=""
 
 cleanup() {
+    # SIGCONT first: a SIGTERM queued against a stopped process would
+    # never be delivered.
+    [ -n "$AGENT_PID" ] && kill -CONT "$AGENT_PID" 2>/dev/null || true
     [ -n "$AGENT_PID" ] && kill "$AGENT_PID" 2>/dev/null || true
+    [ -n "$AGENT2_PID" ] && kill "$AGENT2_PID" 2>/dev/null || true
     [ -n "$SDPSD_PID" ] && kill "$SDPSD_PID" 2>/dev/null || true
     rm -rf "$TMP"
 }
@@ -61,10 +70,15 @@ start_agent() {
     AGENT_PID=$!
 }
 
-# done_cells prints the run's completed-cell count ("D" of "D/T cells").
+# done_cells prints the run's completed-cell count ("D" of "D/T cells");
+# total_cells prints the "T".
 done_cells() {
     "$TMP/sdpsctl" status --coord "$COORD" | awk -v id="$RUN_ID" \
         '$1 == id { split($(NF-1), a, "/"); print a[1] }'
+}
+total_cells() {
+    "$TMP/sdpsctl" status --coord "$COORD" | awk -v id="$RUN_ID" \
+        '$1 == id { split($(NF-1), a, "/"); print a[2] }'
 }
 
 # wait_done_at_least N: poll until at least N cells are done (or give up
@@ -123,6 +137,39 @@ if [ "$DONE_AFTER" -lt "$DONE_BEFORE" ]; then
 fi
 echo "chaos: resumed with $DONE_AFTER cell(s) done (had $DONE_BEFORE before the kill)"
 
+# Fault 3: SIGSTOP the agent past the lease TTL.  Unlike SIGKILL, the frozen
+# process stays alive and keeps its lease ID, so on SIGCONT it finishes the
+# cell it was working on and Completes a lease the coordinator has already
+# expired and handed to another agent — the stale Complete must be rejected
+# (409) without disturbing the re-run.  While it is frozen, a second agent
+# proves the expired lease re-queued by making progress.
+TOTAL="$(total_cells || echo 0)"
+[ -n "$TOTAL" ] || TOTAL=0
+DONE_FROZEN="$(done_cells || echo 0)"
+[ -n "$DONE_FROZEN" ] || DONE_FROZEN=0
+echo "chaos: freezing the agent (SIGSTOP) with $DONE_FROZEN/$TOTAL cell(s) done"
+kill -STOP "$AGENT_PID"
+# Sleep past the 2s lease TTL so anything the frozen agent held expires.
+sleep 3
+
+echo "chaos: starting a second agent against the frozen straggler's work"
+"$TMP/sdpsctl" agent --coord "$COORD" --name chaos2 --poll 20ms \
+    2>>"$TMP/agent2.log" &
+AGENT2_PID=$!
+
+if [ "$DONE_FROZEN" -lt "$TOTAL" ]; then
+    DONE_THAW="$(wait_done_at_least $((DONE_FROZEN + 1)))"
+    [ -n "$DONE_THAW" ] || DONE_THAW=0
+    if [ "$DONE_THAW" -le "$DONE_FROZEN" ]; then
+        echo "chaos: FAIL — no progress while the agent was frozen (expired lease not re-queued?)" >&2
+        exit 1
+    fi
+    echo "chaos: second agent advanced the run to $DONE_THAW cell(s) past the expired lease"
+fi
+
+echo "chaos: thawing the frozen agent (SIGCONT); its pending Complete is now stale"
+kill -CONT "$AGENT_PID"
+
 echo "chaos: watching $RUN_ID to completion"
 "$TMP/sdpsctl" watch "$RUN_ID" --coord "$COORD"
 "$TMP/sdpsctl" fetch "$RUN_ID" --coord "$COORD" -o "$TMP/distributed.json"
@@ -135,7 +182,7 @@ if ! cmp -s "$TMP/distributed.json" "$TMP/direct.json"; then
     diff "$TMP/distributed.json" "$TMP/direct.json" | head -20 >&2
     exit 1
 fi
-echo "chaos: OK — artifact byte-identical to sdpsbench through agent kill + coordinator restart ($(wc -c < "$TMP/direct.json") bytes)"
+echo "chaos: OK — artifact byte-identical to sdpsbench through agent kill + coordinator restart + frozen straggler ($(wc -c < "$TMP/direct.json") bytes)"
 
 # Final pass: the recovered run must be report-complete — sdpsreport -from
 # re-assembles it offline from the post-chaos store (manifest + objects)
