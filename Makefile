@@ -76,7 +76,7 @@ race:
 # fault schedules and scenario JSON.  Longer exploratory runs:
 # `go test -fuzz FuzzSpecJSON ./internal/scenario/`.
 fuzz:
-	$(GO) test -run 'FuzzScheduleValidate' ./internal/fault/
+	$(GO) test -run 'FuzzScheduleValidate|FuzzRescaleValidate' ./internal/fault/
 	$(GO) test -run 'FuzzSpecJSON' ./internal/scenario/
 
 # Every shipped scenario spec must parse, validate and compile.

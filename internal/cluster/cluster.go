@@ -57,6 +57,13 @@ func DefaultConfig(workers int) Config {
 type Cluster struct {
 	cfg Config
 
+	// active is the number of provisioned nodes currently in service.
+	// It starts equal to cfg.Workers and moves only under an elastic
+	// rescale plan (SetActive); capacity laws and the spread charges see
+	// the active count, while the accounting arrays and recorded series
+	// keep the provisioned size so scale-out never reallocates mid-run.
+	active int
+
 	// cpuBusy accumulates core-seconds of CPU consumed per node since the
 	// last Recorder sample.
 	cpuBusy []float64
@@ -82,6 +89,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:       cfg,
+		active:    cfg.Workers,
 		cpuBusy:   make([]float64, cfg.Workers),
 		netBytes:  make([]int64, cfg.Workers),
 		memUsed:   make([]int64, cfg.Workers),
@@ -100,6 +108,7 @@ func New(cfg Config) (*Cluster, error) {
 // re-record on the same cluster model.  The deployment shape (workers,
 // cores, fabric) is unchanged.
 func (c *Cluster) Reset() {
+	c.active = c.cfg.Workers
 	for i := range c.cpuBusy {
 		c.cpuBusy[i] = 0
 		c.netBytes[i] = 0
@@ -112,11 +121,31 @@ func (c *Cluster) Reset() {
 // Config returns the deployment description.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Workers returns the number of worker nodes.
-func (c *Cluster) Workers() int { return c.cfg.Workers }
+// Workers returns the number of worker nodes currently in service.  For a
+// static deployment this is the provisioned count; under an elastic
+// rescale plan it is the plan's value for the current virtual time.
+func (c *Cluster) Workers() int { return c.active }
 
-// TotalCores returns the number of CPU cores across all workers.
-func (c *Cluster) TotalCores() int { return c.cfg.Workers * c.cfg.CoresPerNode }
+// Provisioned returns the number of worker nodes the deployment was built
+// with — the ceiling SetActive can scale out to.
+func (c *Cluster) Provisioned() int { return c.cfg.Workers }
+
+// SetActive moves the in-service worker count, clamped to
+// [1, Provisioned()].  The engine runtime calls this every tick under a
+// rescale plan; engines reading capacity through Workers() see the
+// time-varying count without further plumbing.
+func (c *Cluster) SetActive(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > c.cfg.Workers {
+		n = c.cfg.Workers
+	}
+	c.active = n
+}
+
+// TotalCores returns the number of CPU cores across all in-service workers.
+func (c *Cluster) TotalCores() int { return c.active * c.cfg.CoresPerNode }
 
 // FabricBytesPerSec returns the usable fabric bandwidth in bytes/second.
 func (c *Cluster) FabricBytesPerSec() float64 {
@@ -146,10 +175,10 @@ func (c *Cluster) UseCPU(node int, coreSeconds float64) {
 	}
 }
 
-// SpreadCPU charges coreSeconds evenly across all workers.
+// SpreadCPU charges coreSeconds evenly across the in-service workers.
 func (c *Cluster) SpreadCPU(coreSeconds float64) {
-	per := coreSeconds / float64(c.cfg.Workers)
-	for i := range c.cpuBusy {
+	per := coreSeconds / float64(c.active)
+	for i := 0; i < c.active; i++ {
 		c.cpuBusy[i] += per
 	}
 }
@@ -161,10 +190,10 @@ func (c *Cluster) UseNetwork(node int, bytes int64) {
 	}
 }
 
-// SpreadNetwork charges bytes evenly across all workers.
+// SpreadNetwork charges bytes evenly across the in-service workers.
 func (c *Cluster) SpreadNetwork(bytes int64) {
-	per := bytes / int64(c.cfg.Workers)
-	for i := range c.netBytes {
+	per := bytes / int64(c.active)
+	for i := 0; i < c.active; i++ {
 		c.netBytes[i] += per
 	}
 }

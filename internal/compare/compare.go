@@ -107,6 +107,16 @@ func (r Row) Failed() bool {
 	return strings.HasSuffix(r.Key, "/failed") && (r.A == 1 || r.B == 1)
 }
 
+// NeverRecovered reports whether the row is a recovery-time metric carrying
+// the -1 "never recovered" sentinel on either side (see assembleRecovery's
+// recovery_s semantics).  The sentinel is a verdict, not a duration:
+// deviations against it are meaningless, so rendering shows n/a and the
+// gate skips the row instead of reporting a nonsense Δ%.
+func (r Row) NeverRecovered() bool {
+	return strings.HasSuffix(r.Key, "/recovery_s") &&
+		((r.InA && r.A == -1) || (r.InB && r.B == -1))
+}
+
 // GroupDiff is one aligned group.
 type GroupDiff struct {
 	Name     string

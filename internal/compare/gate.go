@@ -128,6 +128,11 @@ func (t Thresholds) Check(c *Comparison) []Violation {
 				}
 				continue
 			}
+			if r.NeverRecovered() {
+				// The -1 sentinel is a verdict, not a duration; any Δ
+				// against it is unbounded noise, never a perf regression.
+				continue
+			}
 			if v, bad := checkRow(t.ruleFor(g.Name, r.Key), r); bad {
 				v.Group = g.Name
 				out = append(out, v)

@@ -89,6 +89,16 @@ func renderRow(r Row) []string {
 		bv = fmtVal(r.B)
 	}
 	switch {
+	case r.NeverRecovered():
+		// -1 is the "never recovered" verdict, not a duration — a Δ%
+		// against it (a backlog that started draining again, or stopped)
+		// is meaningless.
+		abs, rel = "—", "n/a (never recovered)"
+		if r.InA && !r.InB {
+			note = "only in A"
+		} else if r.InB && !r.InA {
+			note = "only in B"
+		}
 	case r.InA && r.InB:
 		abs = fmtSigned(r.Abs())
 		if v, ok := r.Rel(); ok {

@@ -1,0 +1,58 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNeverRecoveredSentinel pins the -1 recovery_s handling: the sentinel
+// is a verdict, not a duration, so the renderer shows n/a instead of a
+// nonsense Δ% and the gate never flags it as a regression — while a real
+// recovery-time movement on the same key still renders and gates normally.
+func TestNeverRecoveredSentinel(t *testing.T) {
+	cases := []struct {
+		name string
+		row  Row
+		want bool
+	}{
+		{"sentinel on A", Row{Key: "flink/fault0/recovery_s", A: -1, B: 3.5, InA: true, InB: true}, true},
+		{"sentinel on B", Row{Key: "flink/fault0/recovery_s", A: 3.5, B: -1, InA: true, InB: true}, true},
+		{"sentinel both sides", Row{Key: "flink/fault0/recovery_s", A: -1, B: -1, InA: true, InB: true}, true},
+		{"one-sided sentinel", Row{Key: "flink/fault0/recovery_s", A: -1, InA: true}, true},
+		{"real recovery times", Row{Key: "flink/fault0/recovery_s", A: 3.5, B: 4.1, InA: true, InB: true}, false},
+		{"-1 on another metric", Row{Key: "flink/fault0/dip", A: -1, B: 1, InA: true, InB: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.row.NeverRecovered(); got != c.want {
+			t.Errorf("%s: NeverRecovered() = %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	// Rendering: n/a instead of a Δ% computed against the sentinel.
+	cells := renderRow(Row{Key: "flink/fault0/recovery_s", A: -1, B: 3.5, InA: true, InB: true})
+	if cells[3] != "—" || !strings.Contains(cells[4], "never recovered") {
+		t.Fatalf("sentinel row rendered %v, want em-dash Δ and a never-recovered note", cells)
+	}
+	cells = renderRow(Row{Key: "flink/fault0/recovery_s", A: 3.5, B: 4.1, InA: true, InB: true})
+	if !strings.Contains(cells[4], "%") {
+		t.Fatalf("real recovery row rendered %v, want a Δ%%", cells)
+	}
+
+	// Gate: the sentinel never violates, a real regression still does.
+	limit := 0.1
+	th := Thresholds{Default: Rule{MaxIncrease: &limit, MaxDecrease: &limit}}
+	c := &Comparison{
+		A: &Doc{Label: "a"}, B: &Doc{Label: "b"},
+		Groups: []GroupDiff{{Name: "exp", InA: true, InB: true, Rows: []Row{
+			{Key: "flink/fault0/recovery_s", A: -1, B: 3.5, InA: true, InB: true},
+			{Key: "flink/fault1/recovery_s", A: 2.0, B: 4.0, InA: true, InB: true},
+		}}},
+	}
+	vs := th.Check(c)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly the real fault1 regression", vs)
+	}
+	if vs[0].Key != "flink/fault1/recovery_s" {
+		t.Fatalf("violation on %q, want the non-sentinel row", vs[0].Key)
+	}
+}

@@ -77,6 +77,13 @@ type Config struct {
 	// engine runtime scales its source pulls by the schedule's capacity
 	// factor.  nil reproduces the paper's fault-free runs exactly.
 	Faults *fault.Schedule
+	// Rescale, when non-nil, is the run's elastic-rescaling plan: the
+	// worker set becomes a function of virtual time, with Workers as the
+	// count before the first step.  The cluster is provisioned for the
+	// plan's maximum so scale-out never reallocates; each step pays the
+	// engine's modeled transition cost.  nil reproduces the static runs
+	// exactly.
+	Rescale *fault.RescalePlan
 	// Broker, when non-nil, interposes a Kafka-style message broker
 	// between the generators and the SUT sources instead of the paper's
 	// direct driver queues — the Section III-A design-decision ablation.
@@ -140,7 +147,13 @@ func (c Config) Validate() error {
 	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
 		return fmt.Errorf("driver: warmup fraction must be in [0,1), got %v", c.WarmupFraction)
 	}
-	if err := c.Faults.Validate(c.Workers); err != nil {
+	if err := c.Rescale.Validate(); err != nil {
+		return fmt.Errorf("driver: %w", err)
+	}
+	// Fault targets are bounded by the largest worker set the run ever
+	// has: a worker that only exists after a scale-out step is a valid
+	// target (its factor is simply unused while it is inactive).
+	if err := c.Faults.Validate(c.Rescale.MaxWorkers(c.Workers)); err != nil {
 		return fmt.Errorf("driver: %w", err)
 	}
 	return c.Query.Validate()
@@ -247,10 +260,15 @@ func runContext(ctx context.Context, eng engine.Engine, cfg Config, probe *Probe
 		}
 	} else {
 		k = sim.NewKernel(cfg.Seed)
-		cl, err = cluster.New(cluster.DefaultConfig(cfg.Workers))
+		// Provision for the rescale plan's maximum worker count (the
+		// plan-free maximum is cfg.Workers itself), then start with only
+		// cfg.Workers in service; the engine runtime walks the active
+		// count along the plan every tick.
+		cl, err = cluster.New(cluster.DefaultConfig(cfg.Rescale.MaxWorkers(cfg.Workers)))
 		if err != nil {
 			return nil, err
 		}
+		cl.SetActive(cfg.Workers)
 		queues = queue.NewGroup("gen", cfg.GeneratorInstances, cfg.QueueCapPerInstance)
 	}
 
@@ -353,6 +371,7 @@ func runContext(ctx context.Context, eng engine.Engine, cfg Config, probe *Probe
 		WatermarkSlack: cfg.WatermarkSlack,
 		Mem:            mem,
 		Faults:         cfg.Faults,
+		Rescale:        cfg.Rescale,
 	})
 	if err != nil {
 		return nil, err
@@ -549,6 +568,9 @@ func FindSustainable(eng engine.Engine, base Config, scfg SearchConfig) (float64
 // (including GOMAXPROCS=1, where the search degenerates to exactly the
 // sequential probe-per-round loop).
 func FindSustainableContext(ctx context.Context, eng engine.Engine, base Config, scfg SearchConfig) (float64, *Result, error) {
+	if !base.Rescale.Empty() {
+		return 0, nil, fmt.Errorf("driver: the sustainable-throughput search assumes a steady worker set; rescale plans are not supported")
+	}
 	scfg = scfg.WithDefaults()
 	base = base.WithDefaults()
 	if scfg.ProbeRunFor > 0 {

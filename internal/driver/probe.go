@@ -53,9 +53,10 @@ func NewProbe() *Probe { return &Probe{} }
 
 // Run executes one benchmark run like RunContext, drawing every component
 // from the probe's arena.  Runs with a broker configured fall back to
-// fresh construction (the broker topology is not recycled).
+// fresh construction (the broker topology is not recycled), as do runs
+// with a rescale plan (the cluster must be provisioned past cfg.Workers).
 func (p *Probe) Run(ctx context.Context, eng engine.Engine, cfg Config) (*Result, error) {
-	if cfg.Broker != nil {
+	if cfg.Broker != nil || !cfg.Rescale.Empty() {
 		return RunContext(ctx, eng, cfg)
 	}
 	return runContext(ctx, eng, cfg, p)

@@ -71,6 +71,13 @@ type Config struct {
 	// transient stall throttles ingestion without any engine model
 	// knowing faults exist.  nil is the fault-free run.
 	Faults *fault.Schedule
+	// Rescale, when non-nil, is the run's elastic-rescaling plan: the
+	// runtime switches the cluster's active worker count at each step's
+	// virtual time and pays the engine's modeled transition cost
+	// (RescaleModeler) by stalling ingestion for the transition window.
+	// nil is the static, rescale-free run; the cluster must be
+	// provisioned for the plan's maximum worker count.
+	Rescale *fault.RescalePlan
 }
 
 // Mem is the per-probe arena of engine state that survives between runs:
@@ -158,6 +165,16 @@ type Engine interface {
 // always agree.
 type RecoveryModeler interface {
 	Recovery() fault.Recovery
+}
+
+// RescaleModeler is implemented by engines whose deployments carry an
+// elastic-rescaling cost model (all four models do).  The scenario layer
+// uses it to derive the per-engine transition metrics of the
+// recovery-series measure without deploying anything; the same Rescale is
+// bound to the runtime at Deploy, so the derived metrics and the injected
+// transition stalls always agree.
+type RescaleModeler interface {
+	Rescale() fault.Rescale
 }
 
 // Job is one running benchmark query on one engine.

@@ -89,6 +89,20 @@ func (e *Engine) Recovery() fault.Recovery {
 	}
 }
 
+// Rescale implements engine.RescaleModeler: Flink changes parallelism by
+// stopping the job on a savepoint and restoring it at the new worker
+// count — the most expensive mechanism of the four (state is written out,
+// redistributed and reloaded), and a full stop: ingestion is dark for the
+// whole transition.
+func (e *Engine) Rescale() fault.Rescale {
+	return fault.Rescale{
+		Kind:      fault.RescaleSavepoint,
+		Base:      4 * time.Second,
+		PerWorker: 500 * time.Millisecond,
+		Stall:     0,
+	}
+}
+
 // Calibration constants.  Capacity laws are in real events/second; see
 // engine.CapacityLaw for the functional form and DESIGN.md §5 for the
 // anchor values from Tables I/III.
@@ -173,6 +187,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
 	j.rt.Recovery = e.Recovery()
+	j.rt.Rescale = e.Rescale()
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:

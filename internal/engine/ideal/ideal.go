@@ -33,6 +33,12 @@ func (e *Engine) Name() string { return "ideal" }
 // lower bound the real engine models are compared against.
 func (e *Engine) Recovery() fault.Recovery { return fault.Recovery{} }
 
+// Rescale implements engine.RescaleModeler: the ideal engine rescales
+// instantly and for free — the zero model — the lower bound the real
+// mechanisms (savepoint, rebalance, dynamic allocation) are compared
+// against.
+func (e *Engine) Rescale() fault.Rescale { return fault.Rescale{} }
+
 type job struct {
 	rt      *engine.Runtime
 	agg     *window.IncrementalAggregator

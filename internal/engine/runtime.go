@@ -42,6 +42,13 @@ type Runtime struct {
 	// instant recovery (the ideal engine).
 	Recovery fault.Recovery
 
+	// Rescale is the engine's elastic-rescaling cost model, set by the
+	// engine model at deploy time.  It only matters when Cfg.Rescale
+	// carries a plan: each step stalls ingestion by the model's Stall
+	// factor for the modeled transition time.  The zero value rescales
+	// instantly (the ideal engine).
+	Rescale fault.Rescale
+
 	ticker     *sim.Ticker
 	failed     bool
 	failReason string
@@ -58,6 +65,13 @@ type Runtime struct {
 	// with per-worker fault kinds (fault.Schedule.ScaleVec); legacy
 	// schedules never touch it.
 	faultBuf []float64
+
+	// rescaleBase is the worker count before the plan's first step,
+	// captured at Start; rescaleFactor is the transition stall factor in
+	// effect for the current tick (1 outside transition windows, and
+	// always 1 for rescale-free runs, which skip the whole path).
+	rescaleBase   int
+	rescaleFactor float64
 
 	decayEvery int
 	sinceDecay int
@@ -93,6 +107,7 @@ func freshRuntime(k *sim.Kernel, cfg Config) *Runtime {
 		NetBytesPerEvent: float64(tuple.WireSizeBytes),
 		pullBatch:        tuple.NewBatch(1024),
 		decayEvery:       1000,
+		rescaleFactor:    1,
 	}
 }
 
@@ -106,6 +121,9 @@ func (rt *Runtime) rebind(k *sim.Kernel, cfg Config) {
 	rt.CPUPerMEvent = 30
 	rt.NetBytesPerEvent = float64(tuple.WireSizeBytes)
 	rt.Recovery = fault.Recovery{}
+	rt.Rescale = fault.Rescale{}
+	rt.rescaleBase = 0
+	rt.rescaleFactor = 1
 	rt.ticker = nil
 	rt.failed = false
 	rt.failReason = ""
@@ -117,11 +135,25 @@ func (rt *Runtime) rebind(k *sim.Kernel, cfg Config) {
 	rt.out = tuple.Output{}
 }
 
-// Start runs fn every cfg.Tick until Stop or failure.
+// Start runs fn every cfg.Tick until Stop or failure.  When the config
+// carries a rescale plan, every tick first moves the cluster's active
+// worker count to the plan's value for the current virtual time — engines
+// read capacity through Cluster.Workers() per tick, so the time-varying
+// worker set reaches every capacity law without the models knowing
+// rescaling exists — and records the transition stall factor Pull applies
+// to the tick's budget.
 func (rt *Runtime) Start(fn func(now sim.Time)) {
+	if p := rt.Cfg.Rescale; !p.Empty() {
+		rt.rescaleBase = rt.Cfg.Cluster.Workers()
+	}
 	rt.ticker = rt.K.Every(rt.Cfg.Tick, func(now sim.Time) {
 		if rt.stopped || rt.failed {
 			return
+		}
+		if p := rt.Cfg.Rescale; !p.Empty() {
+			w, f := p.ActiveAt(now, rt.rescaleBase, rt.Rescale)
+			rt.Cfg.Cluster.SetActive(w)
+			rt.rescaleFactor = f
 		}
 		fn(now)
 	})
@@ -184,6 +216,13 @@ func (rt *Runtime) Pull(n int, now sim.Time) (*tuple.Batch, int64) {
 	// this deployment's engine recovery model.
 	if s := rt.Cfg.Faults; !s.Empty() {
 		n, rt.faultBuf = s.ScaleVec(n, now, rt.Cfg.Cluster.Workers(), rt.Recovery, rt.faultBuf)
+	}
+	// Mid-transition rescale stall: composes multiplicatively with the
+	// fault factor above.  rescaleFactor is pinned to 1 outside transition
+	// windows and for rescale-free runs, so the branch is dead on every
+	// pre-rescale code path.
+	if f := rt.rescaleFactor; f < 1 && n > 0 {
+		n = int(float64(n) * f)
 	}
 	rt.pullBatch.Reset()
 	rt.Cfg.Sources.PopBatch(rt.pullBatch, n)

@@ -87,6 +87,20 @@ func (e *Engine) Recovery() fault.Recovery {
 	return fault.Recovery{Kind: fault.RecoveryLineage, RecomputeFactor: lineageRecomputeFactor}
 }
 
+// Rescale implements engine.RescaleModeler: Spark adds or removes
+// executors through dynamic allocation while the job keeps running —
+// lineage makes fresh executors immediately useful, so the transition
+// never stalls ingestion (Stall 1); the cost is only how long the
+// executor-request round trips take.
+func (e *Engine) Rescale() fault.Rescale {
+	return fault.Rescale{
+		Kind:      fault.RescaleDynamicAlloc,
+		Base:      500 * time.Millisecond,
+		PerWorker: 100 * time.Millisecond,
+		Stall:     1,
+	}
+}
+
 // Calibration constants (see DESIGN.md §5).
 var (
 	// Sustainable-throughput laws fitted exactly through Tables I/III.
@@ -177,6 +191,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
 	j.rt.Recovery = e.Recovery()
+	j.rt.Rescale = e.Rescale()
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:

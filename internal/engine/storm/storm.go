@@ -92,6 +92,19 @@ func (e *Engine) Recovery() fault.Recovery {
 	return fault.Recovery{Kind: fault.RecoveryReplay, ReplayRate: replayRate}
 }
 
+// Rescale implements engine.RescaleModeler: Storm redistributes executors
+// with a topology rebalance — the spouts are paused while tasks move
+// (ingestion dark, Stall 0), but with no state snapshot to write the
+// pause is far shorter than Flink's savepoint cycle.
+func (e *Engine) Rescale() fault.Rescale {
+	return fault.Rescale{
+		Kind:      fault.RescaleRebalance,
+		Base:      time.Second,
+		PerWorker: 250 * time.Millisecond,
+		Stall:     0,
+	}
+}
+
 // Calibration constants (see DESIGN.md §5).
 var (
 	// aggSustainLaw is fitted exactly through Table I: 0.40/0.69/0.99M.
@@ -170,6 +183,7 @@ func (e *Engine) Deploy(k *sim.Kernel, cfg engine.Config) (engine.Job, error) {
 	}
 	j.rt.CPUPerMEvent = cpuPerMEvent
 	j.rt.Recovery = e.Recovery()
+	j.rt.Rescale = e.Rescale()
 	asg := cfg.Query.Assigner()
 	switch cfg.Query.Type {
 	case workload.Join:

@@ -26,6 +26,7 @@ package fault
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"time"
 )
 
@@ -53,6 +54,12 @@ const (
 	// engines.  RestartAfter must be positive: a worker that never
 	// restarts never restores (use kill-worker for that).
 	KindCheckpointRestore = "checkpoint-restore"
+	// KindDomainOutage fences every worker of one named fault domain
+	// (Schedule.Domains) together — a rack or zone failing as a unit.
+	// Each member's capacity is multiplied by Factor (0, the default, is a
+	// complete loss) during [At, At+For); For 0 means the domain never
+	// comes back.
+	KindDomainOutage = "domain-outage"
 )
 
 // Recovery model kinds: how an engine rebuilds a restarted worker's state.
@@ -139,6 +146,9 @@ type Event struct {
 	// Groups partitions the workers (KindPartition): each inner list is
 	// one side of the split.
 	Groups [][]int `json:"groups,omitempty"`
+	// Domain names the fault domain the outage fences (KindDomainOutage);
+	// it must be a key of the schedule's Domains map.
+	Domain string `json:"domain,omitempty"`
 }
 
 // End returns the virtual time the event's direct effect ends: restart for
@@ -157,7 +167,7 @@ func (e Event) End(runEnd time.Duration) time.Duration {
 		return e.At + e.RestartAfter
 	case KindStall, KindSlowWorker:
 		return e.At + e.For
-	case KindPartition:
+	case KindPartition, KindDomainOutage:
 		if e.For <= 0 {
 			return runEnd
 		}
@@ -167,14 +177,15 @@ func (e Event) End(runEnd time.Duration) time.Duration {
 }
 
 // Permanent reports whether the event's effect never ends within any run:
-// a kill without a restart, or a partition that never heals.  Permanent
-// faults have no recovery — the recovery-series derivation reports the
-// -1 "never recovered" sentinel for them and skips restore metrics.
+// a kill without a restart, or a partition or domain outage that never
+// heals.  Permanent faults have no recovery — the recovery-series
+// derivation reports the -1 "never recovered" sentinel for them and skips
+// restore metrics.
 func (e Event) Permanent() bool {
 	switch e.Kind {
 	case KindKillWorker:
 		return e.RestartAfter <= 0
-	case KindPartition:
+	case KindPartition, KindDomainOutage:
 		return e.For <= 0
 	}
 	return false
@@ -194,7 +205,7 @@ func (e Event) active(now time.Duration) bool {
 		return now < e.At+e.RestartAfter
 	case KindStall, KindSlowWorker:
 		return now < e.At+e.For
-	case KindPartition:
+	case KindPartition, KindDomainOutage:
 		return e.For <= 0 || now < e.At+e.For
 	}
 	return false
@@ -205,6 +216,10 @@ func (e Event) active(now time.Duration) bool {
 // schedule.
 type Schedule struct {
 	Events []Event `json:"events"`
+	// Domains assigns workers to named correlated fault domains (racks,
+	// zones): a domain-outage event fences every member of one domain
+	// together.  A worker belongs to at most one domain.
+	Domains map[string][]int `json:"domains,omitempty"`
 }
 
 // Validate checks every event.  workers, when positive, bounds the worker
@@ -213,6 +228,9 @@ type Schedule struct {
 func (s *Schedule) Validate(workers int) error {
 	if s == nil {
 		return nil
+	}
+	if err := s.validateDomains(workers); err != nil {
+		return err
 	}
 	for i, e := range s.Events {
 		where := fmt.Sprintf("fault %d (%s)", i, e.Kind)
@@ -230,6 +248,9 @@ func (s *Schedule) Validate(workers int) error {
 		}
 		if e.Kind != KindPartition && e.Groups != nil {
 			return fmt.Errorf("%s: groups apply to %q faults only", where, KindPartition)
+		}
+		if e.Kind != KindDomainOutage && e.Domain != "" {
+			return fmt.Errorf("%s: domain applies to %q faults only", where, KindDomainOutage)
 		}
 		switch e.Kind {
 		case KindKillWorker:
@@ -306,9 +327,63 @@ func (s *Schedule) Validate(workers int) error {
 			if e.Worker != 0 || e.RestartAfter != 0 {
 				return fmt.Errorf("%s: worker/restart_after apply to %q faults only", where, KindKillWorker)
 			}
+		case KindDomainOutage:
+			if e.Domain == "" {
+				return fmt.Errorf("%s: a domain outage needs a domain name", where)
+			}
+			if _, ok := s.Domains[e.Domain]; !ok {
+				return fmt.Errorf("%s: domain %q is not declared in the domains block", where, e.Domain)
+			}
+			if e.For < 0 {
+				return fmt.Errorf("%s: for must be >= 0 (0 = never heals), got %v", where, e.For)
+			}
+			if e.Factor < 0 || e.Factor >= 1 {
+				return fmt.Errorf("%s: factor must be in [0,1), got %v", where, e.Factor)
+			}
+			if e.Worker != 0 || e.RestartAfter != 0 {
+				return fmt.Errorf("%s: worker/restart_after apply to %q faults only", where, KindKillWorker)
+			}
 		default:
-			return fmt.Errorf("fault %d: unknown kind %q (%s | %s | %s | %s | %s)", i, e.Kind,
-				KindKillWorker, KindStall, KindPartition, KindSlowWorker, KindCheckpointRestore)
+			return fmt.Errorf("fault %d (%s): unknown kind (%s | %s | %s | %s | %s | %s)", i, e.Kind,
+				KindKillWorker, KindStall, KindPartition, KindSlowWorker, KindCheckpointRestore, KindDomainOutage)
+		}
+	}
+	return nil
+}
+
+// validateDomains checks the correlated-domain map: non-empty names and
+// member lists, worker indices in range (when workers bounds them), and no
+// worker claimed by two domains.  Iteration is over sorted names so the
+// first error reported is deterministic.
+func (s *Schedule) validateDomains(workers int) error {
+	if len(s.Domains) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.Domains))
+	for name := range s.Domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	owner := map[int]string{}
+	for _, name := range names {
+		if name == "" {
+			return fmt.Errorf("domains: a domain needs a non-empty name")
+		}
+		members := s.Domains[name]
+		if len(members) == 0 {
+			return fmt.Errorf("domain %q: needs at least one worker", name)
+		}
+		for _, w := range members {
+			if w < 0 {
+				return fmt.Errorf("domain %q: worker must be >= 0, got %d", name, w)
+			}
+			if workers > 0 && w >= workers {
+				return fmt.Errorf("domain %q: worker %d does not exist on a %d-worker cluster", name, w, workers)
+			}
+			if prev, ok := owner[w]; ok {
+				return fmt.Errorf("domain %q: worker %d already belongs to domain %q", name, w, prev)
+			}
+			owner[w] = name
 		}
 	}
 	return nil
@@ -328,7 +403,7 @@ func (s *Schedule) PerWorker() bool {
 	}
 	for i := range s.Events {
 		switch s.Events[i].Kind {
-		case KindPartition, KindSlowWorker, KindCheckpointRestore:
+		case KindPartition, KindSlowWorker, KindCheckpointRestore, KindDomainOutage:
 			return true
 		}
 	}
@@ -404,6 +479,12 @@ func (s *Schedule) Factors(now time.Duration, workers int, rec Recovery, out []f
 					if w < workers {
 						out[w] *= e.Factor
 					}
+				}
+			}
+		case KindDomainOutage:
+			for _, w := range s.Domains[e.Domain] {
+				if w < workers {
+					out[w] *= e.Factor
 				}
 			}
 		}

@@ -59,3 +59,61 @@ func FuzzScheduleValidate(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRescaleValidate feeds arbitrary JSON through the rescale plan's
+// decode → Validate → evaluate path: nothing a client submits may panic,
+// and any plan Validate accepts must evaluate to a bounded worker count and
+// a capacity factor in [0, 1] under every engine cost model.
+func FuzzRescaleValidate(f *testing.F) {
+	seeds := []string{
+		`{"steps":[]}`,
+		`{"steps":[{"at":30000000000,"workers":6}]}`,
+		`{"steps":[{"at":30000000000,"workers":6},{"at":60000000000,"workers":2}]}`,
+		`{"steps":[{"at":0,"workers":6}]}`,
+		`{"steps":[{"at":30000000000,"workers":0}]}`,
+		`{"steps":[{"at":30000000000,"workers":2048}]}`,
+		`{"steps":[{"at":60000000000,"workers":6},{"at":30000000000,"workers":2}]}`,
+		`{"steps":[{"at":-5,"workers":-9}]}`,
+		`{"steps":null}`,
+		`{}`,
+		`[]`,
+		`{"steps":[{"at":9223372036854775807,"workers":1024}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	models := []Rescale{
+		{},
+		{Kind: RescaleSavepoint, Base: 4 * time.Second, PerWorker: 500 * time.Millisecond, Stall: 0},
+		{Kind: RescaleRebalance, Base: time.Second, PerWorker: 250 * time.Millisecond, Stall: 0},
+		{Kind: RescaleDynamicAlloc, Base: 500 * time.Millisecond, PerWorker: 100 * time.Millisecond, Stall: 1},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p RescalePlan
+		if err := json.Unmarshal(data, &p); err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			return
+		}
+		const base = 4
+		peak := p.MaxWorkers(base)
+		if peak < base || peak > MaxPlanWorkers {
+			t.Fatalf("MaxWorkers = %d out of [%d, %d] for valid plan %s", peak, base, MaxPlanWorkers, data)
+		}
+		for _, model := range models {
+			for _, now := range []time.Duration{0, time.Second, 30 * time.Second, time.Hour} {
+				w, factor := p.ActiveAt(now, base, model)
+				if w < 1 || w > peak {
+					t.Fatalf("ActiveAt(%v) workers = %d out of [1, %d] for valid plan %s", now, w, peak, data)
+				}
+				if factor < 0 || factor > 1 || factor != factor {
+					t.Fatalf("ActiveAt(%v) factor = %v out of [0,1] for valid plan %s", now, factor, data)
+				}
+				if got := p.WorkersAt(now, base); got != w {
+					t.Fatalf("WorkersAt(%v) = %d disagrees with ActiveAt's %d for valid plan %s", now, got, w, data)
+				}
+			}
+		}
+	})
+}

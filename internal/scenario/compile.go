@@ -280,6 +280,14 @@ type cellIdentity struct {
 	// and therefore their content keys and warm caches — byte-identical
 	// to what they hashed to before faults existed.
 	Faults []Fault `json:",omitempty"`
+	// Rescale and Domains join the identity the same way: a rescaling
+	// run's result is a function of its plan, a domain outage's of the
+	// domain map (Go maps marshal with sorted keys, so the encoding is
+	// canonical).  omitempty keeps rescale-free, domain-free content keys
+	// — and the warm caches behind them — byte-identical to pre-rescale
+	// builds.
+	Rescale []RescaleStep    `json:",omitempty"`
+	Domains map[string][]int `json:",omitempty"`
 }
 
 func contentKey(id cellIdentity) string {
@@ -346,6 +354,7 @@ func gridCells(s Spec, o core.Options) []core.Cell {
 			Measure: s.Measure.Kind, Engine: p.engine, Workers: p.workers,
 			Query: q, Load: idLoad, Slack: sw.WatermarkSlack, Pct: p.pct,
 			Seed: o.Seed, Scale: o.Scale.String(), Faults: s.Faults,
+			Rescale: s.Rescale, Domains: s.Domains,
 		}
 		// The warm key drops the seed and scale: a sustainable search for
 		// the same deployment under a different seed (replication) or
@@ -414,7 +423,8 @@ func runPoint(ctx context.Context, s Spec, sw Sweep, p point, q workload.Query, 
 		Query:          q,
 		RunFor:         o.RunFor(),
 		EventsPerTuple: o.EventsPerTuple(),
-		Faults:         buildFaults(s.Faults),
+		Faults:         buildFaults(s.Faults, s.Domains),
+		Rescale:        buildRescale(s.Rescale),
 	}
 	applyInputShape(&cfg, sw)
 	res, err := driver.RunContext(ctx, eng, cfg)
@@ -669,6 +679,21 @@ func recoveryModelFor(name string) fault.Recovery {
 	return fault.Recovery{}
 }
 
+// rescaleModelFor returns the rescale cost model of the named engine — the
+// same Rescale its Deploy binds to the runtime, so derived transition
+// metrics and injected transition stalls always agree.  Unknown engines
+// (or engines without a model) rescale instantly.
+func rescaleModelFor(name string) fault.Rescale {
+	eng, err := core.EngineByName(name)
+	if err != nil {
+		return fault.Rescale{}
+	}
+	if m, ok := eng.(engine.RescaleModeler); ok {
+		return m.Rescale()
+	}
+	return fault.Rescale{}
+}
+
 // assembleRecovery renders the recovery-series artefact: a throughput panel
 // and a queue-depth panel per grid point, plus per-fault metrics — the
 // relative throughput dip during each fault window, the time the backlog
@@ -681,9 +706,19 @@ func recoveryModelFor(name string) fault.Recovery {
 // no restore metrics.  Per grid point, recovery_cost_s sums the modeled
 // restore time across faults, which is where the per-engine recovery
 // comparison (checkpoint vs lineage vs replay) surfaces.
+//
+// When the spec carries a rescale plan, each step additionally emits
+// rescale<i>/rescale_cost_s (the engine-modeled transition window),
+// rescale<i>/dropped_capacity_s (cost × the capacity fraction lost during
+// the transition) and rescale<i>/steady_throughput (the mean throughput
+// after the transition settles, up to the next step), plus a per-point
+// rescale_cost_s headline summing the windows — where the per-engine
+// rescale comparison (savepoint vs rebalance vs dynamic allocation)
+// surfaces.
 func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws [][]byte) (*core.Outcome, error) {
 	o = o.WithDefaults()
-	faults := buildFaults(s.Faults)
+	faults := buildFaults(s.Faults, s.Domains)
+	plan := buildRescale(s.Rescale)
 	runEnd := o.RunFor()
 	var panels []report.FigurePanel
 	metricsOut := map[string]float64{}
@@ -701,7 +736,11 @@ func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws 
 			report.FigurePanel{Title: label + " queue depth", Series: r.Depth, Unit: " ev"},
 		)
 		totalRestore := 0.0
-		for fi, e := range faults.Events {
+		var events []fault.Event
+		if faults != nil {
+			events = faults.Events
+		}
+		for fi, e := range events {
 			dip, rec, baseline := faultRecovery(r.Throughput, r.Depth, e.At, e.End(runEnd))
 			metricsOut[fmt.Sprintf("%s/fault%d/dip", base, fi)] = dip
 			if e.Permanent() {
@@ -741,6 +780,33 @@ func assembleRecovery(s Spec, o core.Options, pts []point, heading string, raws 
 			sb.WriteString("\n")
 		}
 		metricsOut[base+"/recovery_cost_s"] = totalRestore
+		if plan != nil {
+			rsModel := rescaleModelFor(p.engine)
+			kindStr := rsModel.Kind
+			if kindStr == "" {
+				kindStr = fault.RescaleInstant
+			}
+			totalRescale := 0.0
+			prev := p.workers
+			for ri, st := range plan.Steps {
+				start, end := plan.Window(ri, p.workers, rsModel)
+				cost := (end - start).Seconds()
+				dropped := cost * (1 - rsModel.Stall)
+				steadyEnd := runEnd
+				if ri+1 < len(plan.Steps) {
+					steadyEnd = plan.Steps[ri+1].At
+				}
+				steady := meanBetween(r.Throughput, end, steadyEnd)
+				metricsOut[fmt.Sprintf("%s/rescale%d/rescale_cost_s", base, ri)] = cost
+				metricsOut[fmt.Sprintf("%s/rescale%d/dropped_capacity_s", base, ri)] = dropped
+				metricsOut[fmt.Sprintf("%s/rescale%d/steady_throughput", base, ri)] = steady
+				totalRescale += cost
+				fmt.Fprintf(&sb, "%s: rescale %d (%d→%d workers at %s): %s transition %.1fs, capacity dropped %.1fs, steady throughput %.0f ev/s\n",
+					label, ri, prev, st.Workers, st.At, kindStr, cost, dropped, steady)
+				prev = st.Workers
+			}
+			metricsOut[base+"/rescale_cost_s"] = totalRescale
+		}
 	}
 	return &core.Outcome{
 		Text:    report.Figure(heading, panels) + sb.String(),
@@ -813,4 +879,21 @@ func faultRecovery(th, depth *metrics.Series, start, end time.Duration) (dip, re
 		}
 	}
 	return dip, -1, baseline
+}
+
+// meanBetween averages the series points with from <= T < to; 0 when the
+// window holds no points (a transition ending at or past the run's end).
+func meanBetween(s *metrics.Series, from, to time.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, pt := range s.Points {
+		if pt.T < from || pt.T >= to {
+			continue
+		}
+		sum += pt.V
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }

@@ -92,6 +92,21 @@ type Spec struct {
 	// replay like any other.  Required (non-empty) for the
 	// recovery-series measure; forbidden with sustainable.
 	Faults []Fault `json:"faults,omitempty"`
+	// Rescale is the elastic-rescaling plan applied to every grid cell:
+	// at each step's virtual time the cluster's worker count moves to the
+	// step's value, paying the deployed engine's modeled transition cost
+	// (savepoint-stop/restore for flink, rebalance with paused spouts for
+	// storm, dynamic executor allocation for spark, instant for ideal).
+	// Step times must be strictly increasing; the count before the first
+	// step is the sweep's worker count.  Part of the cell identity with
+	// omitempty semantics, so rescale-free specs hash identically to
+	// pre-rescale builds.  Forbidden with the sustainable measure.
+	Rescale []RescaleStep `json:"rescale,omitempty"`
+	// Domains assigns workers to named correlated fault domains (racks,
+	// zones); a "domain-outage" fault fences every member of one domain
+	// together.  A worker belongs to at most one domain.  Like faults and
+	// rescale, part of the cell identity with omitempty semantics.
+	Domains map[string][]int `json:"domains,omitempty"`
 	// Sweeps are the parameter grids; cells are enumerated sweep by
 	// sweep, each expanded engines × workers × load points in Order.
 	Sweeps []Sweep `json:"sweeps"`
@@ -175,15 +190,43 @@ type Fault struct {
 	// other group runs at Factor, unlisted workers side with the
 	// majority.
 	Groups [][]int `json:"groups,omitempty"`
+	// Domain names the fault domain the outage fences (domain-outage);
+	// it must be a key of the spec's domains block.
+	Domain string `json:"domain,omitempty"`
 }
 
-// buildFaults lowers the spec faults onto a fault.Schedule (nil when the
-// spec has none, which is the fault-free fast path in the engine runtime).
-func buildFaults(fs []Fault) *fault.Schedule {
+// RescaleStep is one step of the spec's elastic-rescaling plan: the
+// spec-level mirror of fault.RescaleStep with human-readable times.
+type RescaleStep struct {
+	// At is the virtual time the step applies.
+	At Duration `json:"at"`
+	// Workers is the cluster's worker count from At on.
+	Workers int `json:"workers"`
+}
+
+// buildRescale lowers the spec rescale steps onto a fault.RescalePlan (nil
+// when the spec has none, which is the static fast path in the engine
+// runtime).
+func buildRescale(steps []RescaleStep) *fault.RescalePlan {
+	if len(steps) == 0 {
+		return nil
+	}
+	p := &fault.RescalePlan{Steps: make([]fault.RescaleStep, len(steps))}
+	for i, st := range steps {
+		p.Steps[i] = fault.RescaleStep{At: st.At.D(), Workers: st.Workers}
+	}
+	return p
+}
+
+// buildFaults lowers the spec faults onto a fault.Schedule carrying the
+// spec's domain map (nil when the spec has no faults, which is the
+// fault-free fast path in the engine runtime — a domains block with no
+// events has no effect).
+func buildFaults(fs []Fault, domains map[string][]int) *fault.Schedule {
 	if len(fs) == 0 {
 		return nil
 	}
-	s := &fault.Schedule{Events: make([]fault.Event, len(fs))}
+	s := &fault.Schedule{Events: make([]fault.Event, len(fs)), Domains: domains}
 	for i, f := range fs {
 		s.Events[i] = fault.Event{
 			Kind:         f.Kind,
@@ -193,6 +236,7 @@ func buildFaults(fs []Fault) *fault.Schedule {
 			For:          f.For.D(),
 			Factor:       f.Factor,
 			Groups:       f.Groups,
+			Domain:       f.Domain,
 		}
 	}
 	return s
@@ -346,12 +390,22 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
-	if len(s.Faults) > 0 {
+	if len(s.Rescale) > 0 {
 		if s.Measure.Kind == MeasureSustainable {
+			return fmt.Errorf("scenario %s: rescale cannot combine with the %q measure (the bisection assumes a steady worker set)", s.Name, MeasureSustainable)
+		}
+		if err := buildRescale(s.Rescale).Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if len(s.Faults) > 0 || len(s.Domains) > 0 {
+		if len(s.Faults) > 0 && s.Measure.Kind == MeasureSustainable {
 			return fmt.Errorf("scenario %s: faults cannot combine with the %q measure (the bisection assumes steady capacity)", s.Name, MeasureSustainable)
 		}
-		// A kill target must exist on every cluster in the grid, so
-		// validate against the smallest sweep worker count.
+		// A fault target must exist on every cluster in the grid, so
+		// validate against the smallest sweep worker count — raised by
+		// the rescale plan's largest target, since a worker that only
+		// exists after a scale-out step is still a valid target.
 		minWorkers := 0
 		for _, sw := range s.Sweeps {
 			for _, w := range sw.Workers {
@@ -360,11 +414,17 @@ func (s Spec) Validate() error {
 				}
 			}
 		}
-		if err := buildFaults(s.Faults).Validate(minWorkers); err != nil {
+		capWorkers := buildRescale(s.Rescale).MaxWorkers(minWorkers)
+		sched := buildFaults(s.Faults, s.Domains)
+		if sched == nil {
+			sched = &fault.Schedule{Domains: s.Domains}
+		}
+		if err := sched.Validate(capWorkers); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
-	} else if s.Measure.Kind == MeasureRecoverySeries {
-		return fmt.Errorf("scenario %s: the %q measure needs at least one fault", s.Name, MeasureRecoverySeries)
+	}
+	if len(s.Faults) == 0 && len(s.Rescale) == 0 && s.Measure.Kind == MeasureRecoverySeries {
+		return fmt.Errorf("scenario %s: the %q measure needs at least one fault or rescale step", s.Name, MeasureRecoverySeries)
 	}
 	// Colliding cell IDs or metric base keys would silently overwrite
 	// results and metrics at assembly; reject them here (duplicate axis

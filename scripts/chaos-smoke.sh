@@ -198,3 +198,28 @@ if ! grep -q "crash-recovery" "$TMP/report.md"; then
     exit 1
 fi
 echo "chaos: OK — sdpsreport -from rendered the recovered run ($(wc -c < "$TMP/report.md") bytes)"
+
+# Elastic-rescale phase: the worker set changes mid-run (4→6 at 30s) while a
+# correlated domain outage fences the new rack — the scenario whose every
+# knob this harness exists to shake.  It runs distributed on the surviving
+# deployment (post-chaos coordinator, both agents) and must still be
+# byte-identical to a direct sdpsbench run.
+RESCALE_SCENARIO="examples/scenarios/elastic-rescale.json"
+echo "chaos: submitting scenario $RESCALE_SCENARIO (quick, seed 42) on the post-chaos deployment"
+RUN_ID="$("$TMP/sdpsctl" submit --coord "$COORD" --scenario "$RESCALE_SCENARIO" --scale quick --seed 42 -q)"
+"$TMP/sdpsctl" watch "$RUN_ID" --coord "$COORD"
+"$TMP/sdpsctl" fetch "$RUN_ID" --coord "$COORD" -o "$TMP/rescale-distributed.json"
+
+echo "chaos: running the rescale scenario directly for the reference artifact"
+"$TMP/sdpsbench" -scenario "$RESCALE_SCENARIO" -scale quick -seed 42 -json > "$TMP/rescale-direct.json"
+
+if ! cmp -s "$TMP/rescale-distributed.json" "$TMP/rescale-direct.json"; then
+    echo "chaos: FAIL — elastic-rescale artifact differs from the direct run" >&2
+    diff "$TMP/rescale-distributed.json" "$TMP/rescale-direct.json" | head -20 >&2
+    exit 1
+fi
+if ! grep -q "rescale_cost_s" "$TMP/rescale-direct.json"; then
+    echo "chaos: FAIL — elastic-rescale artifact lacks the per-rescale transition metrics" >&2
+    exit 1
+fi
+echo "chaos: OK — elastic-rescale artifact byte-identical distributed vs direct ($(wc -c < "$TMP/rescale-direct.json") bytes)"
